@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by the ``TRAC_BENCH_ROWS`` environment variable (total
+Activity rows; default 20,000 — the paper used 10,000,000, which also works
+but takes correspondingly longer to generate and load).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import MemoryBackend, SQLiteBackend
+from repro.core.report import RecencyReporter
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+)
+from repro.workload.queries import paper_queries, query_machine_indexes
+
+TOTAL_ROWS = int(os.environ.get("TRAC_BENCH_ROWS", "20000"))
+
+#: The two ends of the paper's sweep, scaled: many sources with few rows
+#: each, and few sources with many rows each.
+MANY_SOURCES_RATIO = 10
+FEW_SOURCES_RATIO = max(10, TOTAL_ROWS // 20)
+
+
+def _build(num_sources: int, data_ratio: int, backend_cls):
+    catalog = workload_catalog(num_sources)
+    backend = backend_cls(catalog)
+    config = WorkloadConfig(num_sources=num_sources, data_ratio=data_ratio)
+    data = generate_workload(config, query_machine_indexes(num_sources))
+    load_workload(backend, data)
+    return backend
+
+
+@pytest.fixture(scope="session")
+def many_sources_backend():
+    """ratio=10: the regime where the Naive method suffers most."""
+    backend = _build(TOTAL_ROWS // MANY_SOURCES_RATIO, MANY_SOURCES_RATIO, SQLiteBackend)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="session")
+def few_sources_backend():
+    """High ratio: overheads approach zero for every method."""
+    backend = _build(TOTAL_ROWS // FEW_SOURCES_RATIO, FEW_SOURCES_RATIO, SQLiteBackend)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="session")
+def many_sources_memory_backend():
+    # Capped so the brute-force oracle's potential relations (quadratic in
+    # the source count for the Routing table) stay within budget.
+    backend = _build(
+        min(400, TOTAL_ROWS // MANY_SOURCES_RATIO), MANY_SOURCES_RATIO, MemoryBackend
+    )
+    return backend
+
+
+@pytest.fixture(scope="session")
+def many_sources_queries(many_sources_backend):
+    num_sources = TOTAL_ROWS // MANY_SOURCES_RATIO
+    return paper_queries(num_sources)
+
+
+@pytest.fixture(scope="session")
+def few_sources_queries(few_sources_backend):
+    num_sources = TOTAL_ROWS // FEW_SOURCES_RATIO
+    return paper_queries(num_sources)
+
+
+@pytest.fixture()
+def many_sources_reporter(many_sources_backend):
+    return RecencyReporter(many_sources_backend, create_temp_tables=False)
+
+
+@pytest.fixture()
+def few_sources_reporter(few_sources_backend):
+    return RecencyReporter(few_sources_backend, create_temp_tables=False)

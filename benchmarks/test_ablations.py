@@ -1,0 +1,223 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* DNF blow-up guard: plan-generation cost and fallback behaviour as the
+  conjunct budget shrinks against an OR-heavy query.
+* Satisfiability pruning: plan cost with and without the check, and the
+  precision it buys (pruned conjuncts -> fewer subqueries).
+* z-score split: statistics cost as the relevant-source count grows.
+* Backend choice: the same report on SQLite vs the pure-Python engine.
+
+Run:  pytest benchmarks/test_ablations.py --benchmark-only
+"""
+
+import pytest
+
+from repro import MemoryBackend
+from repro.core.report import RecencyReporter
+from repro.core.statistics import SourceRecency, zscore_split
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+)
+from repro.workload.queries import paper_queries, query_machine_indexes
+
+
+def _or_heavy_query(clauses: int) -> str:
+    """(idle OR t > c_i) AND ... over distinct cutoffs: 2^clauses raw
+    conjuncts, all satisfiable (range predicates compose)."""
+    parts = [
+        f"(A.value = 'idle' OR A.event_time > {1000 + i})" for i in range(clauses)
+    ]
+    return "SELECT COUNT(*) FROM activity A WHERE " + " AND ".join(parts)
+
+
+class TestDnfGuardAblation:
+    @pytest.mark.parametrize("budget", [4, 64, 4096])
+    def test_plan_cost_vs_budget(self, benchmark, many_sources_reporter, budget):
+        """A small budget turns planning into a cheap bail-out; a large one
+        pays the full distribution cost."""
+        reporter = many_sources_reporter
+        reporter.max_conjuncts = budget
+        sql = _or_heavy_query(8)  # 256 conjuncts at full expansion
+        benchmark.group = "ablation-dnf-budget"
+        plan = benchmark(lambda: reporter.plan_for(sql))
+        if budget < 256:
+            assert plan.mode == "all"  # complete fallback
+        else:
+            assert plan.mode == "focused"
+
+    def test_fallback_report_is_still_complete(self, many_sources_reporter, benchmark):
+        reporter = many_sources_reporter
+        reporter.max_conjuncts = 4
+        sql = _or_heavy_query(8)
+        benchmark.group = "ablation-dnf-fallback"
+        report = benchmark(lambda: reporter.report(sql))
+        # Fallback = every source: complete by construction.
+        assert len(report.relevant_source_ids) == len(
+            reporter.backend.heartbeat_rows()
+        )
+
+
+class TestSatisfiabilityAblation:
+    UNSAT_QUERY = (
+        "SELECT COUNT(*) FROM activity A "
+        "WHERE A.value = 'idle' AND A.value = 'busy' AND A.mach_id = 'Tao1'"
+    )
+
+    def test_plan_with_pruning(self, benchmark, many_sources_reporter):
+        benchmark.group = "ablation-satcheck"
+        many_sources_reporter.check_satisfiability = True
+        plan = benchmark(lambda: many_sources_reporter.plan_for(self.UNSAT_QUERY))
+        assert plan.mode == "empty"  # pruned: zero recency work at run time
+
+    def test_plan_without_pruning(self, benchmark, many_sources_reporter):
+        benchmark.group = "ablation-satcheck"
+        many_sources_reporter.check_satisfiability = False
+        try:
+            plan = benchmark(lambda: many_sources_reporter.plan_for(self.UNSAT_QUERY))
+        finally:
+            many_sources_reporter.check_satisfiability = True
+        assert plan.mode == "focused"  # keeps a (useless) subquery
+        assert not plan.minimal
+
+    def test_report_precision_difference(self, many_sources_reporter, benchmark):
+        """Without pruning the report names a source for a query whose
+        answer no update can change."""
+        reporter = many_sources_reporter
+        reporter.check_satisfiability = False
+        try:
+            benchmark.group = "ablation-satcheck-report"
+            report = benchmark(lambda: reporter.report(self.UNSAT_QUERY))
+        finally:
+            reporter.check_satisfiability = True
+        assert report.relevant_source_ids == {"Tao1"}  # false positive
+        pruned = reporter.report(self.UNSAT_QUERY)
+        assert pruned.relevant_source_ids == set()
+
+
+class TestZScoreAblation:
+    @pytest.mark.parametrize("count", [100, 1000, 10000])
+    def test_split_cost_scales_linearly(self, benchmark, count):
+        data = [SourceRecency(f"s{i}", 1000.0 + (i % 97)) for i in range(count)]
+        data.append(SourceRecency("dead", -1e9))
+        benchmark.group = "ablation-zscore-size"
+        split = benchmark(lambda: zscore_split(data))
+        assert [s.source_id for s in split.exceptional] == ["dead"]
+
+    @pytest.mark.parametrize("threshold", [1.5, 3.0, 6.0])
+    def test_threshold_choice(self, benchmark, threshold):
+        data = [SourceRecency(f"s{i}", 1000.0 + (i % 13) * 60.0) for i in range(500)]
+        data.extend(SourceRecency(f"dead{i}", -1e6 * (i + 1)) for i in range(3))
+        benchmark.group = "ablation-zscore-threshold"
+        split = benchmark(lambda: zscore_split(data, threshold))
+        assert len(split.exceptional) <= 3 or threshold < 3.0
+
+
+class TestSkewAblation:
+    """Zipf-skewed per-source row counts (real grids are never uniform):
+    the Focused method's advantage on selective queries is insensitive to
+    skew because its recency query touches Heartbeat, not Activity."""
+
+    NUM_SOURCES = 500
+    RATIO = 20
+
+    @pytest.fixture(scope="class", params=[0.0, 1.0])
+    def skewed_reporter(self, request):
+        from repro import SQLiteBackend
+
+        backend = SQLiteBackend(workload_catalog(self.NUM_SOURCES))
+        config = WorkloadConfig(
+            num_sources=self.NUM_SOURCES, data_ratio=self.RATIO, skew=request.param
+        )
+        load_workload(
+            backend,
+            generate_workload(config, query_machine_indexes(self.NUM_SOURCES)),
+        )
+        yield RecencyReporter(backend, create_temp_tables=False), request.param
+        backend.close()
+
+    def test_q1_focused(self, benchmark, skewed_reporter):
+        reporter, skew = skewed_reporter
+        benchmark.group = f"ablation-skew-{skew}"
+        sql = paper_queries(self.NUM_SOURCES)["Q1"]
+        report = benchmark(lambda: reporter.report(sql))
+        assert len(report.relevant_source_ids) == 6
+
+    def test_q2_focused(self, benchmark, skewed_reporter):
+        reporter, skew = skewed_reporter
+        benchmark.group = f"ablation-skew-{skew}"
+        sql = paper_queries(self.NUM_SOURCES)["Q2"]
+        report = benchmark(lambda: reporter.report(sql))
+        assert len(report.relevant_source_ids) == self.NUM_SOURCES - 6
+
+
+class TestPlanCacheAblation:
+    """The plan cache automates the Focused-hardcoded speedup."""
+
+    def test_focused_cold(self, benchmark, many_sources_reporter, many_sources_queries):
+        sql = many_sources_queries["Q3"]
+        benchmark.group = "ablation-plan-cache"
+        benchmark(lambda: many_sources_reporter.report(sql, method="focused"))
+
+    def test_focused_with_cache(
+        self, benchmark, many_sources_backend, many_sources_queries
+    ):
+        from repro.core.report import RecencyReporter
+
+        sql = many_sources_queries["Q3"]
+        reporter = RecencyReporter(
+            many_sources_backend, create_temp_tables=False, plan_cache_size=16
+        )
+        reporter.report(sql)  # warm the cache outside the timed region
+        benchmark.group = "ablation-plan-cache"
+        benchmark(lambda: reporter.report(sql, method="focused"))
+        assert reporter.plan_cache_hits > 0
+
+
+class TestBackendAblation:
+    """SQLite vs the pure-Python engine on an identical small workload."""
+
+    NUM_SOURCES = 200
+    RATIO = 10
+
+    @pytest.fixture(scope="class")
+    def memory_reporter(self):
+        backend = MemoryBackend(workload_catalog(self.NUM_SOURCES))
+        config = WorkloadConfig(num_sources=self.NUM_SOURCES, data_ratio=self.RATIO)
+        load_workload(backend, generate_workload(config, query_machine_indexes(self.NUM_SOURCES)))
+        return RecencyReporter(backend, create_temp_tables=False)
+
+    @pytest.fixture(scope="class")
+    def sqlite_reporter(self):
+        from repro import SQLiteBackend
+
+        backend = SQLiteBackend(workload_catalog(self.NUM_SOURCES))
+        config = WorkloadConfig(num_sources=self.NUM_SOURCES, data_ratio=self.RATIO)
+        load_workload(backend, generate_workload(config, query_machine_indexes(self.NUM_SOURCES)))
+        yield RecencyReporter(backend, create_temp_tables=False)
+        backend.close()
+
+    @pytest.mark.parametrize("query", ["Q1", "Q3"])
+    def test_memory_backend(self, benchmark, memory_reporter, query):
+        sql = paper_queries(self.NUM_SOURCES)[query]
+        benchmark.group = f"ablation-backend-{query}"
+        report = benchmark(lambda: memory_reporter.report(sql))
+        assert len(report.relevant_source_ids) == 6
+
+    @pytest.mark.parametrize("query", ["Q1", "Q3"])
+    def test_sqlite_backend(self, benchmark, sqlite_reporter, query):
+        sql = paper_queries(self.NUM_SOURCES)[query]
+        benchmark.group = f"ablation-backend-{query}"
+        report = benchmark(lambda: sqlite_reporter.report(sql))
+        assert len(report.relevant_source_ids) == 6
+
+    @pytest.mark.parametrize("query", ["Q1", "Q3"])
+    def test_backends_agree(self, memory_reporter, sqlite_reporter, query, benchmark):
+        sql = paper_queries(self.NUM_SOURCES)[query]
+        benchmark.group = f"ablation-backend-{query}-agreement"
+        mem = benchmark(lambda: memory_reporter.report(sql))
+        sq = sqlite_reporter.report(sql)
+        assert mem.relevant_source_ids == sq.relevant_source_ids
+        assert mem.result.rows == sq.result.rows

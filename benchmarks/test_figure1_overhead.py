@@ -1,0 +1,103 @@
+"""Figure 1: recency-reporting overhead per query and method.
+
+One benchmark per (query, method, sweep-end) cell. The overhead percentages
+of the paper are ratios of these timings:
+
+    overhead(method) = (t[method] - t[plain]) / t[plain]
+
+The paper's qualitative claims to verify against the saved timings:
+
+* Q1/Q3 (selective) at many sources: Naive >> Focused-hardcoded;
+* Q2/Q4 (non-selective): Focused and Naive comparable, Focused slightly
+  worse at low data ratio (the union of subqueries costs extra);
+* at a high data ratio every method's overhead approaches zero because the
+  user query dwarfs the recency query.
+
+Run:  pytest benchmarks/test_figure1_overhead.py --benchmark-only
+      (set TRAC_BENCH_ROWS to scale; see benchmarks/conftest.py)
+"""
+
+import pytest
+
+QUERIES = ["Q1", "Q2", "Q3", "Q4"]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestManySourcesPlain:
+    def test_plain(self, benchmark, many_sources_reporter, many_sources_queries, query):
+        sql = many_sources_queries[query]
+        benchmark.group = f"fig1-many-sources-{query}"
+        benchmark(lambda: many_sources_reporter.run_plain(sql))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestManySourcesFocused:
+    def test_focused(self, benchmark, many_sources_reporter, many_sources_queries, query):
+        sql = many_sources_queries[query]
+        benchmark.group = f"fig1-many-sources-{query}"
+        benchmark(lambda: many_sources_reporter.report(sql, method="focused"))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestManySourcesHardcoded:
+    def test_focused_hardcoded(
+        self, benchmark, many_sources_reporter, many_sources_queries, query
+    ):
+        sql = many_sources_queries[query]
+        plan = many_sources_reporter.plan_for(sql)
+        benchmark.group = f"fig1-many-sources-{query}"
+        benchmark(
+            lambda: many_sources_reporter.report(
+                sql, method="focused_hardcoded", plan=plan
+            )
+        )
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestManySourcesNaive:
+    def test_naive(self, benchmark, many_sources_reporter, many_sources_queries, query):
+        sql = many_sources_queries[query]
+        benchmark.group = f"fig1-many-sources-{query}"
+        benchmark(lambda: many_sources_reporter.report(sql, method="naive"))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestFewSourcesAllMethods:
+    """The high-ratio end: one group per query with all four timings."""
+
+    def test_plain(self, benchmark, few_sources_reporter, few_sources_queries, query):
+        sql = few_sources_queries[query]
+        benchmark.group = f"fig1-few-sources-{query}"
+        benchmark(lambda: few_sources_reporter.run_plain(sql))
+
+    def test_focused(self, benchmark, few_sources_reporter, few_sources_queries, query):
+        sql = few_sources_queries[query]
+        benchmark.group = f"fig1-few-sources-{query}"
+        benchmark(lambda: few_sources_reporter.report(sql, method="focused"))
+
+    def test_naive(self, benchmark, few_sources_reporter, few_sources_queries, query):
+        sql = few_sources_queries[query]
+        benchmark.group = f"fig1-few-sources-{query}"
+        benchmark(lambda: few_sources_reporter.report(sql, method="naive"))
+
+
+class TestShapeAssertions:
+    """Non-timing sanity: the relevant-set sizes behind the fpr story."""
+
+    def test_selective_queries_report_six_sources(
+        self, benchmark, many_sources_reporter, many_sources_queries
+    ):
+        report = benchmark(
+            lambda: many_sources_reporter.report(many_sources_queries["Q1"])
+        )
+        assert len(report.relevant_source_ids) == 6
+
+    def test_naive_reports_every_source(
+        self, benchmark, many_sources_reporter, many_sources_queries
+    ):
+        report = benchmark(
+            lambda: many_sources_reporter.report(
+                many_sources_queries["Q1"], method="naive"
+            )
+        )
+        assert len(report.relevant_source_ids) >= 100

@@ -1,0 +1,65 @@
+"""Figure 2: absolute response times for Q1 and Q3 with and without the
+recency report (Focused method with auto-generated recency query).
+
+The paper's zoomed view shows that at low data ratio the *absolute* times
+are tiny and the report's fixed costs (parse + generation + statistics)
+dominate — which is why the percentage overheads of Figure 1 look large
+there.
+
+Run:  pytest benchmarks/test_figure2_response_times.py --benchmark-only
+"""
+
+import pytest
+
+SELECTIVE_QUERIES = ["Q1", "Q3"]
+
+
+@pytest.mark.parametrize("query", SELECTIVE_QUERIES)
+class TestManySourcesEnd:
+    def test_without_report(
+        self, benchmark, many_sources_reporter, many_sources_queries, query
+    ):
+        sql = many_sources_queries[query]
+        benchmark.group = f"fig2-many-sources-{query}"
+        benchmark(lambda: many_sources_reporter.run_plain(sql))
+
+    def test_with_report(
+        self, benchmark, many_sources_reporter, many_sources_queries, query
+    ):
+        sql = many_sources_queries[query]
+        benchmark.group = f"fig2-many-sources-{query}"
+        benchmark(lambda: many_sources_reporter.report(sql, method="focused"))
+
+
+@pytest.mark.parametrize("query", SELECTIVE_QUERIES)
+class TestFewSourcesEnd:
+    def test_without_report(
+        self, benchmark, few_sources_reporter, few_sources_queries, query
+    ):
+        sql = few_sources_queries[query]
+        benchmark.group = f"fig2-few-sources-{query}"
+        benchmark(lambda: few_sources_reporter.run_plain(sql))
+
+    def test_with_report(
+        self, benchmark, few_sources_reporter, few_sources_queries, query
+    ):
+        sql = few_sources_queries[query]
+        benchmark.group = f"fig2-few-sources-{query}"
+        benchmark(lambda: few_sources_reporter.report(sql, method="focused"))
+
+
+class TestCostBreakdown:
+    """Where the Focused method's time goes (parse/gen vs execution) — the
+    decomposition discussed alongside Figure 2."""
+
+    def test_parse_and_generate_only(
+        self, benchmark, many_sources_reporter, many_sources_queries
+    ):
+        sql = many_sources_queries["Q3"]
+        benchmark.group = "fig2-breakdown-Q3"
+        benchmark(lambda: many_sources_reporter.plan_for(sql))
+
+    def test_full_report(self, benchmark, many_sources_reporter, many_sources_queries):
+        sql = many_sources_queries["Q3"]
+        benchmark.group = "fig2-breakdown-Q3"
+        benchmark(lambda: many_sources_reporter.report(sql, method="focused"))

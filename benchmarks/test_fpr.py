@@ -1,0 +1,83 @@
+"""False-positive-rate results (the numbers at the end of Section 5.2).
+
+Ground truth comes from the brute-force oracle on the memory backend; the
+Focused and Naive sets come from the full reporting pipeline. The paper's
+headline numbers, reproduced here as assertions:
+
+* fpr(Focused) = 0 for all four queries;
+* fpr(Naive, Q1/Q3) = (num_sources - 6) / 6 — 16,665 at paper scale;
+* fpr(Naive, Q2/Q4) ≈ 6 / (num_sources - 6) — 0.00006 at paper scale.
+
+Run:  pytest benchmarks/test_fpr.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench.metrics import false_positive_rate, naive_fpr
+from repro.core.bruteforce import brute_force_relevant_sources
+from repro.core.report import RecencyReporter
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+from repro.workload.queries import paper_queries
+
+QUERIES = ["Q1", "Q2", "Q3", "Q4"]
+
+
+@pytest.fixture(scope="module")
+def exact_sets(many_sources_memory_backend):
+    backend = many_sources_memory_backend
+    num_sources = backend.row_count("heartbeat")
+    out = {}
+    for name, sql in paper_queries(num_sources).items():
+        resolved = resolve(parse_query(sql), backend.catalog)
+        out[name] = brute_force_relevant_sources(backend.db, resolved)
+    return out
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestFocusedPrecision:
+    def test_focused_fpr_is_zero(
+        self, benchmark, many_sources_memory_backend, exact_sets, query
+    ):
+        backend = many_sources_memory_backend
+        num_sources = backend.row_count("heartbeat")
+        sql = paper_queries(num_sources)[query]
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        benchmark.group = f"fpr-{query}"
+
+        report = benchmark(lambda: reporter.report(sql, method="focused"))
+        fpr = false_positive_rate(report.relevant_source_ids, exact_sets[query])
+        assert fpr == 0.0
+
+
+@pytest.mark.parametrize("query", QUERIES)
+class TestNaivePrecision:
+    def test_naive_fpr_matches_closed_form(
+        self, benchmark, many_sources_memory_backend, exact_sets, query
+    ):
+        backend = many_sources_memory_backend
+        num_sources = backend.row_count("heartbeat")
+        sql = paper_queries(num_sources)[query]
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        benchmark.group = f"fpr-{query}"
+
+        report = benchmark(lambda: reporter.report(sql, method="naive"))
+        fpr = false_positive_rate(report.relevant_source_ids, exact_sets[query])
+        assert fpr == pytest.approx(naive_fpr(num_sources, len(exact_sets[query])))
+        if query in ("Q1", "Q3"):
+            assert fpr > 1.0  # selective: naive is wildly imprecise
+        else:
+            assert fpr < 0.1  # non-selective: almost everything is relevant
+
+
+class TestBruteForceCost:
+    """The oracle itself, timed: why the paper uses it only offline."""
+
+    def test_brute_force_q1(self, benchmark, many_sources_memory_backend):
+        backend = many_sources_memory_backend
+        num_sources = backend.row_count("heartbeat")
+        sql = paper_queries(num_sources)["Q1"]
+        resolved = resolve(parse_query(sql), backend.catalog)
+        benchmark.group = "fpr-oracle-cost"
+        result = benchmark(lambda: brute_force_relevant_sources(backend.db, resolved))
+        assert len(result) == 6

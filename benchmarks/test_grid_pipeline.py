@@ -1,0 +1,125 @@
+"""Substrate benchmarks: the monitoring pipeline itself.
+
+Not a paper figure — these time the simulator/sniffer machinery so
+regressions in the substrate don't silently distort the Figure 1/2
+measurements built on top of it.
+
+Run:  pytest benchmarks/test_grid_pipeline.py --benchmark-only
+"""
+
+import pytest
+
+from repro import MemoryBackend
+from repro.core.report import RecencyReporter
+from repro.grid import (
+    GridSimulator,
+    Machine,
+    SimulationConfig,
+    Sniffer,
+    SnifferConfig,
+    monitoring_catalog,
+)
+
+
+class TestSimulatorThroughput:
+    @pytest.mark.parametrize("machines", [10, 50])
+    def test_tick_rate(self, benchmark, machines):
+        benchmark.group = "grid-sim-ticks"
+        sim = GridSimulator(
+            SimulationConfig(num_machines=machines, seed=1, job_submit_probability=0.1)
+        )
+        benchmark(sim.run, 10.0)
+
+    def test_job_lifecycle_cost(self, benchmark):
+        benchmark.group = "grid-sim-jobs"
+        sim = GridSimulator(SimulationConfig(num_machines=10, seed=2))
+
+        def submit_and_run():
+            sim.submit_job("bench", "m1", duration=5.0)
+            sim.run(2.0)
+
+        benchmark(submit_and_run)
+
+
+class TestSnifferThroughput:
+    def test_drain_large_log(self, benchmark):
+        """Records applied per poll over a 5,000-event backlog."""
+        benchmark.group = "sniffer-drain"
+
+        def setup():
+            backend = MemoryBackend(monitoring_catalog(["m1"]))
+            machine = Machine("m1")
+            for t in range(5000):
+                machine.heartbeat(float(t))
+            sniffer = Sniffer(machine, backend, SnifferConfig(lag=0.0))
+            return (sniffer,), {}
+
+        def drain(sniffer):
+            assert sniffer.poll(1e9) == 5000
+
+        benchmark.pedantic(drain, setup=setup, rounds=10)
+
+    def test_upsert_heavy_log(self, benchmark):
+        """Activity-state churn exercises the upsert path per record."""
+        benchmark.group = "sniffer-drain"
+
+        def setup():
+            backend = MemoryBackend(monitoring_catalog(["m1"]))
+            machine = Machine("m1")
+            for t in range(2000):
+                machine.set_activity(float(t), "busy" if t % 2 else "idle")
+            sniffer = Sniffer(machine, backend, SnifferConfig(lag=0.0))
+            return (sniffer,), {}
+
+        def drain(sniffer):
+            sniffer.poll(1e9)
+
+        benchmark.pedantic(drain, setup=setup, rounds=10)
+
+
+class TestReportOnLiveGrid:
+    @pytest.fixture(scope="class")
+    def live_grid(self):
+        sim = GridSimulator(
+            SimulationConfig(num_machines=50, seed=3, job_submit_probability=0.3)
+        )
+        sim.run(600)
+        return sim
+
+    def test_report_latency_on_simulated_db(self, benchmark, live_grid):
+        benchmark.group = "grid-report"
+        reporter = RecencyReporter(live_grid.backend, create_temp_tables=False)
+        report = benchmark(
+            lambda: reporter.report("SELECT mach_id FROM activity WHERE value = 'idle'")
+        )
+        assert len(report.relevant_source_ids) == 50
+
+    def test_join_report_latency(self, benchmark, live_grid):
+        benchmark.group = "grid-report"
+        reporter = RecencyReporter(live_grid.backend, create_temp_tables=False)
+        sql = (
+            "SELECT A.mach_id FROM routing R, activity A "
+            "WHERE R.mach_id = 'm1' AND R.neighbor = A.mach_id"
+        )
+        report = benchmark(lambda: reporter.report(sql))
+        assert report.relevant_source_ids
+
+
+class TestFileReplay:
+    def test_archive_and_replay(self, benchmark, tmp_path_factory):
+        benchmark.group = "file-replay"
+        sim = GridSimulator(SimulationConfig(num_machines=10, seed=4))
+        sim.run(300)
+        directory = str(tmp_path_factory.mktemp("logs"))
+
+        from repro.grid import archive_simulation, replay_directory
+
+        archive_simulation(sim, directory)
+
+        def replay():
+            backend = MemoryBackend(monitoring_catalog(sim.machine_ids))
+            replay_directory(backend, directory)
+            return backend
+
+        backend = benchmark(replay)
+        assert backend.row_count("heartbeat") == 10

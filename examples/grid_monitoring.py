@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Grid monitoring end to end: simulate a grid, sniff its logs, query it.
+
+Reproduces the paper's motivating setting (Section 1): a grid of machines
+running jobs, each logging locally; sniffers loading those logs into a
+central database with per-source lag; an administrator asking questions and
+getting recency reports so the answers can be interpreted correctly.
+
+Run:  python examples/grid_monitoring.py
+"""
+
+from repro.core import RecencyReporter
+from repro.core.statistics import format_interval, format_timestamp
+from repro.grid import GridSimulator, SimulationConfig
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_machines=12,
+        seed=2006,
+        job_submit_probability=0.15,
+        heartbeat_interval=20.0,
+        sniffer_poll_interval_range=(3.0, 12.0),
+        sniffer_lag_range=(1.0, 15.0),
+        machine_failure_probability=0.002,
+        machine_recover_probability=0.0,
+    )
+    sim = GridSimulator(config)
+
+    print(f"Simulating {config.num_machines} machines for 10 minutes...")
+    alice_job = sim.submit_job("alice", "m1", duration=90.0)
+    sim.run(600)
+
+    print(f"\nGround truth after {sim.now:.0f}s:")
+    print(f"  jobs submitted : {len(sim.all_jobs)}")
+    completed = sum(1 for job in sim.all_jobs if not job.is_active)
+    print(f"  jobs completed : {completed}")
+    failed = [m for m in sim.machines.values() if m.failed]
+    print(f"  failed machines: {[m.machine_id for m in failed] or 'none'}")
+    backlog = {s.machine.machine_id: s.backlog for s in sim.sniffers.values() if s.backlog}
+    print(f"  sniffer backlog: {backlog or 'all caught up'}")
+
+    reporter = RecencyReporter(sim.backend, create_temp_tables=False)
+
+    print("\n--- Query 1: which machines are idle right now (per the DB)? ---")
+    report = reporter.report("SELECT mach_id FROM activity WHERE value = 'idle'")
+    print(f"  answer  : {sorted(r[0] for r in report.result.rows)}")
+    stats = report.statistics
+    if stats.least_recent is not None:
+        print(
+            f"  caveat  : least recent source is {stats.least_recent.source_id} "
+            f"({format_timestamp(stats.least_recent.recency)}); "
+            f"bound of inconsistency {format_interval(stats.inconsistency_bound)}"
+        )
+    if report.exceptional_sources:
+        names = [s.source_id for s in report.exceptional_sources]
+        print(f"  warning : exceptionally stale sources: {names}")
+
+    print(f"\n--- Query 2: where is alice's job {alice_job.job_id}? ---")
+    report = reporter.report(
+        "SELECT R.running_machine_id FROM run_jobs R "
+        f"WHERE R.job_id = '{alice_job.job_id}'"
+    )
+    if report.result.rows:
+        print(f"  the DB says it is running on {report.result.rows[0][0]}")
+    else:
+        print("  the DB has no running record (finished, or not yet loaded)")
+    print(f"  truth: state={alice_job.state.value}, ran on {alice_job.remote_machine}")
+    print(f"  relevant sources: {len(report.relevant_source_ids)} (any machine could run it)")
+
+    print("\n--- Query 3: jobs scheduled by m1 but not visibly running ---")
+    report = reporter.report(
+        "SELECT S.job_id, S.remote_machine_id FROM sched_jobs S "
+        "WHERE S.sched_machine_id = 'm1'"
+    )
+    print(f"  m1 has scheduled {len(report.result.rows)} jobs (per the DB)")
+    print(f"  relevant sources: {sorted(report.relevant_source_ids)}")
+    print(f"  provably minimal: {report.minimal}")
+
+    print("\n--- Query 4: what do m3's neighbors report? (join) ---")
+    report = reporter.report(
+        "SELECT A.mach_id, A.value FROM routing R, activity A "
+        "WHERE R.mach_id = 'm3' AND R.neighbor = A.mach_id"
+    )
+    for mach, value in sorted(report.result.rows):
+        print(f"  {mach}: {value}")
+    print(f"  relevant sources: {sorted(report.relevant_source_ids)}")
+    for sub in report.plan.subqueries:
+        flavour = "minimal" if sub.minimal else "upper bound"
+        print(f"    via {sub.binding_key} ({flavour}): {sub.sql}")
+
+    print("\n--- The value of recency reporting ---")
+    print("Without it, every one of these answers silently reflects whatever")
+    print("fraction of the logs happened to be loaded. With it, each answer")
+    print("carries exactly the sources whose lag could change it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Section 4.2 walk-through: query semantics vs recency.
+
+Two queries with the same user intent — "is my job running yet?" — have
+different semantics and therefore different recency reports:
+
+* Q3 reads only ``R`` (what running machines report): ALL sources are
+  relevant, because any machine could be the one running the job.
+* Q4 joins ``S`` (what the scheduler reports) with ``R``: the relevant set
+  shrinks to the scheduler plus the machine the scheduler named.
+
+Run:  python examples/query_semantics.py
+"""
+
+from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
+from repro.core import RecencyReporter
+
+MACHINES = ["myScheduler"] + [f"node{i}" for i in range(1, 8)]
+
+Q3 = "SELECT R.runningMachineId FROM r_jobs R WHERE R.jobId = 'myId'"
+Q4 = (
+    "SELECT R.runningMachineId FROM s_jobs S, r_jobs R "
+    "WHERE S.schedMachineId = 'myScheduler' AND S.jobId = 'myId' "
+    "AND R.jobId = 'myId' AND R.runningMachineId = S.remoteMachineId"
+)
+
+
+def build_backend() -> MemoryBackend:
+    machines = FiniteDomain(MACHINES)
+    jobs = FiniteDomain({"myId", "otherId"})
+    s_jobs = TableSchema(
+        "s_jobs",
+        [
+            Column("schedMachineId", "TEXT", machines),
+            Column("jobId", "TEXT", jobs),
+            Column("remoteMachineId", "TEXT", machines),
+        ],
+        source_column="schedMachineId",
+    )
+    r_jobs = TableSchema(
+        "r_jobs",
+        [
+            Column("runningMachineId", "TEXT", machines),
+            Column("jobId", "TEXT", jobs),
+        ],
+        source_column="runningMachineId",
+    )
+    backend = MemoryBackend(Catalog([s_jobs, r_jobs]))
+    for i, machine in enumerate(MACHINES):
+        backend.upsert_heartbeat(machine, 1000.0 + i)
+    return backend
+
+
+def show(reporter, label, sql):
+    report = reporter.report(sql)
+    print(f"  {label}: answer={report.result.rows or '(empty)'}")
+    print(f"      relevant sources ({len(report.relevant_source_ids)}): "
+          f"{sorted(report.relevant_source_ids)}")
+    return report
+
+
+def main() -> None:
+    backend = build_backend()
+    reporter = RecencyReporter(backend, create_temp_tables=False)
+
+    print("Case analysis for 'is my job myId running yet?'\n")
+
+    print("State 0: database knows nothing about the job")
+    show(reporter, "Q3 (R only)  ", Q3)
+    show(reporter, "Q4 (S join R)", Q4)
+    print("  -> Q3 must watch every machine; Q4 has nothing to watch until")
+    print("     either side reports (no single update can change its answer).\n")
+
+    print("State 1: the scheduler reported — assigned to node3")
+    backend.insert_rows("s_jobs", [("myScheduler", "myId", "node3")])
+    show(reporter, "Q3 (R only)  ", Q3)
+    show(reporter, "Q4 (S join R)", Q4)
+    print("  -> Q4's relevant set is now just node3: only its report can")
+    print("     flip the (empty) answer in one step.\n")
+
+    print("State 2: node3 reported it is running the job")
+    backend.insert_rows("r_jobs", [("node3", "myId")])
+    show(reporter, "Q3 (R only)  ", Q3)
+    report = show(reporter, "Q4 (S join R)", Q4)
+    print("  -> Q4 answers node3 and reports {myScheduler, node3}: either")
+    print("     one reporting in could still change this answer.\n")
+
+    print("Paper's tradeoff, in numbers:")
+    q3_relevant = len(reporter.report(Q3).relevant_source_ids)
+    q4_relevant = len(report.relevant_source_ids)
+    print(f"  Q3 relevant sources: {q3_relevant} (every machine)")
+    print(f"  Q4 relevant sources: {q4_relevant}")
+    print("  Q3 tolerates a missing S record; Q4 buys a focused recency")
+    print("  report by requiring the scheduler's view to be present.")
+
+
+if __name__ == "__main__":
+    main()

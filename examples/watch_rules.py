@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Continuous monitoring with watch rules.
+
+A grid administrator doesn't want to eyeball recency reports — they want to
+be told when an answer stops being trustworthy. This example registers
+watch rules over a live simulation and shows alerts firing as the grid
+degrades: sniffers fall behind, then machines die.
+
+Run:  python examples/watch_rules.py
+"""
+
+from repro import RecencyMonitor, WatchRule
+from repro.grid import GridSimulator, SimulationConfig
+
+
+def show(alerts, when):
+    if not alerts:
+        print(f"  t={when:>6.0f}s  all rules pass")
+        return
+    for alert in alerts:
+        print(f"  t={when:>6.0f}s  [{alert.kind}] {alert.message}")
+
+
+def main() -> None:
+    sim = GridSimulator(
+        SimulationConfig(
+            num_machines=25,
+            seed=99,
+            job_submit_probability=0.1,
+            heartbeat_interval=10.0,
+            sniffer_poll_interval_range=(3.0, 8.0),
+            sniffer_lag_range=(1.0, 5.0),
+            machine_recover_probability=0.0,
+        )
+    )
+    monitor = RecencyMonitor(sim.backend, clock=lambda: sim.now)
+
+    monitor.add_rule(
+        WatchRule(
+            "idle-pool",
+            "SELECT mach_id FROM activity WHERE value = 'idle'",
+            max_inconsistency=120.0,
+            forbid_exceptional=True,
+        )
+    )
+    monitor.add_rule(
+        WatchRule(
+            "whole-grid-freshness",
+            "SELECT mach_id FROM activity",
+            max_staleness=60.0,
+        )
+    )
+    monitor.add_rule(
+        WatchRule(
+            "m1-neighborhood",
+            "SELECT A.mach_id FROM routing R, activity A "
+            "WHERE R.mach_id = 'm1' AND R.neighbor = A.mach_id",
+            max_staleness=90.0,
+            require_minimal=False,
+        )
+    )
+
+    print("Phase 1: healthy grid")
+    sim.run(120)
+    show(monitor.check(), sim.now)
+
+    print("\nPhase 2: two machines die silently")
+    for victim in ("m7", "m19"):
+        sim.machines[victim].fail()
+    sim.run(1800)
+    show(monitor.check(), sim.now)
+
+    print("\nPhase 3: their sniffers also die on two more machines")
+    sim.sniffers["m3"].fail()
+    sim.sniffers["m12"].fail()
+    sim.run(600)
+    show(monitor.check(), sim.now)
+
+    print("\nAlert history:", len(monitor.history), "alerts total")
+    kinds = {}
+    for alert in monitor.history:
+        kinds[alert.kind] = kinds.get(alert.kind, 0) + 1
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind:<14} x{count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline and cannot fetch it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""The backend interface.
+
+A backend owns a catalog, stores rows for every cataloged table (including
+the system Heartbeat table) and can open a :class:`Snapshot` — a context
+within which every query sees one consistent database state. The recency
+reporter runs the user query and the generated recency query inside a single
+snapshot, which is exactly the consistency requirement of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ContextManager, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog import (
+    HEARTBEAT_RECENCY_COLUMN,
+    HEARTBEAT_SOURCE_COLUMN,
+    HEARTBEAT_TABLE,
+    Catalog,
+)
+from repro.engine.evaluate import QueryResult
+
+
+class Snapshot(abc.ABC):
+    """A consistent view of the database.
+
+    All ``execute`` calls made through one snapshot observe the same state,
+    regardless of concurrent writes through the owning backend.
+    """
+
+    @abc.abstractmethod
+    def execute(self, sql: str) -> QueryResult:
+        """Run a SELECT inside the snapshot."""
+
+    @abc.abstractmethod
+    def create_temp_table(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> None:
+        """Materialize a session temp table visible to later queries.
+
+        Temp tables survive the snapshot (they belong to the session, per
+        Section 4.3) but are not part of the monitored catalog.
+        """
+
+
+class Backend(abc.ABC):
+    """Storage backend interface. See the package docstring."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # -- schema and data -----------------------------------------------------
+
+    @abc.abstractmethod
+    def create_tables(self) -> None:
+        """Create every cataloged table (idempotent)."""
+
+    @abc.abstractmethod
+    def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        """Bulk-append rows into ``table``."""
+
+    @abc.abstractmethod
+    def delete_all(self, table: str) -> None:
+        """Remove every row of ``table``."""
+
+    @abc.abstractmethod
+    def upsert_rows(
+        self,
+        table: str,
+        key_columns: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> None:
+        """Insert rows, replacing any existing row with equal key columns.
+
+        This is how sniffers apply "the scheduler *updates* its tuple for
+        that job" semantics (Section 4.2)."""
+
+    @abc.abstractmethod
+    def delete_rows(
+        self,
+        table: str,
+        key_columns: Sequence[str],
+        keys: Iterable[Sequence[object]],
+    ) -> None:
+        """Delete rows whose key columns equal any of ``keys``."""
+
+    @abc.abstractmethod
+    def upsert_heartbeat(self, source_id: str, recency: float) -> None:
+        """Set the recency timestamp of ``source_id`` (insert or update)."""
+
+    # -- querying -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, sql: str) -> QueryResult:
+        """Run a single SELECT outside any explicit snapshot."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> ContextManager[Snapshot]:
+        """Open a consistent read snapshot (used as a context manager)."""
+
+    @abc.abstractmethod
+    def persist_temp_table(self, temp_name: str, permanent_name: str) -> None:
+        """Copy a session temp table into a permanent table.
+
+        Section 4.3: "The user can decide whether to copy it to a permanent
+        table before the end of a session." The permanent table survives
+        session close and carries the temp table's (sid, recency) columns.
+        """
+
+    @abc.abstractmethod
+    def drop_temp_table(self, name: str) -> None:
+        """Discard a session temp table if it exists."""
+
+    @abc.abstractmethod
+    def list_temp_tables(self) -> List[str]:
+        """Names of session temp tables currently alive."""
+
+    # -- convenience -----------------------------------------------------------
+
+    def heartbeat_rows(self) -> List[Tuple[str, float]]:
+        """All (source_id, recency) pairs currently in the Heartbeat table."""
+        result = self.execute(
+            f"SELECT {HEARTBEAT_SOURCE_COLUMN}, {HEARTBEAT_RECENCY_COLUMN} "
+            f"FROM {HEARTBEAT_TABLE}"
+        )
+        return [(str(sid), float(rec)) for sid, rec in result.rows]
+
+    def heartbeat_of(self, source_id: str) -> Optional[float]:
+        """Recency timestamp of one source, or ``None`` if unknown."""
+        for sid, recency in self.heartbeat_rows():
+            if sid == source_id:
+                return recency
+        return None
+
+    def row_count(self, table: str) -> int:
+        return int(self.execute(f"SELECT COUNT(*) FROM {table}").scalar())  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        """Release resources. Default: nothing to do."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,154 @@
+"""Pure-Python backend over the mini relational engine."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.backends.base import Backend, Snapshot
+from repro.catalog import HEARTBEAT_TABLE, Catalog
+from repro.engine import Database, execute_sql
+from repro.engine.evaluate import QueryResult
+from repro.errors import BackendError
+
+
+class _MemorySnapshot(Snapshot):
+    """A frozen copy of the database's row lists."""
+
+    def __init__(self, backend: "MemoryBackend", frozen: Database) -> None:
+        self._backend = backend
+        self._frozen = frozen
+
+    def execute(self, sql: str) -> QueryResult:
+        return self._backend._execute_on(self._frozen, sql)
+
+    def create_temp_table(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> None:
+        self._backend._store_temp_table(name, columns, rows)
+
+
+class MemoryBackend(Backend):
+    """Backend storing rows in :class:`repro.engine.Database` relations.
+
+    Session temp tables are kept in a side dictionary and consulted during
+    query execution, mirroring how real engines resolve temp names before
+    permanent ones.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        super().__init__(catalog)
+        self.db = Database(catalog)
+        self._temp: Dict[str, Tuple[List[str], List[Tuple[object, ...]]]] = {}
+        self._heartbeat_index: Dict[str, int] = {}
+
+    # -- schema / data -------------------------------------------------------
+
+    def create_tables(self) -> None:
+        for schema in self.catalog:
+            if not self.db.has(schema.name):
+                self.db.add_table(schema)
+
+    def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        self.db.insert_many(table, rows)
+
+    def upsert_rows(
+        self,
+        table: str,
+        key_columns: Sequence[str],
+        rows: Iterable[Sequence[object]],
+    ) -> None:
+        relation = self.db.relation(table)
+        key_indexes = [relation.schema.column_index(k) for k in key_columns]
+        for row in rows:
+            row = tuple(row)
+            key = tuple(row[i] for i in key_indexes)
+            relation.delete_where(lambda r, key=key: tuple(r[i] for i in key_indexes) == key)
+            relation.insert(row)
+
+    def delete_rows(
+        self,
+        table: str,
+        key_columns: Sequence[str],
+        keys: Iterable[Sequence[object]],
+    ) -> None:
+        relation = self.db.relation(table)
+        key_indexes = [relation.schema.column_index(k) for k in key_columns]
+        wanted = {tuple(k) for k in keys}
+        relation.delete_where(lambda r: tuple(r[i] for i in key_indexes) in wanted)
+
+    def delete_all(self, table: str) -> None:
+        relation = self.db.relation(table)
+        relation.rows.clear()
+        if table.lower() == HEARTBEAT_TABLE:
+            self._heartbeat_index.clear()
+
+    def upsert_heartbeat(self, source_id: str, recency: float) -> None:
+        relation = self.db.relation(HEARTBEAT_TABLE)
+        position = self._heartbeat_index.get(source_id)
+        if position is None:
+            self._heartbeat_index[source_id] = len(relation.rows)
+            relation.insert((source_id, recency))
+        else:
+            relation.rows[position] = (source_id, recency)
+
+    # -- querying ---------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        return self._execute_on(self.db, sql)
+
+    def _execute_on(self, db: Database, sql: str) -> QueryResult:
+        lowered = sql.lower()
+        for temp_name in self._temp:
+            if temp_name.lower() in lowered:
+                return self._execute_with_temp(db, sql)
+        return execute_sql(db, sql)
+
+    def _execute_with_temp(self, db: Database, sql: str) -> QueryResult:
+        # Queries over temp tables are rare (a user inspecting a recency
+        # report); support the simple form SELECT ... FROM <temp_table>.
+        from repro.catalog import Column, TableSchema
+        from repro.catalog.catalog import Catalog as _Catalog
+
+        extended = _Catalog()
+        for schema in db.catalog:
+            if schema.name.lower() != HEARTBEAT_TABLE:
+                extended.add(schema)
+        shadow = Database(extended)
+        for name in shadow.tables():
+            if db.has(name):
+                shadow.relation(name).insert_many(db.relation(name).rows)
+        for name, (columns, rows) in self._temp.items():
+            schema = TableSchema(name, [Column(c, "TEXT") for c in columns])
+            shadow.add_table(schema, rows)
+        return execute_sql(shadow, sql)
+
+    @contextlib.contextmanager
+    def snapshot(self) -> Iterator[Snapshot]:
+        yield _MemorySnapshot(self, self.db.copy())
+
+    # -- temp tables ---------------------------------------------------------------
+
+    def _store_temp_table(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> None:
+        if name in self._temp:
+            raise BackendError(f"temp table {name!r} already exists")
+        self._temp[name] = (list(columns), [tuple(r) for r in rows])
+
+    def persist_temp_table(self, temp_name: str, permanent_name: str) -> None:
+        from repro.catalog import Column, TableSchema
+
+        if temp_name not in self._temp:
+            raise BackendError(f"no session temp table {temp_name!r}")
+        columns, rows = self._temp[temp_name]
+        schema = TableSchema(permanent_name, [Column(c, "TEXT") for c in columns])
+        if self.catalog.has(permanent_name):
+            raise BackendError(f"table {permanent_name!r} already exists")
+        self.db.add_table(schema, rows)
+
+    def drop_temp_table(self, name: str) -> None:
+        self._temp.pop(name, None)
+
+    def list_temp_tables(self) -> List[str]:
+        return list(self._temp)

@@ -1,0 +1,25 @@
+"""Benchmark harness: regenerates every table and figure of Section 5.
+
+* :mod:`repro.bench.metrics` — the paper's two metrics: response-time
+  overhead and false-positive rate (fpr);
+* :mod:`repro.bench.harness` — the timing protocol (the paper ran each
+  query 11 times and averaged the last 10);
+* :mod:`repro.bench.figures` — series builders and a CLI
+  (``python -m repro.bench.figures {fig1,fig2,fpr,all}``) producing the
+  rows/series behind Figure 1, Figure 2 and the fpr results;
+* :mod:`repro.bench.reporting` — ASCII tables and CSV output.
+"""
+
+from repro.bench.metrics import false_positive_rate, overhead
+from repro.bench.harness import time_call, MethodMeasurement, measure_methods
+from repro.bench.reporting import ascii_table, write_csv
+
+__all__ = [
+    "false_positive_rate",
+    "overhead",
+    "time_call",
+    "MethodMeasurement",
+    "measure_methods",
+    "ascii_table",
+    "write_csv",
+]

@@ -1,0 +1,54 @@
+"""The evaluation metrics of Section 5.2."""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.errors import TracError
+
+
+def false_positive_rate(reported: AbstractSet[str], exact: AbstractSet[str]) -> float:
+    """``fpr = |A(Q) - S(Q)| / |S(Q)|``.
+
+    The paper's precision metric: how many irrelevant sources an algorithm
+    reports, relative to the number of truly relevant ones.
+
+    Raises
+    ------
+    TracError
+        If the reported set misses a truly relevant source (the algorithm
+        would be *incomplete* — a correctness violation, not an fpr matter)
+        or if ``S(Q)`` is empty while sources were reported (the ratio is
+        undefined; the paper never hits this case).
+    """
+    missing = exact - reported
+    if missing:
+        raise TracError(
+            f"reported set is incomplete; missing relevant sources: {sorted(missing)[:5]}"
+        )
+    extra = reported - exact
+    if not exact:
+        if extra:
+            raise TracError("fpr undefined: S(Q) is empty but sources were reported")
+        return 0.0
+    return len(extra) / len(exact)
+
+
+def overhead(t_plain: float, t_with_report: float) -> float:
+    """``(t2(Q) - t1(Q)) / t1(Q)`` — the response-time overhead metric."""
+    if t_plain <= 0:
+        raise TracError("plain response time must be positive")
+    return (t_with_report - t_plain) / t_plain
+
+
+def naive_fpr(num_sources: int, relevant_count: int) -> float:
+    """The Naive method's fpr when every source is reported.
+
+    This is the closed form behind the paper's printed numbers, e.g.
+    ``(100000 - 6) / 6 = 16665`` for Q1/Q3 at 100,000 sources.
+    """
+    if relevant_count <= 0:
+        raise TracError("naive fpr undefined for an empty relevant set")
+    if relevant_count > num_sources:
+        raise TracError("relevant set cannot exceed the source population")
+    return (num_sources - relevant_count) / relevant_count

@@ -1,0 +1,42 @@
+"""Schema model: columns, tables, data-source tagging and the Heartbeat table.
+
+The paper's schema model (Section 3.3) requires that every monitored relation
+carries a *data source column* which is a foreign key into a system
+``Heartbeat`` table mapping each data source id to its recency timestamp.
+This package provides that model plus the column-domain abstraction used by
+the satisfiability reasoning and the brute-force relevance oracle.
+"""
+
+from repro.catalog.domains import (
+    Domain,
+    FiniteDomain,
+    IntegerDomain,
+    RealDomain,
+    TextDomain,
+    TimestampDomain,
+)
+from repro.catalog.schema import (
+    HEARTBEAT_RECENCY_COLUMN,
+    HEARTBEAT_SOURCE_COLUMN,
+    HEARTBEAT_TABLE,
+    Column,
+    TableSchema,
+    heartbeat_schema,
+)
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Domain",
+    "FiniteDomain",
+    "IntegerDomain",
+    "RealDomain",
+    "TextDomain",
+    "TimestampDomain",
+    "Column",
+    "TableSchema",
+    "Catalog",
+    "heartbeat_schema",
+    "HEARTBEAT_TABLE",
+    "HEARTBEAT_SOURCE_COLUMN",
+    "HEARTBEAT_RECENCY_COLUMN",
+]

@@ -1,0 +1,85 @@
+"""The catalog: the set of table schemas known to the system.
+
+Name resolution (turning ``A.mach_id`` in a query into a (table, column)
+pair), recency-query generation and the relevance analysis all consult the
+catalog. Every catalog automatically contains the system Heartbeat table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.catalog.schema import HEARTBEAT_TABLE, TableSchema, heartbeat_schema
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """A registry of :class:`TableSchema` objects, keyed case-insensitively.
+
+    Parameters
+    ----------
+    tables:
+        Initial monitored tables. The Heartbeat system table is always
+        present and need not (and must not) be supplied.
+    """
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+        self.add(heartbeat_schema())
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: TableSchema) -> None:
+        """Register a table schema.
+
+        Raises
+        ------
+        CatalogError
+            If a table with the same (case-insensitive) name exists.
+        """
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already in catalog")
+        self._tables[key] = table
+
+    def replace(self, table: TableSchema) -> None:
+        """Register a table schema, overwriting any existing definition."""
+        self._tables[table.name.lower()] = table
+
+    def get(self, name: str) -> TableSchema:
+        """Look up a table by (case-insensitive) name.
+
+        Raises
+        ------
+        CatalogError
+            If the table does not exist.
+        """
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"no table {name!r} in catalog") from exc
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def heartbeat(self) -> TableSchema:
+        """The system Heartbeat table schema."""
+        return self._tables[HEARTBEAT_TABLE]
+
+    def monitored_tables(self) -> List[TableSchema]:
+        """All tables except the Heartbeat system table."""
+        return [t for key, t in sorted(self._tables.items()) if key != HEARTBEAT_TABLE]
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has(name)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._tables))
+        return f"Catalog([{names}])"

@@ -1,0 +1,105 @@
+"""Catalog (de)serialization.
+
+A monitoring database file should be self-describing: which tables are
+monitored, which column is each table's data source column, what the column
+domains are, and any schema constraints. This module round-trips a
+:class:`~repro.catalog.Catalog` through plain JSON-compatible dicts;
+:class:`~repro.backends.sqlite.SQLiteBackend` persists the result inside
+the database file so ``SQLiteBackend.open()`` can rebuild the catalog
+without out-of-band information (what the CLI relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.domains import (
+    Domain,
+    FiniteDomain,
+    IntegerDomain,
+    RealDomain,
+    TextDomain,
+    TimestampDomain,
+)
+from repro.catalog.schema import HEARTBEAT_TABLE, Column, TableSchema
+from repro.errors import CatalogError
+
+
+def domain_to_dict(domain: Domain) -> Dict[str, Any]:
+    if isinstance(domain, FiniteDomain):
+        return {"kind": "finite", "values": sorted(domain.values, key=lambda v: (str(type(v).__name__), str(v)))}
+    if isinstance(domain, IntegerDomain):
+        return {"kind": "integer", "low": domain.low, "high": domain.high}
+    if isinstance(domain, RealDomain):
+        return {"kind": "real", "low": domain.low, "high": domain.high}
+    if isinstance(domain, TimestampDomain):
+        return {"kind": "timestamp"}
+    if isinstance(domain, TextDomain):
+        return {"kind": "text"}
+    raise CatalogError(f"cannot serialize domain {domain!r}")
+
+
+def domain_from_dict(data: Dict[str, Any]) -> Domain:
+    kind = data.get("kind")
+    if kind == "finite":
+        return FiniteDomain(data["values"])
+    if kind == "integer":
+        return IntegerDomain(data.get("low"), data.get("high"))
+    if kind == "real":
+        return RealDomain(data.get("low"), data.get("high"))
+    if kind == "timestamp":
+        return TimestampDomain()
+    if kind == "text":
+        return TextDomain()
+    raise CatalogError(f"unknown domain kind {kind!r}")
+
+
+def table_to_dict(schema: TableSchema) -> Dict[str, Any]:
+    return {
+        "name": schema.name,
+        "source_column": schema.source_column,
+        "constraints": list(schema.constraints),
+        "columns": [
+            {
+                "name": column.name,
+                "sql_type": column.sql_type,
+                "domain": domain_to_dict(column.domain),
+            }
+            for column in schema.columns
+        ],
+    }
+
+
+def table_from_dict(data: Dict[str, Any]) -> TableSchema:
+    columns = [
+        Column(c["name"], c["sql_type"], domain_from_dict(c["domain"]))
+        for c in data["columns"]
+    ]
+    return TableSchema(
+        data["name"],
+        columns,
+        source_column=data.get("source_column"),
+        constraints=data.get("constraints", ()),
+    )
+
+
+def catalog_to_json(catalog: Catalog) -> str:
+    """Serialize every monitored table (Heartbeat is implicit)."""
+    tables: List[Dict[str, Any]] = [
+        table_to_dict(schema)
+        for schema in catalog
+        if schema.name.lower() != HEARTBEAT_TABLE
+    ]
+    return json.dumps({"version": 1, "tables": tables}, sort_keys=True)
+
+
+def catalog_from_json(text: str) -> Catalog:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CatalogError(f"malformed catalog JSON: {exc}") from exc
+    if data.get("version") != 1:
+        raise CatalogError(f"unsupported catalog version {data.get('version')!r}")
+    return Catalog([table_from_dict(t) for t in data.get("tables", [])])

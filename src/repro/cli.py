@@ -1,0 +1,287 @@
+"""``trac`` — the command-line face of the reproduction.
+
+Subcommands::
+
+    trac simulate --db grid.sqlite --machines 12 --duration 600
+        Run the grid simulator and leave behind a monitoring database
+        (optionally also a directory of text log files via --archive).
+
+    trac report --db grid.sqlite "SELECT ... " [--method naive] [--show-plan]
+        Run a query with recency and consistency reporting, printing the
+        prototype's NOTICE lines, the result rows and the relevant sources.
+
+    trac replay --logs DIR --db out.sqlite
+        Rebuild a monitoring database offline from a directory of log
+        files (the format of repro.grid.logformat).
+
+    trac inspect --db grid.sqlite
+        Summarize a monitoring database: tables, row counts, heartbeat
+        spread, exceptional sources.
+
+    trac bench {fig1,fig2,fpr,all} [...]
+        Regenerate the paper's figures (delegates to repro.bench.figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.backends.sqlite import SQLiteBackend
+from repro.core.report import RecencyReporter
+from repro.core.statistics import format_interval, format_timestamp, zscore_split, SourceRecency
+from repro.errors import TracError
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except TracError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="trac",
+        description="Recency and consistency reporting (VLDB 2006 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run the grid simulator into a DB file")
+    simulate.add_argument("--db", required=True, help="output SQLite file")
+    simulate.add_argument("--machines", type=int, default=12)
+    simulate.add_argument("--duration", type=float, default=600.0, help="simulated seconds")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--schedulers", type=int, default=1)
+    simulate.add_argument("--job-probability", type=float, default=0.1)
+    simulate.add_argument("--failure-probability", type=float, default=0.0)
+    simulate.add_argument("--archive", help="also write text log files to this directory")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    report = sub.add_parser("report", help="query with a recency report")
+    report.add_argument("--db", required=True, help="monitoring SQLite file")
+    report.add_argument("sql", help="the user query (single SPJ SELECT)")
+    report.add_argument("--method", choices=["focused", "naive"], default="focused")
+    report.add_argument("--z-threshold", type=float, default=3.0)
+    report.add_argument("--no-constraints", action="store_true")
+    report.add_argument("--show-plan", action="store_true", help="print recency subqueries")
+    report.set_defaults(handler=_cmd_report)
+
+    replay = sub.add_parser("replay", help="rebuild a DB from a directory of logs")
+    replay.add_argument("--logs", required=True, help="directory of *.log files")
+    replay.add_argument("--db", required=True, help="output SQLite file")
+    replay.add_argument("--up-to", type=float, default=None, help="horizon timestamp")
+    replay.set_defaults(handler=_cmd_replay)
+
+    explain = sub.add_parser("explain", help="explain a query's relevance analysis")
+    explain.add_argument("--db", required=True, help="monitoring SQLite file")
+    explain.add_argument("sql", help="the user query to analyze (not executed)")
+    explain.add_argument("--no-constraints", action="store_true")
+    explain.set_defaults(handler=_cmd_explain)
+
+    inspect = sub.add_parser("inspect", help="summarize a monitoring database")
+    inspect.add_argument("--db", required=True)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    watch = sub.add_parser("watch", help="evaluate watch rules against the database")
+    watch.add_argument("--db", required=True, help="monitoring SQLite file")
+    watch.add_argument("--rules", required=True, help="JSON rules file")
+    watch.add_argument("--now", type=float, default=None, help="clock override (epoch)")
+    watch.set_defaults(handler=_cmd_watch)
+
+    shell = sub.add_parser("shell", help="interactive recency-reporting shell")
+    shell.add_argument("--db", required=True, help="monitoring SQLite file")
+    shell.set_defaults(handler=_cmd_shell)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's figures")
+    bench.add_argument("rest", nargs=argparse.REMAINDER)
+    bench.set_defaults(handler=_cmd_bench)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.grid.simulator import GridSimulator, SimulationConfig
+
+    config = SimulationConfig(
+        num_machines=args.machines,
+        seed=args.seed,
+        num_schedulers=args.schedulers,
+        job_submit_probability=args.job_probability,
+        machine_failure_probability=args.failure_probability,
+    )
+    sim = GridSimulator(config, backend_factory=lambda catalog: SQLiteBackend(catalog, args.db))
+    print(f"simulating {args.machines} machines for {args.duration:.0f}s (seed {args.seed})...")
+    sim.run(args.duration)
+
+    backend = sim.backend
+    print(f"done at t={sim.now:.0f}s:")
+    for table in ("activity", "routing", "sched_jobs", "run_jobs", "heartbeat"):
+        print(f"  {table:<10} {backend.row_count(table):>8} rows")
+    jobs = sim.all_jobs
+    completed = sum(1 for job in jobs if not job.is_active)
+    print(f"  jobs: {len(jobs)} submitted, {completed} completed")
+    if args.archive:
+        from repro.grid.persist import archive_simulation
+
+        paths = archive_simulation(sim, args.archive)
+        print(f"  archived {len(paths)} log files to {args.archive}")
+    print(f"monitoring database written to {args.db}")
+    backend.close()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    backend = SQLiteBackend.open(args.db)
+    try:
+        reporter = RecencyReporter(
+            backend,
+            z_threshold=args.z_threshold,
+            use_constraints=not args.no_constraints,
+        )
+        report = reporter.report(args.sql, method=args.method)
+        for notice in report.notices():
+            print(notice)
+        print()
+        print(" | ".join(report.result.columns))
+        print("-" * max(20, sum(len(c) + 3 for c in report.result.columns)))
+        for row in report.result.rows:
+            print(" | ".join(str(v) for v in row))
+        print(f"({len(report.result.rows)} rows)")
+        print()
+        print(f"method           : {report.method}")
+        print(f"relevant sources : {len(report.relevant_source_ids)}")
+        print(f"provably minimal : {report.minimal}")
+        timings = report.timings
+        print(
+            "timings          : "
+            f"parse+gen {timings.parse_generate * 1000:.2f}ms, "
+            f"user {timings.user_query * 1000:.2f}ms, "
+            f"recency {timings.recency_query * 1000:.2f}ms, "
+            f"stats {timings.statistics * 1000:.2f}ms"
+        )
+        if args.show_plan:
+            print("recency plan     :")
+            if not report.plan.subqueries:
+                print(f"  (mode={report.plan.mode})")
+            for sub in report.plan.subqueries:
+                flavour = "minimal" if sub.minimal else "upper-bound"
+                print(f"  via {sub.binding_key} [{flavour}]: {sub.sql}")
+                for guard in sub.guards:
+                    print(f"      guard: {guard}")
+            for note in report.plan.notes:
+                print(f"  note: {note}")
+        return 0
+    finally:
+        backend.close()
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.grid.persist import discover_logs, replay_directory
+    from repro.grid.simulator import monitoring_catalog
+
+    logs = discover_logs(args.logs)
+    if not logs:
+        print(f"error: no *.log files in {args.logs}", file=sys.stderr)
+        return 1
+    backend = SQLiteBackend(monitoring_catalog(sorted(logs)), args.db)
+    try:
+        sniffers = replay_directory(backend, args.logs, up_to_time=args.up_to)
+        loaded = sum(s.records_loaded for s in sniffers.values())
+        print(f"replayed {loaded} records from {len(sniffers)} logs into {args.db}")
+        for table in ("activity", "routing", "sched_jobs", "run_jobs", "heartbeat"):
+            print(f"  {table:<10} {backend.row_count(table):>8} rows")
+        return 0
+    finally:
+        backend.close()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_sql
+
+    backend = SQLiteBackend.open(args.db)
+    try:
+        print(explain_sql(args.sql, backend.catalog, use_constraints=not args.no_constraints))
+        return 0
+    finally:
+        backend.close()
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    backend = SQLiteBackend.open(args.db)
+    try:
+        print(f"monitoring database: {args.db}")
+        print("tables:")
+        for schema in backend.catalog:
+            count = backend.row_count(schema.name)
+            source = f"source={schema.source_column}" if schema.source_column else "system"
+            print(f"  {schema.name:<12} {count:>8} rows   ({source})")
+        heartbeats = backend.heartbeat_rows()
+        if not heartbeats:
+            print("no heartbeats recorded")
+            return 0
+        sources = [SourceRecency(sid, rec) for sid, rec in heartbeats]
+        split = zscore_split(sources)
+        recencies = [rec for _, rec in heartbeats]
+        print(f"heartbeats: {len(heartbeats)} sources")
+        print(f"  oldest : {format_timestamp(min(recencies))}")
+        print(f"  newest : {format_timestamp(max(recencies))}")
+        print(f"  spread : {format_interval(max(recencies) - min(recencies))}")
+        if split.exceptional:
+            names = ", ".join(s.source_id for s in split.exceptional)
+            print(f"  exceptional (|z| >= {split.threshold}): {names}")
+        else:
+            print("  exceptional: none")
+        return 0
+    finally:
+        backend.close()
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.core.monitor import RecencyMonitor, rules_from_json
+
+    with open(args.rules) as handle:
+        rules = rules_from_json(handle.read())
+    backend = SQLiteBackend.open(args.db)
+    try:
+        monitor = RecencyMonitor(backend)
+        for rule in rules:
+            monitor.add_rule(rule)
+        alerts = monitor.check(now=args.now)
+        if not alerts:
+            print(f"all {len(rules)} rule(s) pass")
+            return 0
+        for alert in alerts:
+            print(f"ALERT [{alert.kind}] {alert.message}")
+        return 2  # distinct exit code: rules tripped
+    finally:
+        backend.close()
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import run_shell
+
+    backend = SQLiteBackend.open(args.db)
+    try:
+        run_shell(backend)
+        return 0
+    finally:
+        backend.close()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.figures import main as bench_main
+
+    return bench_main(args.rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: query-centric recency and consistency reporting.
+
+Public surface:
+
+* :func:`~repro.core.report.recency_report` / class
+  :class:`~repro.core.report.RecencyReporter` — the ``recencyReport`` table
+  function of Section 5.1: run a user query, compute the relevant data
+  sources, their recency timestamps, descriptive statistics and the
+  z-score split into normal vs exceptional sources, all within one snapshot;
+* :func:`~repro.core.relevance.build_relevance_plan` — Section 4's
+  algorithm: DNF, per-relation term classification, satisfiability checks,
+  and one recency subquery per (conjunct, relation) with a minimality
+  verdict (Theorems 3/4, Corollaries 1–6);
+* :func:`~repro.core.bruteforce.brute_force_relevant_sources` — the exact
+  (exponential) oracle over finite domains, used to measure false-positive
+  rates exactly as Section 5.2 does;
+* :mod:`~repro.core.statistics` — the descriptive statistics and z-score
+  outlier detection of Section 4.3.
+"""
+
+from repro.core.relevance import (
+    RelevancePlan,
+    SubqueryPlan,
+    build_relevance_plan,
+    build_naive_plan,
+)
+from repro.core.bruteforce import brute_force_relevant_sources
+from repro.core.statistics import (
+    SourceRecency,
+    RecencyStatistics,
+    RecencySplit,
+    describe,
+    zscore_split,
+)
+from repro.core.report import RecencyReport, RecencyReporter, recency_report
+from repro.core.session import Session
+from repro.core.constraints import augmented_where, all_constraint_exprs
+from repro.core.explain import explain, explain_sql
+from repro.core.monitor import Alert, RecencyMonitor, WatchRule
+
+__all__ = [
+    "RelevancePlan",
+    "SubqueryPlan",
+    "build_relevance_plan",
+    "build_naive_plan",
+    "brute_force_relevant_sources",
+    "SourceRecency",
+    "RecencyStatistics",
+    "RecencySplit",
+    "describe",
+    "zscore_split",
+    "RecencyReport",
+    "RecencyReporter",
+    "recency_report",
+    "Session",
+    "augmented_where",
+    "all_constraint_exprs",
+    "explain",
+    "explain_sql",
+    "Alert",
+    "RecencyMonitor",
+    "WatchRule",
+]

@@ -1,0 +1,131 @@
+"""Human-readable explanation of a relevance analysis.
+
+``explain_sql`` walks the same steps as the planner — DNF, per-relation
+classification, satisfiability — but narrates them: which bucket every
+basic term fell into (in the paper's notation), why each subquery is or is
+not guaranteed minimal, and what SQL will run. Exposed on the CLI as
+``trac explain``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.catalog import Catalog
+from repro.core.constraints import all_constraint_exprs
+from repro.core.relevance import build_relevance_plan, domain_lookup
+from repro.errors import DnfBlowupError, UnsupportedQueryError
+from repro.predicates.classify import TermClass, classify_conjunct, classify_term
+from repro.predicates.dnf import to_dnf
+from repro.predicates.satisfiability import Satisfiability, check_conjunction
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.printer import expr_to_sql
+from repro.sqlparser.resolver import ResolvedQuery, resolve
+
+_CLASS_LABEL = {
+    TermClass.PS: "Ps  (data-source-only selection)",
+    TermClass.PR: "Pr  (regular-column selection)",
+    TermClass.PM: "Pm  (MIXED selection - breaks minimality)",
+    TermClass.JS: "Js  (data-source-only join)",
+    TermClass.JRM: "Jrm (regular/mixed join - breaks minimality)",
+    TermClass.PO: "Po  (other relations)",
+}
+
+
+def explain_sql(sql: str, catalog: Catalog, use_constraints: bool = True) -> str:
+    """Explain the relevance analysis of a SQL string against a catalog."""
+    resolved = resolve(parse_query(sql), catalog)
+    return explain(resolved, use_constraints=use_constraints)
+
+
+def explain(resolved: ResolvedQuery, use_constraints: bool = True) -> str:
+    """Explain the relevance analysis of a resolved query."""
+    lines: List[str] = []
+    bindings = resolved.bindings
+    lines.append(
+        f"Query references {len(bindings)} relation(s): "
+        + ", ".join(f"{b.schema.name} (as {b.key})" for b in bindings)
+    )
+
+    where = resolved.query.where
+    if use_constraints and any(b.schema.constraints for b in bindings):
+        constraints = all_constraint_exprs(resolved)
+        lines.append(
+            f"Schema constraints conjoined (Q -> Q'): "
+            + "; ".join(expr_to_sql(c) for c in constraints)
+        )
+        parts: List[ast.Expr] = ([where] if where is not None else []) + constraints
+        where = ast.And(parts) if len(parts) > 1 else parts[0]
+
+    if where is None:
+        lines.append("No WHERE clause: every data source is relevant (minimal).")
+        return "\n".join(lines)
+
+    try:
+        conjuncts = to_dnf(where)
+    except DnfBlowupError as exc:
+        lines.append(
+            f"DNF conversion exceeded the budget ({exc.term_count} > {exc.limit}): "
+            "falling back to reporting ALL sources (complete, not minimal)."
+        )
+        return "\n".join(lines)
+    except UnsupportedQueryError as exc:
+        lines.append(f"Unsupported predicate ({exc}): reporting ALL sources.")
+        return "\n".join(lines)
+
+    lines.append(f"WHERE normalizes to {len(conjuncts)} conjunct(s) (Corollary 1).")
+    lookup = domain_lookup(resolved)
+
+    plan = build_relevance_plan(resolved, use_constraints=use_constraints)
+    plan_subs = {(s.conjunct_index, s.binding_key): s for s in plan.subqueries}
+
+    for index, conjunct in enumerate(conjuncts):
+        lines.append("")
+        lines.append(f"Conjunct {index}:")
+        if not conjunct:
+            lines.append("  (TRUE - no terms)")
+        verdict = (
+            check_conjunction(conjunct, lookup) if conjunct else Satisfiability.SAT
+        )
+        if verdict is Satisfiability.UNSAT:
+            lines.append(
+                "  unsatisfiable over the column domains (Corollary 2/6): "
+                "contributes no relevant sources; pruned."
+            )
+            continue
+        if verdict is Satisfiability.UNKNOWN:
+            lines.append("  satisfiability could not be decided cheaply.")
+
+        for binding in bindings:
+            classified = classify_conjunct(conjunct, binding.key)
+            sub = plan_subs.get((index, binding.key))
+            lines.append(f"  via {binding.key} ({binding.schema.name}):")
+            for term in conjunct:
+                term_class = classify_term(term, binding.key)
+                lines.append(f"    {_CLASS_LABEL[term_class]:<46}: {expr_to_sql(term)}")
+            if sub is None:
+                lines.append(
+                    "    -> pruned: Pr unsatisfiable over the domains "
+                    "(no potential tuple can qualify)"
+                )
+                continue
+            if sub.minimal:
+                theorem = "Theorem 3" if resolved.is_single_relation else "Theorem 4"
+                lines.append(f"    -> MINIMAL by {theorem}")
+            else:
+                lines.append(f"    -> complete UPPER BOUND ({sub.notes})")
+            lines.append(f"    recency subquery: {sub.sql}")
+            for guard in sub.guards:
+                lines.append(f"    existence guard : {guard}")
+
+    lines.append("")
+    if plan.mode == "empty":
+        lines.append("Overall: S(Q) is provably empty.")
+    elif plan.minimal:
+        lines.append("Overall: the union of the subqueries is exactly S(Q).")
+    else:
+        lines.append(
+            "Overall: the union of the subqueries is a complete upper bound on S(Q)."
+        )
+    return "\n".join(lines)

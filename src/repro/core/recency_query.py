@@ -1,0 +1,277 @@
+"""Construction of recency subqueries (the SQL of Theorems 3 and 4).
+
+Given one DNF conjunct and one relation binding ``R_i``, the recency
+subquery computes (an upper bound of, and under the theorems' conditions
+exactly) the sources relevant via ``R_i``::
+
+    SELECT DISTINCT trac_h.source_id, trac_h.recency
+    FROM heartbeat trac_h [, <other relations referenced by the predicates>]
+    WHERE Ps'[R_i.c_s -> trac_h.source_id]
+      AND Js'[R_i.c_s -> trac_h.source_id]
+      AND Po
+
+Rewrites applied:
+
+* every column reference is re-qualified with its binding key, so the
+  generated SQL is unambiguous no matter how the user qualified columns;
+* references to ``R_i``'s data source column (in ``Ps`` and ``Js``) are
+  redirected to the Heartbeat alias — the substitution ``P_s'`` / ``J_s'``
+  of Notation 5 and 7;
+* other relations appear in the FROM clause only when some retained term
+  references them. Unreferenced "other" relations influence the result
+  solely through (non-)emptiness (Definition 2 needs an existing tuple in
+  every other relation), which the executor checks separately — recorded in
+  ``required_nonempty``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog import HEARTBEAT_RECENCY_COLUMN, HEARTBEAT_SOURCE_COLUMN, HEARTBEAT_TABLE
+from repro.errors import UnsupportedQueryError
+from repro.sqlparser import ast
+from repro.sqlparser.printer import to_sql
+from repro.sqlparser.resolver import RelationBinding, ResolvedQuery
+
+#: Alias used for the Heartbeat table in generated queries.
+HEARTBEAT_ALIAS = "trac_h"
+
+
+def heartbeat_alias_for(resolved: ResolvedQuery) -> str:
+    """An alias for Heartbeat that cannot collide with the query's bindings."""
+    alias = HEARTBEAT_ALIAS
+    taken = {b.key for b in resolved.bindings}
+    while alias in taken:
+        alias += "_"
+    return alias
+
+
+def rewrite_term(
+    term: ast.Expr,
+    target_binding: str,
+    h_alias: str,
+) -> ast.Expr:
+    """Clone ``term``, re-qualifying every column and redirecting
+    ``target_binding``'s source column to the Heartbeat alias."""
+    return _rewrite(term, target_binding, h_alias)
+
+
+def _rewrite(expr: ast.Expr, target: str, h_alias: str) -> ast.Expr:
+    if isinstance(expr, ast.ColumnRef):
+        if expr.binding_key is None:
+            raise UnsupportedQueryError(
+                f"column {expr.display()!r} is unresolved; run the resolver first"
+            )
+        if expr.binding_key == target and expr.is_source:
+            new = ast.ColumnRef(HEARTBEAT_SOURCE_COLUMN, qualifier=h_alias)
+            new.binding_key = h_alias
+            new.is_source = False
+            return new
+        new = ast.ColumnRef(expr.name, qualifier=expr.binding_key)
+        new.binding_key = expr.binding_key
+        new.is_source = expr.is_source
+        return new
+    if isinstance(expr, ast.Literal):
+        return expr
+    if isinstance(expr, ast.Comparison):
+        return ast.Comparison(
+            expr.op, _rewrite(expr.left, target, h_alias), _rewrite(expr.right, target, h_alias)
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(_rewrite(expr.expr, target, h_alias), expr.values, expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            _rewrite(expr.expr, target, h_alias),
+            _rewrite(expr.low, target, h_alias),
+            _rewrite(expr.high, target, h_alias),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(_rewrite(expr.expr, target, h_alias), expr.pattern, expr.negated)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_rewrite(expr.expr, target, h_alias), expr.negated)
+    if isinstance(expr, ast.And):
+        return ast.And([_rewrite(e, target, h_alias) for e in expr.items])
+    if isinstance(expr, ast.Or):
+        return ast.Or([_rewrite(e, target, h_alias) for e in expr.items])
+    if isinstance(expr, ast.Not):
+        return ast.Not(_rewrite(expr.expr, target, h_alias))
+    raise UnsupportedQueryError(f"cannot rewrite expression {expr!r}")
+
+
+def build_subquery(
+    resolved: ResolvedQuery,
+    binding: RelationBinding,
+    retained_terms: Sequence[ast.Expr],
+    h_alias: str,
+) -> Tuple[ast.Query, List[str]]:
+    """Assemble the recency subquery for one (conjunct, relation) pair.
+
+    The semijoin of Theorem 4 is over ``H x R_1 x ... x R_{i-1} x R_{i+1} x
+    ... x R_n``, but relations not *connected* to the Heartbeat side by any
+    retained predicate influence the answer only through satisfiability of
+    their own predicate group (an empty/unsatisfied group empties the cross
+    product). We therefore factor the cross product into connected
+    components: the component containing Heartbeat becomes the main
+    subquery; every other component becomes an existence **guard** —
+    ``SELECT COUNT(*) ...`` — that the executor checks before running the
+    subquery. This keeps the via-``R_i`` recency query as cheap as the
+    Naive query when the predicates do not link ``R_i``'s source column to
+    the rest (the cost behaviour the paper reports for Q4).
+
+    Parameters
+    ----------
+    resolved:
+        The resolved user query.
+    binding:
+        The relation ``R_i`` the subquery targets ("relevant via").
+    retained_terms:
+        The conjunct's ``Ps + Js + Po`` terms (already filtered by the
+        planner; ``Pr``, ``Pm`` and ``Jrm`` never appear here).
+    h_alias:
+        The Heartbeat alias from :func:`heartbeat_alias_for`.
+
+    Returns
+    -------
+    (query, guards):
+        The subquery AST plus the guard SQL statements; each guard returns
+        one integer and the subquery's answer is valid (non-vacuous) only
+        when every guard is non-zero.
+    """
+    rewritten = [rewrite_term(term, binding.key, h_alias) for term in retained_terms]
+
+    if any(
+        ref.binding_key == binding.key
+        for term in rewritten
+        for ref in ast.column_refs(term)
+    ):
+        # Retained terms must not reference R_i's regular columns; a source
+        # reference was rewritten to the Heartbeat alias above, so any
+        # remaining reference indicates a planner bug.
+        raise UnsupportedQueryError(
+            f"internal error: retained term still references {binding.key!r}"
+        )
+
+    other_keys = [b.key for b in resolved.bindings if b.key != binding.key]
+    components, term_component = _connected_components(rewritten, h_alias, other_keys)
+
+    h_component = next(nodes for nodes in components if h_alias in nodes)
+    main_terms = [
+        term for term, nodes in zip(rewritten, term_component) if nodes is h_component
+    ]
+
+    tables: List[ast.TableRef] = [ast.TableRef(HEARTBEAT_TABLE, h_alias)]
+    for other in resolved.bindings:
+        if other.key != binding.key and other.key in h_component:
+            tables.append(ast.TableRef(other.schema.name, other.key))
+
+    guards: List[str] = []
+    for nodes in components:
+        if nodes is h_component:
+            continue
+        guard_terms = [
+            term for term, owner in zip(rewritten, term_component) if owner is nodes
+        ]
+        guard_tables = [
+            ast.TableRef(b.schema.name, b.key)
+            for b in resolved.bindings
+            if b.key in nodes
+        ]
+        if not guard_tables:
+            continue  # constant-only component was folded into H's component
+        guard_where: Optional[ast.Expr] = None
+        if guard_terms:
+            guard_where = ast.And(guard_terms) if len(guard_terms) > 1 else guard_terms[0]
+        # Existence check: LIMIT 1 lets the backend stop at the first match
+        # instead of counting everything.
+        guard_query = ast.Query(
+            select_items=[ast.SelectItem(ast.Literal(1))],
+            tables=guard_tables,
+            where=guard_where,
+            limit=1,
+        )
+        guards.append(to_sql(guard_query))
+
+    where_expr: Optional[ast.Expr] = None
+    if main_terms:
+        where_expr = ast.And(main_terms) if len(main_terms) > 1 else main_terms[0]
+
+    sid = ast.ColumnRef(HEARTBEAT_SOURCE_COLUMN, qualifier=h_alias)
+    sid.binding_key = h_alias
+    recency = ast.ColumnRef(HEARTBEAT_RECENCY_COLUMN, qualifier=h_alias)
+    recency.binding_key = h_alias
+    query = ast.Query(
+        select_items=[ast.SelectItem(sid), ast.SelectItem(recency)],
+        tables=tables,
+        where=where_expr,
+        # source_id is unique in Heartbeat, so a heartbeat-only subquery
+        # needs no dedup; joins can produce one row per matching partner.
+        distinct=len(tables) > 1,
+    )
+    return query, guards
+
+
+def _connected_components(
+    terms: Sequence[ast.Expr], h_alias: str, other_keys: Sequence[str]
+):
+    """Union-find over {Heartbeat} + other bindings, linked by co-reference.
+
+    Returns ``(components, term_component)`` where ``components`` is a list
+    of node sets and ``term_component[i]`` is the component (set identity)
+    that owns ``terms[i]``. Terms referencing no relation (constants) are
+    owned by Heartbeat's component.
+    """
+    parent: Dict[str, str] = {h_alias: h_alias}
+    for key in other_keys:
+        parent[key] = key
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    term_nodes: List[List[str]] = []
+    for term in terms:
+        nodes = sorted({ref.binding_key for ref in ast.column_refs(term) if ref.binding_key})
+        term_nodes.append(nodes)
+        for i in range(1, len(nodes)):
+            union(nodes[0], nodes[i])
+
+    roots: Dict[str, Set[str]] = {}
+    for node in parent:
+        roots.setdefault(find(node), set()).add(node)
+    components = list(roots.values())
+    h_component = next(nodes for nodes in components if h_alias in nodes)
+
+    term_component: List[Set[str]] = []
+    for nodes in term_nodes:
+        if not nodes:
+            term_component.append(h_component)
+        else:
+            root = find(nodes[0])
+            term_component.append(roots[root])
+    return components, term_component
+
+
+def build_all_sources_query() -> ast.Query:
+    """The Naive method's recency query: every source in Heartbeat."""
+    sid = ast.ColumnRef(HEARTBEAT_SOURCE_COLUMN)
+    recency = ast.ColumnRef(HEARTBEAT_RECENCY_COLUMN)
+    return ast.Query(
+        select_items=[ast.SelectItem(sid), ast.SelectItem(recency)],
+        tables=[ast.TableRef(HEARTBEAT_TABLE)],
+        where=None,
+        distinct=False,
+    )
+
+
+def subquery_sql(query: ast.Query) -> str:
+    """Render a generated subquery to SQL text."""
+    return to_sql(query)

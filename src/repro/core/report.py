@@ -1,0 +1,332 @@
+"""The ``recencyReport`` table function (Section 5.1), as a library call.
+
+:class:`RecencyReporter` runs a user query together with its system-generated
+recency query inside one backend snapshot (Section 3.2's consistency
+requirement), computes the relevant sources' recency timestamps, splits them
+into normal/exceptional by z-score, derives the descriptive statistics and
+materializes the two session temp tables.
+
+Three methods are supported, matching the experimental setup of Section 5.2:
+
+* ``"focused"`` — parse the user query and auto-generate the recency query
+  (the paper's technique; parse/generation time is part of the overhead);
+* ``"focused_hardcoded"`` — run a pre-built plan (no parse/generation cost;
+  isolates execution overhead);
+* ``"naive"`` — report every data source in the Heartbeat table.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set
+
+from repro.backends.base import Backend, Snapshot
+from repro.core.recency_query import build_all_sources_query, subquery_sql
+from repro.core.relevance import RelevancePlan, build_naive_plan, build_relevance_plan
+from repro.core.session import Session, TempTablePair
+from repro.core.statistics import (
+    DEFAULT_Z_THRESHOLD,
+    RecencySplit,
+    RecencyStatistics,
+    SourceRecency,
+    describe,
+    format_interval,
+    format_timestamp,
+    zscore_split,
+)
+from repro.engine.evaluate import QueryResult
+from repro.errors import TracError
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+_METHODS = ("focused", "focused_hardcoded", "naive")
+
+
+class ReportTimings:
+    """Wall-clock breakdown of one report, in seconds.
+
+    Mirrors the decomposition of Section 5.2: parse + recency-query
+    generation; user query execution; recency query execution; statistics
+    (z-score split, min/max/range, temp-table creation).
+    """
+
+    __slots__ = ("parse_generate", "user_query", "recency_query", "statistics", "total")
+
+    def __init__(
+        self,
+        parse_generate: float,
+        user_query: float,
+        recency_query: float,
+        statistics: float,
+        total: float,
+    ) -> None:
+        self.parse_generate = parse_generate
+        self.user_query = user_query
+        self.recency_query = recency_query
+        self.statistics = statistics
+        self.total = total
+
+    def __repr__(self) -> str:
+        return (
+            f"ReportTimings(parse={self.parse_generate:.6f}s, user={self.user_query:.6f}s, "
+            f"recency={self.recency_query:.6f}s, stats={self.statistics:.6f}s)"
+        )
+
+
+class RecencyReport:
+    """Everything the recency report returns for one user query."""
+
+    def __init__(
+        self,
+        sql: str,
+        method: str,
+        result: QueryResult,
+        split: RecencySplit,
+        statistics: RecencyStatistics,
+        plan: RelevancePlan,
+        temp_tables: Optional[TempTablePair],
+        timings: ReportTimings,
+    ) -> None:
+        self.sql = sql
+        self.method = method
+        self.result = result
+        self.split = split
+        self.statistics = statistics
+        self.plan = plan
+        self.temp_tables = temp_tables
+        self.timings = timings
+
+    @property
+    def normal_sources(self) -> List[SourceRecency]:
+        return self.split.normal
+
+    @property
+    def exceptional_sources(self) -> List[SourceRecency]:
+        return self.split.exceptional
+
+    @property
+    def relevant_source_ids(self) -> Set[str]:
+        """All reported relevant sources (normal plus exceptional)."""
+        return {s.source_id for s in self.split.normal} | {
+            s.source_id for s in self.split.exceptional
+        }
+
+    @property
+    def minimal(self) -> bool:
+        """Whether the relevant set is provably the minimum (Theorems 3/4)."""
+        return self.plan.minimal
+
+    def notices(self) -> List[str]:
+        """The NOTICE lines of the prototype's interactive session."""
+        lines: List[str] = []
+        if self.exceptional_sources and self.temp_tables is not None:
+            lines.append(
+                "NOTICE: Exceptional relevant data sources and timestamps "
+                f"are in the temporary table: {self.temp_tables.exceptional}"
+            )
+        stats = self.statistics
+        if stats.least_recent is not None and stats.most_recent is not None:
+            lines.append(
+                "NOTICE: The least recent data source: "
+                f"{stats.least_recent.source_id}, {format_timestamp(stats.least_recent.recency)}"
+            )
+            lines.append(
+                "NOTICE: The most recent data source: "
+                f"{stats.most_recent.source_id}, {format_timestamp(stats.most_recent.recency)}"
+            )
+            lines.append(
+                "NOTICE: Bound of inconsistency: "
+                f"{format_interval(stats.inconsistency_bound or 0.0)}"
+            )
+        else:
+            lines.append("NOTICE: No relevant data sources have reported in")
+        if self.temp_tables is not None:
+            lines.append(
+                'NOTICE: All "normal" relevant data sources and timestamps '
+                f"are in the temporary table: {self.temp_tables.normal}"
+            )
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"RecencyReport(method={self.method!r}, rows={len(self.result.rows)}, "
+            f"relevant={len(self.relevant_source_ids)}, minimal={self.minimal})"
+        )
+
+
+class RecencyReporter:
+    """Produces :class:`RecencyReport` objects for user queries.
+
+    Parameters
+    ----------
+    backend:
+        The storage backend holding the monitored tables and Heartbeat.
+    z_threshold:
+        |z| cutoff for exceptional sources (Section 4.3; default 3).
+    max_conjuncts:
+        DNF blow-up budget forwarded to the planner.
+    check_satisfiability:
+        Ablation switch for the satisfiability-based pruning.
+    create_temp_tables:
+        When False, skip temp-table materialization (useful in tight
+        benchmark loops where thousands of reports would otherwise pile up
+        temp tables).
+    use_constraints:
+        Conjoin schema CHECK constraints onto queries before relevance
+        analysis (``Q -> Q'``, Section 3.4).
+    plan_cache_size:
+        When positive, keep an LRU cache of relevance plans keyed by the
+        SQL text. Repeated queries then pay parse/generation only once —
+        the paper's "hardcoded" method, automated. Safe because plans
+        depend only on the catalog (fixed per reporter), never on data.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        z_threshold: float = DEFAULT_Z_THRESHOLD,
+        max_conjuncts: int = 4096,
+        check_satisfiability: bool = True,
+        create_temp_tables: bool = True,
+        use_constraints: bool = True,
+        plan_cache_size: int = 0,
+    ) -> None:
+        self.backend = backend
+        self.z_threshold = z_threshold
+        self.max_conjuncts = max_conjuncts
+        self.check_satisfiability = check_satisfiability
+        self.create_temp_tables = create_temp_tables
+        self.use_constraints = use_constraints
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.session = Session(backend)
+
+    # -- planning -----------------------------------------------------------
+
+    def plan_for(self, sql: str) -> RelevancePlan:
+        """Parse + resolve + plan (through the LRU cache when enabled)."""
+        if self.plan_cache_size > 0:
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                self._plan_cache.move_to_end(sql)
+                self.plan_cache_hits += 1
+                return cached
+        resolved = resolve(parse_query(sql), self.backend.catalog)
+        plan = build_relevance_plan(
+            resolved,
+            max_conjuncts=self.max_conjuncts,
+            check_satisfiability=self.check_satisfiability,
+            use_constraints=self.use_constraints,
+        )
+        if self.plan_cache_size > 0:
+            self._plan_cache[sql] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(
+        self,
+        sql: str,
+        method: str = "focused",
+        plan: Optional[RelevancePlan] = None,
+    ) -> RecencyReport:
+        """Run ``sql`` and produce its recency and consistency report.
+
+        ``method="focused_hardcoded"`` requires ``plan`` (obtain one via
+        :meth:`plan_for`); the other methods ignore it.
+        """
+        if method not in _METHODS:
+            raise TracError(f"unknown method {method!r}; expected one of {_METHODS}")
+
+        t_start = time.perf_counter()
+        parse_generate = 0.0
+        if method == "focused":
+            t0 = time.perf_counter()
+            plan = self.plan_for(sql)
+            parse_generate = time.perf_counter() - t0
+        elif method == "focused_hardcoded":
+            if plan is None:
+                raise TracError("focused_hardcoded requires a pre-built plan")
+        else:  # naive
+            plan = build_naive_plan()
+
+        with self.backend.snapshot() as snapshot:
+            t0 = time.perf_counter()
+            result = snapshot.execute(sql)
+            user_time = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            sources = self._relevant_sources(snapshot, plan)
+            recency_time = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            split = zscore_split(sources, self.z_threshold)
+            stats = describe(split.normal)
+            temp_tables: Optional[TempTablePair] = None
+            if self.create_temp_tables:
+                temp_tables = self.session.next_table_names()
+                self.session.materialize(snapshot, temp_tables, split.normal, split.exceptional)
+            stats_time = time.perf_counter() - t0
+
+        total = time.perf_counter() - t_start
+        timings = ReportTimings(parse_generate, user_time, recency_time, stats_time, total)
+        return RecencyReport(sql, method, result, split, stats, plan, temp_tables, timings)
+
+    def run_plain(self, sql: str) -> QueryResult:
+        """Run a user query with no recency reporting (the baseline
+        ``t1(Q)`` of the overhead metric)."""
+        with self.backend.snapshot() as snapshot:
+            return snapshot.execute(sql)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _relevant_sources(
+        self, snapshot: Snapshot, plan: RelevancePlan
+    ) -> List[SourceRecency]:
+        if plan.mode == "empty":
+            return []
+        if plan.mode == "all":
+            rows = snapshot.execute(subquery_sql(build_all_sources_query())).rows
+            return [SourceRecency(str(sid), float(rec)) for sid, rec in rows]
+
+        found: Dict[str, float] = {}
+        guard_cache: Dict[str, bool] = {}
+        for sub in plan.subqueries:
+            skip = False
+            for guard in sub.guards:
+                if guard not in guard_cache:
+                    guard_cache[guard] = bool(snapshot.execute(guard).rows)
+                if not guard_cache[guard]:
+                    skip = True
+                    break
+            if skip:
+                continue
+            for sid, recency in snapshot.execute(sub.sql).rows:
+                if sid is not None:
+                    found[str(sid)] = float(recency)
+        return [SourceRecency(sid, rec) for sid, rec in sorted(found.items())]
+
+    def close(self) -> None:
+        """End the reporter's session (drops its temp tables)."""
+        self.session.close()
+
+    def __enter__(self) -> "RecencyReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def recency_report(
+    backend: Backend,
+    sql: str,
+    method: str = "focused",
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+) -> RecencyReport:
+    """One-shot convenience wrapper around :class:`RecencyReporter`."""
+    reporter = RecencyReporter(backend, z_threshold=z_threshold)
+    return reporter.report(sql, method=method)

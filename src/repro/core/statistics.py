@@ -1,0 +1,243 @@
+"""Descriptive statistics and outlier detection for recency reports
+(Section 4.3).
+
+Given the recency timestamps of the relevant sources, the report carries:
+
+* the **least recent** source and timestamp (a consistent snapshot exists
+  for all events before it),
+* the **most recent** source and timestamp,
+* the **bound of inconsistency** — the range (max − min),
+
+computed over the *normal* sources after **z-score** outlier removal:
+sources whose recency timestamp has ``|z| >= threshold`` (default 3,
+justified by Chebyshev's theorem — at most 1/9 of any data set lies beyond
+3 standard deviations) are reported separately as *exceptional*.
+"""
+
+from __future__ import annotations
+
+import math
+from datetime import datetime, timezone
+from typing import List, Optional, Sequence, Tuple
+
+#: Default |z| threshold for exceptional sources, per the paper.
+DEFAULT_Z_THRESHOLD = 3.0
+
+
+class SourceRecency:
+    """One source's recency timestamp (epoch seconds)."""
+
+    __slots__ = ("source_id", "recency")
+
+    def __init__(self, source_id: str, recency: float) -> None:
+        self.source_id = source_id
+        self.recency = float(recency)
+
+    def recency_iso(self) -> str:
+        """Human-readable UTC timestamp."""
+        return format_timestamp(self.recency)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceRecency)
+            and self.source_id == other.source_id
+            and self.recency == other.recency
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source_id, self.recency))
+
+    def __repr__(self) -> str:
+        return f"SourceRecency({self.source_id!r}, {self.recency})"
+
+
+def format_timestamp(epoch_seconds: float) -> str:
+    """Render an epoch timestamp like the paper's ``2006-03-15 14:20:05``."""
+    return datetime.fromtimestamp(epoch_seconds, tz=timezone.utc).strftime(
+        "%Y-%m-%d %H:%M:%S"
+    )
+
+
+def format_interval(seconds: float) -> str:
+    """Render a duration like the paper's ``00:20:00`` bound of
+    inconsistency (hours may exceed two digits for long gaps; negative
+    durations — e.g. an age against a clock that lags the data — get a
+    leading minus)."""
+    total = int(round(seconds))
+    sign = "-" if total < 0 else ""
+    hours, remainder = divmod(abs(total), 3600)
+    minutes, secs = divmod(remainder, 60)
+    return f"{sign}{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+class RecencyStatistics:
+    """Min / max / range of a set of source recency timestamps."""
+
+    __slots__ = ("least_recent", "most_recent", "count")
+
+    def __init__(
+        self,
+        least_recent: Optional[SourceRecency],
+        most_recent: Optional[SourceRecency],
+        count: int,
+    ) -> None:
+        self.least_recent = least_recent
+        self.most_recent = most_recent
+        self.count = count
+
+    @property
+    def inconsistency_bound(self) -> Optional[float]:
+        """The range descriptor: max − min recency, in seconds."""
+        if self.least_recent is None or self.most_recent is None:
+            return None
+        return self.most_recent.recency - self.least_recent.recency
+
+    def __repr__(self) -> str:
+        return (
+            f"RecencyStatistics(count={self.count}, "
+            f"bound={self.inconsistency_bound!r})"
+        )
+
+
+class RecencySplit:
+    """The z-score partition of sources into normal vs exceptional."""
+
+    __slots__ = ("normal", "exceptional", "threshold", "mean", "stddev")
+
+    def __init__(
+        self,
+        normal: List[SourceRecency],
+        exceptional: List[SourceRecency],
+        threshold: float,
+        mean: Optional[float],
+        stddev: Optional[float],
+    ) -> None:
+        self.normal = normal
+        self.exceptional = exceptional
+        self.threshold = threshold
+        self.mean = mean
+        self.stddev = stddev
+
+    def __repr__(self) -> str:
+        return (
+            f"RecencySplit(normal={len(self.normal)}, "
+            f"exceptional={len(self.exceptional)}, threshold={self.threshold})"
+        )
+
+
+def describe(sources: Sequence[SourceRecency]) -> RecencyStatistics:
+    """Compute the least/most recent source and the count.
+
+    Ties are broken by source id so reports are deterministic.
+    """
+    if not sources:
+        return RecencyStatistics(None, None, 0)
+    least = min(sources, key=lambda s: (s.recency, s.source_id))
+    most = max(sources, key=lambda s: (s.recency, s.source_id))
+    return RecencyStatistics(least, most, len(sources))
+
+
+def mean_stddev(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation (the paper's formulas)."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("mean_stddev of an empty sequence")
+    mu = sum(values) / n
+    variance = sum((x - mu) ** 2 for x in values) / n
+    return mu, math.sqrt(variance)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    The paper notes "other statistics could be computed as well"; the
+    extended summary uses percentiles so a user can see, e.g., that 90% of
+    the relevant sources reported within the last minute even when the
+    minimum is dragged down by one laggard.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    # lo + (hi - lo) * f is exact when hi == lo and never overshoots.
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+class ExtendedStatistics:
+    """The optional richer summary: mean/stddev/median/deciles on top of
+    the paper's min/max/range."""
+
+    __slots__ = ("basic", "mean", "stddev", "median", "p10", "p90")
+
+    def __init__(
+        self,
+        basic: RecencyStatistics,
+        mean: float,
+        stddev: float,
+        median: float,
+        p10: float,
+        p90: float,
+    ) -> None:
+        self.basic = basic
+        self.mean = mean
+        self.stddev = stddev
+        self.median = median
+        self.p10 = p10
+        self.p90 = p90
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendedStatistics(count={self.basic.count}, median={self.median}, "
+            f"p10={self.p10}, p90={self.p90})"
+        )
+
+
+def describe_extended(sources: Sequence[SourceRecency]) -> Optional[ExtendedStatistics]:
+    """Extended summary, or ``None`` for an empty source set."""
+    if not sources:
+        return None
+    values = [s.recency for s in sources]
+    mu, sigma = mean_stddev(values)
+    return ExtendedStatistics(
+        basic=describe(sources),
+        mean=mu,
+        stddev=sigma,
+        median=percentile(values, 50.0),
+        p10=percentile(values, 10.0),
+        p90=percentile(values, 90.0),
+    )
+
+
+def zscore_split(
+    sources: Sequence[SourceRecency],
+    threshold: float = DEFAULT_Z_THRESHOLD,
+) -> RecencySplit:
+    """Partition sources by z-score of their recency timestamps.
+
+    Sources with ``|z| >= threshold`` are exceptional. With fewer than two
+    sources, or zero standard deviation, nothing is exceptional.
+    """
+    items = list(sources)
+    if len(items) < 2:
+        return RecencySplit(items, [], threshold, None, None)
+    mu, sigma = mean_stddev([s.recency for s in items])
+    if sigma == 0.0:
+        return RecencySplit(items, [], threshold, mu, sigma)
+    normal: List[SourceRecency] = []
+    exceptional: List[SourceRecency] = []
+    for source in items:
+        z = (source.recency - mu) / sigma
+        if abs(z) >= threshold:
+            exceptional.append(source)
+        else:
+            normal.append(source)
+    return RecencySplit(normal, exceptional, threshold, mu, sigma)

@@ -1,0 +1,28 @@
+"""EXPLAIN ANALYZE for the mini engine.
+
+``explain_query`` executes a query with the evaluator's trace hook enabled
+and renders the decisions the executor actually made — predicate push-downs
+with their selectivities, the join order, and the join methods. Because the
+trace is produced by the execution itself, it can never drift from the real
+plan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.evaluate import execute_query
+from repro.engine.relation import Database
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+
+def explain_query(db: Database, sql: str) -> str:
+    """Run ``sql`` and return its execution trace plus the result size."""
+    resolved = resolve(parse_query(sql), db.catalog)
+    trace: List[str] = []
+    result = execute_query(db, resolved, trace=trace)
+    lines = [f"explain: {sql}"]
+    lines.extend(f"  {entry}" for entry in trace)
+    lines.append(f"  result: {len(result.rows)} row(s), columns {result.columns}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""In-memory relations and databases."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.catalog import Catalog, TableSchema
+from repro.errors import EngineError
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A bag of rows conforming to a :class:`TableSchema`.
+
+    Rows are tuples aligned with ``schema.columns``. The relation is a bag
+    (duplicates allowed), matching SQL semantics without DISTINCT.
+    """
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Sequence[object]] = ()) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._width = len(schema.columns)
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def rows(self) -> List[Row]:
+        return self._rows
+
+    def insert(self, row: Sequence[object]) -> None:
+        """Append one row (validated for arity)."""
+        if len(row) != self._width:
+            raise EngineError(
+                f"row arity {len(row)} does not match table "
+                f"{self.schema.name!r} with {self._width} columns"
+            )
+        self._rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows for which ``predicate(row_tuple)`` is true.
+
+        Returns the number of rows removed.
+        """
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def update_where(self, predicate, updater) -> int:
+        """Replace rows matching ``predicate`` by ``updater(row)``.
+
+        Returns the number of rows updated.
+        """
+        count = 0
+        new_rows: List[Row] = []
+        for row in self._rows:
+            if predicate(row):
+                new_row = tuple(updater(row))
+                if len(new_row) != self._width:
+                    raise EngineError("updater changed row arity")
+                new_rows.append(new_row)
+                count += 1
+            else:
+                new_rows.append(row)
+        self._rows = new_rows
+        return count
+
+    def column_values(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        index = self.schema.column_index(name)
+        return [row[index] for row in self._rows]
+
+    def copy(self) -> "Relation":
+        clone = Relation(self.schema)
+        clone._rows = list(self._rows)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self._rows)} rows)"
+
+
+class Database:
+    """A named collection of relations plus the catalog they conform to."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._relations: Dict[str, Relation] = {}
+        for schema in catalog:
+            self._relations[schema.name.lower()] = Relation(schema)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name.lower()]
+        except KeyError as exc:
+            raise EngineError(f"no relation {name!r} in database") from exc
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def add_table(self, schema: TableSchema, rows: Iterable[Sequence[object]] = ()) -> Relation:
+        """Register a new table (also added to the catalog) and load rows."""
+        if not self.catalog.has(schema.name):
+            self.catalog.add(schema)
+        relation = Relation(schema, rows)
+        self._relations[schema.name.lower()] = relation
+        return relation
+
+    def insert(self, table: str, row: Sequence[object]) -> None:
+        self.relation(table).insert(row)
+
+    def insert_many(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        self.relation(table).insert_many(rows)
+
+    def copy(self) -> "Database":
+        """Deep-enough copy: relations are copied, the catalog is shared."""
+        clone = Database.__new__(Database)
+        clone.catalog = self.catalog
+        clone._relations = {name: rel.copy() for name, rel in self._relations.items()}
+        return clone
+
+    def tables(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}={len(rel)}" for name, rel in sorted(self._relations.items()))
+        return f"Database({sizes})"

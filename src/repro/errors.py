@@ -1,0 +1,78 @@
+"""Exception hierarchy for the TRAC reproduction.
+
+Every error raised by this package derives from :class:`TracError` so that
+callers can catch the whole family with one ``except`` clause while still
+being able to distinguish parse errors from planning or execution errors.
+"""
+
+from __future__ import annotations
+
+
+class TracError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LexerError(TracError):
+    """Raised when the SQL lexer encounters an unrecognized character.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset into the source string.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(TracError):
+    """Raised when the SQL parser cannot make sense of a token stream."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ResolutionError(TracError):
+    """Raised when a query mentions tables or columns not in the catalog."""
+
+
+class CatalogError(TracError):
+    """Raised for invalid schema definitions or catalog lookups."""
+
+
+class UnsupportedQueryError(TracError):
+    """Raised when a query falls outside the supported SPJ subset."""
+
+
+class EngineError(TracError):
+    """Raised by the in-memory relational engine during evaluation."""
+
+
+class BackendError(TracError):
+    """Raised by storage backends for execution or transaction failures."""
+
+
+class DomainError(TracError):
+    """Raised for invalid domain definitions or impossible domain values."""
+
+
+class DnfBlowupError(TracError):
+    """Raised when DNF conversion would exceed the configured term budget.
+
+    Callers that need a *complete* (if imprecise) answer catch this and fall
+    back to reporting every data source as relevant, which is always a safe
+    upper bound.
+    """
+
+    def __init__(self, message: str, term_count: int, limit: int) -> None:
+        super().__init__(message)
+        self.term_count = term_count
+        self.limit = limit
+
+
+class SimulationError(TracError):
+    """Raised by the grid monitoring simulator for invalid configurations."""

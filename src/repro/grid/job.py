@@ -1,0 +1,84 @@
+"""Jobs and their lifecycle.
+
+A job is submitted to a *scheduling machine*; the scheduler picks a (possibly
+different) *running machine*; the running machine starts, possibly suspends,
+and eventually completes it — the exact flow of the paper's motivating
+scenario (job ``j`` submitted to ``m1``, run on ``m2``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class JobState(enum.Enum):
+    SUBMITTED = "submitted"
+    SCHEDULED = "scheduled"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    COMPLETED = "completed"
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    JobState.SUBMITTED: {JobState.SCHEDULED},
+    JobState.SCHEDULED: {JobState.RUNNING, JobState.SCHEDULED},
+    JobState.RUNNING: {JobState.SUSPENDED, JobState.COMPLETED},
+    JobState.SUSPENDED: {JobState.RUNNING, JobState.SCHEDULED},
+    JobState.COMPLETED: set(),
+}
+
+
+class Job:
+    """One grid job."""
+
+    __slots__ = (
+        "job_id",
+        "owner",
+        "submit_machine",
+        "state",
+        "remote_machine",
+        "submitted_at",
+        "started_at",
+        "completed_at",
+        "duration",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        owner: str,
+        submit_machine: str,
+        submitted_at: float,
+        duration: float = 60.0,
+    ) -> None:
+        self.job_id = job_id
+        self.owner = owner
+        self.submit_machine = submit_machine
+        self.state = JobState.SUBMITTED
+        self.remote_machine: Optional[str] = None
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.duration = duration
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise SimulationError(
+                f"job {self.job_id!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is not JobState.COMPLETED
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id!r}, {self.state.value}, "
+            f"submit={self.submit_machine!r}, remote={self.remote_machine!r})"
+        )

@@ -1,0 +1,183 @@
+"""File-backed logs: write machine logs to disk and sniff them back.
+
+Makes the paper's data path literal: each machine's events live in a text
+file (:mod:`repro.grid.logformat`), and a sniffer tails the *file* — so a
+monitoring database can be rebuilt offline from a directory of logs, or fed
+by processes in other languages that write the same format.
+
+* :class:`FileLogWriter` — append events to a machine's log file;
+* :class:`FileLog` — read-side adapter exposing the same
+  ``read_from(offset, up_to_time)`` interface as the in-memory
+  :class:`~repro.grid.logfile.LogFile`, so the standard
+  :class:`~repro.grid.sniffer.Sniffer` can tail it unchanged;
+* :func:`archive_simulation` — dump every machine's in-memory log to a
+  directory;
+* :func:`replay_directory` — load a directory of log files into a backend
+  through real sniffers, reproducing the database a live deployment would
+  have built.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.backends.base import Backend
+from repro.errors import SimulationError
+from repro.grid.events import LogEvent
+from repro.grid.logformat import format_line, parse_line
+from repro.grid.sniffer import Sniffer, SnifferConfig
+
+#: File name pattern for one machine's log.
+LOG_SUFFIX = ".log"
+
+
+def log_path(directory: str, machine_id: str) -> str:
+    return os.path.join(directory, f"{machine_id}{LOG_SUFFIX}")
+
+
+class FileLogWriter:
+    """Append-only writer for one machine's on-disk log.
+
+    Events must arrive in non-decreasing timestamp order, mirroring the
+    in-memory :class:`LogFile` contract. Each event is flushed immediately
+    (the paper assumes reliable storage; a crash loses nothing that was
+    reported)."""
+
+    def __init__(self, path: str, owner: str) -> None:
+        self.path = path
+        self.owner = owner
+        self._last_timestamp = float("-inf")
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if not os.path.exists(path):
+            with open(path, "w") as handle:
+                handle.write("# trac-log v1\n")
+
+    def append(self, event: LogEvent) -> None:
+        if event.source != self.owner:
+            raise SimulationError(
+                f"event from {event.source!r} appended to log of {self.owner!r}"
+            )
+        if event.timestamp < self._last_timestamp:
+            raise SimulationError(
+                f"log {self.path!r}: timestamp {event.timestamp} is before "
+                f"the last written record"
+            )
+        with open(self.path, "a") as handle:
+            handle.write(format_line(event) + "\n")
+            handle.flush()
+        self._last_timestamp = event.timestamp
+
+
+class FileLog:
+    """Read-side view of an on-disk log, duck-typed like ``LogFile``.
+
+    ``read_from`` offsets are *event indexes* (comments and blank lines are
+    not counted), so a sniffer's durable offset stays valid as the file
+    grows."""
+
+    def __init__(self, path: str, owner: str) -> None:
+        self.path = path
+        self.owner = owner
+
+    def _events(self) -> List[LogEvent]:
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path) as handle:
+            text = handle.read()
+        events: List[LogEvent] = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            event = parse_line(stripped, number)
+            if event.source != self.owner:
+                raise SimulationError(
+                    f"log {self.path!r} owned by {self.owner!r} contains an "
+                    f"event from {event.source!r}"
+                )
+            events.append(event)
+        return events
+
+    def read_from(self, offset: int, up_to_time: float) -> Tuple[List[LogEvent], int]:
+        events = self._events()
+        if offset < 0 or offset > len(events):
+            raise SimulationError(f"invalid log offset {offset}")
+        out: List[LogEvent] = []
+        position = offset
+        while position < len(events) and events[position].timestamp <= up_to_time:
+            out.append(events[position])
+            position += 1
+        return out, position
+
+    @property
+    def last_timestamp(self) -> float:
+        events = self._events()
+        if not events:
+            return float("-inf")
+        return events[-1].timestamp
+
+    def __len__(self) -> int:
+        return len(self._events())
+
+
+class FileSource:
+    """Adapter pairing a machine id with its :class:`FileLog`, shaped the
+    way :class:`~repro.grid.sniffer.Sniffer` expects a machine to look."""
+
+    def __init__(self, machine_id: str, log: FileLog) -> None:
+        self.machine_id = machine_id
+        self.log = log
+
+    def __repr__(self) -> str:
+        return f"FileSource({self.machine_id!r}, {self.log.path!r})"
+
+
+def archive_simulation(sim, directory: str) -> List[str]:
+    """Write every machine's in-memory log to ``directory``.
+
+    Returns the file paths written. Payload values are stringified where
+    needed (the text format carries strings)."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for machine_id, machine in sorted(sim.machines.items()):
+        path = log_path(directory, machine_id)
+        writer = FileLogWriter(path, machine_id)
+        for event in machine.log:
+            payload = {k: str(v) for k, v in event.payload.items()}
+            writer.append(LogEvent(event.timestamp, event.source, event.kind, payload))
+        paths.append(path)
+    return paths
+
+
+def discover_logs(directory: str) -> Dict[str, str]:
+    """Map machine id -> log path for every ``*.log`` file in a directory."""
+    out: Dict[str, str] = {}
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(LOG_SUFFIX):
+            out[name[: -len(LOG_SUFFIX)]] = os.path.join(directory, name)
+    return out
+
+
+def replay_directory(
+    backend: Backend,
+    directory: str,
+    up_to_time: Optional[float] = None,
+    config: Optional[SnifferConfig] = None,
+) -> Dict[str, Sniffer]:
+    """Load a directory of log files into ``backend`` through sniffers.
+
+    One sniffer per log file, drained completely up to ``up_to_time``
+    (default: everything). Returns the sniffers, whose offsets/backlogs can
+    be inspected, so callers can also continue polling as files grow.
+    """
+    sniffers: Dict[str, Sniffer] = {}
+    horizon = float("inf") if up_to_time is None else up_to_time
+    for machine_id, path in discover_logs(directory).items():
+        source = FileSource(machine_id, FileLog(path, machine_id))
+        sniffer = Sniffer(source, backend, config or SnifferConfig(lag=0.0))  # type: ignore[arg-type]
+        sniffer.poll(horizon)
+        sniffers[machine_id] = sniffer
+    return sniffers

@@ -1,0 +1,304 @@
+"""The discrete-event grid simulator.
+
+Ties machines, a scheduler, sniffers and failure injection into a tick-based
+loop driven by a seeded RNG, loading the monitoring database exactly the way
+the paper's Condor/quill++ deployment did. Determinism matters: every
+experiment in this repository is reproducible from a seed.
+
+The monitoring schema (``monitoring_catalog``):
+
+* ``activity(mach_id, value, event_time)`` — Section 4.1.1's example table;
+* ``routing(mach_id, neighbor, event_time)`` — Section 4.1.2's P2P topology;
+* ``sched_jobs(sched_machine_id, job_id, remote_machine_id, event_time)`` —
+  the ``S`` relation of Section 4.2 (what the scheduler thinks);
+* ``run_jobs(running_machine_id, job_id, event_time)`` — the ``R`` relation
+  (what the running machine thinks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends.base import Backend
+from repro.backends.memory import MemoryBackend
+from repro.catalog import Catalog, Column, FiniteDomain, TableSchema, TextDomain, TimestampDomain
+from repro.errors import SimulationError
+from repro.grid.job import Job, JobState
+from repro.grid.machine import Machine
+from repro.grid.scheduler import Scheduler
+from repro.grid.sniffer import Sniffer, SnifferConfig
+
+
+def monitoring_catalog(machine_ids: Sequence[str]) -> Catalog:
+    """The monitoring database schema for a given set of machines.
+
+    Machine-id columns get a finite domain (the machine set), which lets the
+    satisfiability checks and the brute-force oracle reason exactly.
+    """
+    machines = FiniteDomain(machine_ids)
+    activity = TableSchema(
+        "activity",
+        [
+            Column("mach_id", "TEXT", machines),
+            Column("value", "TEXT", FiniteDomain({"idle", "busy"})),
+            Column("event_time", "TIMESTAMP", TimestampDomain()),
+        ],
+        source_column="mach_id",
+    )
+    routing = TableSchema(
+        "routing",
+        [
+            Column("mach_id", "TEXT", machines),
+            Column("neighbor", "TEXT", machines),
+            Column("event_time", "TIMESTAMP", TimestampDomain()),
+        ],
+        source_column="mach_id",
+    )
+    sched_jobs = TableSchema(
+        "sched_jobs",
+        [
+            Column("sched_machine_id", "TEXT", machines),
+            Column("job_id", "TEXT", TextDomain()),
+            Column("remote_machine_id", "TEXT", machines),
+            Column("event_time", "TIMESTAMP", TimestampDomain()),
+        ],
+        source_column="sched_machine_id",
+    )
+    run_jobs = TableSchema(
+        "run_jobs",
+        [
+            Column("running_machine_id", "TEXT", machines),
+            Column("job_id", "TEXT", TextDomain()),
+            Column("event_time", "TIMESTAMP", TimestampDomain()),
+        ],
+        source_column="running_machine_id",
+    )
+    return Catalog([activity, routing, sched_jobs, run_jobs])
+
+
+class SimulationConfig:
+    """Knobs for the random behaviour of the grid."""
+
+    def __init__(
+        self,
+        num_machines: int = 8,
+        seed: int = 0,
+        tick: float = 1.0,
+        neighbor_degree: int = 3,
+        heartbeat_interval: float = 30.0,
+        activity_flip_probability: float = 0.05,
+        job_submit_probability: float = 0.10,
+        job_duration_range: Tuple[float, float] = (20.0, 120.0),
+        transfer_delay: float = 2.0,
+        machine_failure_probability: float = 0.0,
+        machine_recover_probability: float = 0.05,
+        sniffer_poll_interval_range: Tuple[float, float] = (3.0, 10.0),
+        sniffer_lag_range: Tuple[float, float] = (1.0, 8.0),
+        num_schedulers: int = 1,
+    ) -> None:
+        if num_machines < 1:
+            raise SimulationError("need at least one machine")
+        if num_schedulers < 1 or num_schedulers > num_machines:
+            raise SimulationError("num_schedulers must be in [1, num_machines]")
+        self.num_machines = num_machines
+        self.seed = seed
+        self.tick = tick
+        self.neighbor_degree = min(neighbor_degree, num_machines - 1)
+        self.heartbeat_interval = heartbeat_interval
+        self.activity_flip_probability = activity_flip_probability
+        self.job_submit_probability = job_submit_probability
+        self.job_duration_range = job_duration_range
+        self.transfer_delay = transfer_delay
+        self.machine_failure_probability = machine_failure_probability
+        self.machine_recover_probability = machine_recover_probability
+        self.sniffer_poll_interval_range = sniffer_poll_interval_range
+        self.sniffer_lag_range = sniffer_lag_range
+        self.num_schedulers = num_schedulers
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationConfig(machines={self.num_machines}, seed={self.seed}, "
+            f"schedulers={self.num_schedulers})"
+        )
+
+
+class GridSimulator:
+    """A deterministic grid whose state is monitored through a backend.
+
+    Parameters
+    ----------
+    config:
+        The :class:`SimulationConfig`.
+    backend_factory:
+        Builds the monitoring backend from the catalog; defaults to
+        :class:`~repro.backends.memory.MemoryBackend`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        backend_factory: Optional[Callable[[Catalog], Backend]] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.rng = random.Random(self.config.seed)
+        self.now = 0.0
+        self.machine_ids = [f"m{i + 1}" for i in range(self.config.num_machines)]
+        self.catalog = monitoring_catalog(self.machine_ids)
+        factory = backend_factory or MemoryBackend
+        self.backend = factory(self.catalog)
+
+        self.machines: Dict[str, Machine] = {mid: Machine(mid) for mid in self.machine_ids}
+        self.schedulers: Dict[str, Scheduler] = {}
+        for mid in self.machine_ids[: self.config.num_schedulers]:
+            self.schedulers[mid] = Scheduler(self.machines[mid], self.rng)
+
+        self.sniffers: Dict[str, Sniffer] = {}
+        for mid in self.machine_ids:
+            sniffer_config = SnifferConfig(
+                poll_interval=self.rng.uniform(*self.config.sniffer_poll_interval_range),
+                lag=self.rng.uniform(*self.config.sniffer_lag_range),
+            )
+            self.sniffers[mid] = Sniffer(self.machines[mid], self.backend, sniffer_config)
+
+        self._job_counter = 0
+        self._pending_starts: List[Tuple[float, str, str]] = []  # (time, machine, job)
+        self._pending_completions: List[Tuple[float, str, str]] = []
+        self._last_heartbeat: Dict[str, float] = {mid: 0.0 for mid in self.machine_ids}
+        self._build_topology()
+        self._bootstrap_state()
+
+    # -- setup ------------------------------------------------------------
+
+    def _build_topology(self) -> None:
+        for mid in self.machine_ids:
+            others = [o for o in self.machine_ids if o != mid]
+            self.rng.shuffle(others)
+            for neighbor in others[: self.config.neighbor_degree]:
+                self.machines[mid].add_neighbor(self.now, neighbor)
+
+    def _bootstrap_state(self) -> None:
+        for mid in self.machine_ids:
+            self.machines[mid].set_activity(self.now, "idle")
+
+    # -- public control ----------------------------------------------------
+
+    def submit_job(
+        self,
+        owner: str,
+        scheduler_machine: Optional[str] = None,
+        duration: Optional[float] = None,
+    ) -> Job:
+        """Submit a job to a scheduling machine (random one by default)."""
+        if scheduler_machine is None:
+            scheduler_machine = self.rng.choice(list(self.schedulers))
+        if scheduler_machine not in self.schedulers:
+            raise SimulationError(f"{scheduler_machine!r} is not a scheduling machine")
+        self._job_counter += 1
+        job = Job(
+            job_id=f"j{self._job_counter}",
+            owner=owner,
+            submit_machine=scheduler_machine,
+            submitted_at=self.now,
+            duration=duration
+            if duration is not None
+            else self.rng.uniform(*self.config.job_duration_range),
+        )
+        scheduler = self.schedulers[scheduler_machine]
+        scheduler.submit(self.now, job)
+        target = scheduler.schedule(self.now, job.job_id, self.machines)
+        self._pending_starts.append((self.now + self.config.transfer_delay, target, job.job_id))
+        return job
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        self.now += self.config.tick
+        self._process_job_lifecycle()
+        self._random_behaviour()
+        for sniffer in self.sniffers.values():
+            sniffer.maybe_poll(self.now)
+
+    def run(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds."""
+        target = self.now + duration
+        while self.now < target:
+            self.step()
+
+    def drain(self) -> None:
+        """Force every sniffer to catch up completely (zero lag, now).
+
+        Useful in tests that need the database to reflect the full logs.
+        """
+        for sniffer in self.sniffers.values():
+            saved_lag = sniffer.config.lag
+            sniffer.config.lag = 0.0
+            sniffer.poll(self.now)
+            sniffer.config.lag = saved_lag
+
+    # -- internals -----------------------------------------------------------
+
+    def _process_job_lifecycle(self) -> None:
+        due_starts = [p for p in self._pending_starts if p[0] <= self.now]
+        self._pending_starts = [p for p in self._pending_starts if p[0] > self.now]
+        for _, machine_id, job_id in due_starts:
+            machine = self.machines[machine_id]
+            job = self._find_job(job_id)
+            if machine.failed:
+                # Evasive action: the scheduler reschedules elsewhere.
+                scheduler = self.schedulers[job.submit_machine]
+                new_target = scheduler.reschedule(self.now, job_id, self.machines)
+                self._pending_starts.append(
+                    (self.now + self.config.transfer_delay, new_target, job_id)
+                )
+                continue
+            machine.start_job(self.now, job_id)
+            job.transition(JobState.RUNNING)
+            job.started_at = self.now
+            self._pending_completions.append((self.now + job.duration, machine_id, job_id))
+
+        due_completions = [p for p in self._pending_completions if p[0] <= self.now]
+        self._pending_completions = [p for p in self._pending_completions if p[0] > self.now]
+        for _, machine_id, job_id in due_completions:
+            machine = self.machines[machine_id]
+            job = self._find_job(job_id)
+            machine.complete_job(self.now, job_id)
+            job.transition(JobState.COMPLETED)
+            job.completed_at = self.now
+
+    def _random_behaviour(self) -> None:
+        for mid in self.machine_ids:
+            machine = self.machines[mid]
+            if machine.failed:
+                if self.rng.random() < self.config.machine_recover_probability:
+                    machine.recover(self.now)
+                continue
+            if self.rng.random() < self.config.machine_failure_probability:
+                machine.fail()
+                continue
+            if self.now - self._last_heartbeat[mid] >= self.config.heartbeat_interval:
+                machine.heartbeat(self.now)
+                self._last_heartbeat[mid] = self.now
+            if not machine.running_jobs and self.rng.random() < self.config.activity_flip_probability:
+                new_state = "busy" if machine.activity == "idle" else "idle"
+                machine.set_activity(self.now, new_state)
+        if self.rng.random() < self.config.job_submit_probability:
+            self.submit_job(owner=f"user{self.rng.randint(1, 5)}")
+
+    def _find_job(self, job_id: str) -> Job:
+        for scheduler in self.schedulers.values():
+            if job_id in scheduler.jobs:
+                return scheduler.jobs[job_id]
+        raise SimulationError(f"unknown job {job_id!r}")
+
+    @property
+    def all_jobs(self) -> List[Job]:
+        out: List[Job] = []
+        for scheduler in self.schedulers.values():
+            out.extend(scheduler.jobs.values())
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GridSimulator(t={self.now}, machines={len(self.machines)}, "
+            f"jobs={len(self.all_jobs)})"
+        )

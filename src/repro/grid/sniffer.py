@@ -1,0 +1,216 @@
+"""Log sniffers: the monitoring processes that load logs into the DBMS.
+
+Each sniffer tails exactly one machine's log. On each poll it reads every
+record flushed before its visibility horizon (``now - lag``), transforms the
+records into rows of the monitoring schema, applies them to the backend and
+finally advances the machine's Heartbeat entry to the newest event timestamp
+it loaded — the simple recency protocol of Section 3.1 ("maintain for each
+data source the timestamp of the most recent event reported by that
+source"). HEARTBEAT records carry no data but still advance recency, which
+is the paper's fix for sources that have nothing to report.
+
+Because each sniffer has its own lag and poll interval, the database is
+inconsistent across sources in exactly the way the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.base import Backend
+from repro.errors import SimulationError
+from repro.grid.events import EventKind, LogEvent
+from repro.grid.machine import Machine
+
+#: Monitoring-schema table names.
+ACTIVITY_TABLE = "activity"
+ROUTING_TABLE = "routing"
+SCHED_TABLE = "sched_jobs"
+RUN_TABLE = "run_jobs"
+
+
+class SnifferConfig:
+    """Tuning knobs for one sniffer.
+
+    Parameters
+    ----------
+    poll_interval:
+        Seconds between polls of the log.
+    lag:
+        Propagation delay: a record written at time ``t`` becomes visible to
+        the sniffer at ``t + lag``.
+    batch_size:
+        Maximum records applied per poll (``None`` = unbounded). A small
+        batch makes a chatty machine's sniffer fall progressively behind —
+        another natural source of staleness.
+    recency_protocol:
+        How the Heartbeat timestamp is maintained (the two options of
+        Section 3.1):
+
+        * ``"last_event"`` (default) — the timestamp of the most recent
+          event reported. Requires no cooperation from the application but
+          makes a quiet source look out of date (the application's periodic
+          HEARTBEAT records compensate).
+        * ``"horizon"`` — after a fully drained poll, recency advances to
+          the visibility horizon (``now - lag``) even with nothing to
+          report. Sound only under this module's write model (events are
+          logged immediately with monotone timestamps over reliable
+          storage): then no event with a timestamp below the horizon can
+          ever appear later. Note it cannot distinguish "alive and quiet"
+          from "dead" — a crashed machine's recency keeps advancing, which
+          is precisely the risk the paper's heartbeat discussion warns
+          about.
+    """
+
+    __slots__ = ("poll_interval", "lag", "batch_size", "recency_protocol")
+
+    PROTOCOLS = ("last_event", "horizon")
+
+    def __init__(
+        self,
+        poll_interval: float = 5.0,
+        lag: float = 2.0,
+        batch_size: Optional[int] = None,
+        recency_protocol: str = "last_event",
+    ) -> None:
+        if poll_interval <= 0:
+            raise SimulationError("poll_interval must be positive")
+        if lag < 0:
+            raise SimulationError("lag cannot be negative")
+        if batch_size is not None and batch_size <= 0:
+            raise SimulationError("batch_size must be positive when given")
+        if recency_protocol not in self.PROTOCOLS:
+            raise SimulationError(
+                f"unknown recency protocol {recency_protocol!r}; "
+                f"expected one of {self.PROTOCOLS}"
+            )
+        self.poll_interval = poll_interval
+        self.lag = lag
+        self.batch_size = batch_size
+        self.recency_protocol = recency_protocol
+
+    def __repr__(self) -> str:
+        return (
+            f"SnifferConfig(poll={self.poll_interval}, lag={self.lag}, "
+            f"batch={self.batch_size}, protocol={self.recency_protocol})"
+        )
+
+
+class Sniffer:
+    """Tails one machine's log into the monitoring database."""
+
+    def __init__(self, machine: Machine, backend: Backend, config: Optional[SnifferConfig] = None) -> None:
+        self.machine = machine
+        self.backend = backend
+        self.config = config or SnifferConfig()
+        self.offset = 0
+        self.last_poll = float("-inf")
+        self.last_loaded_timestamp: Optional[float] = None
+        self.failed = False
+        self.records_loaded = 0
+        self._reported_recency = float("-inf")
+
+    def maybe_poll(self, now: float) -> int:
+        """Poll if the interval elapsed. Returns records applied."""
+        if self.failed:
+            return 0
+        if now - self.last_poll < self.config.poll_interval:
+            return 0
+        return self.poll(now)
+
+    def poll(self, now: float) -> int:
+        """Read newly visible records and apply them to the database."""
+        if self.failed:
+            return 0
+        self.last_poll = now
+        horizon = now - self.config.lag
+        events, new_offset = self.machine.log.read_from(self.offset, horizon)
+        truncated = False
+        if self.config.batch_size is not None and len(events) > self.config.batch_size:
+            events = events[: self.config.batch_size]
+            new_offset = self.offset + len(events)
+            truncated = True
+        for event in events:
+            self._apply(event)
+        self.offset = new_offset
+        if events:
+            self.last_loaded_timestamp = events[-1].timestamp
+            self.records_loaded += len(events)
+
+        recency: Optional[float] = None
+        if self.config.recency_protocol == "horizon" and not truncated:
+            # Fully drained up to the horizon: everything at or before it
+            # that will ever exist has been reported (see SnifferConfig).
+            recency = horizon
+        elif events:
+            recency = events[-1].timestamp
+        if recency is not None and recency > self._reported_recency:
+            self.backend.upsert_heartbeat(self.machine.machine_id, recency)
+            self._reported_recency = recency
+        return len(events)
+
+    # -- record transformation ------------------------------------------------
+
+    def _apply(self, event: LogEvent) -> None:
+        source = event.source
+        ts = event.timestamp
+        if event.kind is EventKind.MACHINE_STATE:
+            self.backend.upsert_rows(
+                ACTIVITY_TABLE, ("mach_id",), [(source, event.value("value"), ts)]
+            )
+        elif event.kind is EventKind.NEIGHBOR_ADDED:
+            self.backend.upsert_rows(
+                ROUTING_TABLE,
+                ("mach_id", "neighbor"),
+                [(source, event.value("neighbor"), ts)],
+            )
+        elif event.kind is EventKind.JOB_SUBMITTED:
+            self.backend.upsert_rows(
+                SCHED_TABLE,
+                ("sched_machine_id", "job_id"),
+                [(source, event.value("job_id"), None, ts)],
+            )
+        elif event.kind is EventKind.JOB_SCHEDULED:
+            self.backend.upsert_rows(
+                SCHED_TABLE,
+                ("sched_machine_id", "job_id"),
+                [(source, event.value("job_id"), event.value("remote_machine"), ts)],
+            )
+        elif event.kind is EventKind.JOB_STARTED:
+            self.backend.upsert_rows(
+                RUN_TABLE,
+                ("running_machine_id", "job_id"),
+                [(source, event.value("job_id"), ts)],
+            )
+        elif event.kind in (EventKind.JOB_COMPLETED, EventKind.JOB_SUSPENDED):
+            self.backend.delete_rows(
+                RUN_TABLE,
+                ("running_machine_id", "job_id"),
+                [(source, event.value("job_id"))],
+            )
+        elif event.kind is EventKind.HEARTBEAT:
+            pass  # advances recency only
+        else:  # pragma: no cover - exhaustiveness guard
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    # -- failure injection --------------------------------------------------------
+
+    def fail(self) -> None:
+        """The sniffer process dies: the source's recency freezes."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Restart: resumes from the durable offset (no records lost)."""
+        self.failed = False
+
+    @property
+    def backlog(self) -> int:
+        """Records written to the log but not yet loaded."""
+        return len(self.machine.log) - self.offset
+
+    def __repr__(self) -> str:
+        status = "FAILED" if self.failed else "ok"
+        return (
+            f"Sniffer({self.machine.machine_id!r}, {status}, "
+            f"loaded={self.records_loaded}, backlog={self.backlog})"
+        )

@@ -1,0 +1,174 @@
+"""Interactive shell: the Section 5.1 user experience.
+
+A tiny REPL over a monitoring database. Every SELECT runs through
+``recencyReport`` and prints the NOTICE lines before the rows, exactly like
+the paper's psql transcript; temp tables from earlier reports stay
+queryable until the session ends.
+
+Dot-commands::
+
+    .tables            list tables and row counts
+    .sources           heartbeat summary (with the z-score split)
+    .plan SQL          explain the relevance analysis without executing
+    .naive SQL         run one report with the Naive method
+    .plain SQL         run the bare query, no recency report
+    .save TEMP NAME    copy a session temp table to a permanent table
+    .help              this text
+    .quit              leave (dropping session temp tables)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO
+
+from repro.backends.base import Backend
+from repro.core.explain import explain_sql
+from repro.core.report import RecencyReporter
+from repro.core.statistics import SourceRecency, format_timestamp, zscore_split
+from repro.errors import TracError
+
+PROMPT = "trac=# "
+
+_HELP = __doc__.split("Dot-commands::", 1)[1]
+
+
+class Shell:
+    """The REPL engine, decoupled from stdin/stdout for testability."""
+
+    def __init__(self, backend: Backend, write: Optional[Callable[[str], None]] = None) -> None:
+        self.backend = backend
+        self.reporter = RecencyReporter(backend)
+        self._write = write or (lambda text: print(text, end=""))
+        self.running = True
+
+    # -- output helpers ----------------------------------------------------
+
+    def _say(self, text: str = "") -> None:
+        self._write(text + "\n")
+
+    def _print_rows(self, columns: List[str], rows: List[tuple]) -> None:
+        if not columns:
+            self._say("(no columns)")
+            return
+        widths = [len(c) for c in columns]
+        rendered = [[("" if v is None else str(v)) for v in row] for row in rows]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        self._say(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+        self._say("-+-".join("-" * w for w in widths))
+        for row in rendered:
+            self._say(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        self._say(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+
+    # -- command dispatch -----------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        """Process one input line."""
+        stripped = line.strip().rstrip(";")
+        if not stripped:
+            return
+        try:
+            if stripped.startswith("."):
+                self._dot_command(stripped)
+            else:
+                self._report(stripped, method="focused")
+        except TracError as exc:
+            self._say(f"error: {exc}")
+
+    def _dot_command(self, line: str) -> None:
+        command, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if command in (".quit", ".exit"):
+            self.running = False
+        elif command == ".help":
+            self._say(_HELP.rstrip())
+        elif command == ".tables":
+            for schema in self.backend.catalog:
+                self._say(f"  {schema.name:<16} {self.backend.row_count(schema.name):>8} rows")
+            for temp in self.backend.list_temp_tables():
+                self._say(f"  {temp:<16} (session temp table)")
+        elif command == ".sources":
+            self._sources()
+        elif command == ".plan":
+            if not rest:
+                self._say("usage: .plan SELECT ...")
+                return
+            self._say(explain_sql(rest, self.backend.catalog))
+        elif command == ".naive":
+            self._report(rest, method="naive")
+        elif command == ".plain":
+            result = self.reporter.run_plain(rest)
+            self._print_rows(result.columns, result.rows)
+        elif command == ".save":
+            parts = rest.split()
+            if len(parts) != 2:
+                self._say("usage: .save <temp_table> <permanent_name>")
+                return
+            self.reporter.session.save_as(parts[0], parts[1])
+            self._say(f"saved {parts[0]} as {parts[1]}")
+        else:
+            self._say(f"unknown command {command!r}; try .help")
+
+    def _sources(self) -> None:
+        heartbeats = self.backend.heartbeat_rows()
+        if not heartbeats:
+            self._say("no heartbeats recorded")
+            return
+        split = zscore_split([SourceRecency(s, r) for s, r in heartbeats])
+        for source in sorted(split.normal, key=lambda s: s.recency):
+            self._say(f"  {source.source_id:<12} {format_timestamp(source.recency)}")
+        for source in sorted(split.exceptional, key=lambda s: s.recency):
+            self._say(
+                f"  {source.source_id:<12} {format_timestamp(source.recency)}   EXCEPTIONAL"
+            )
+
+    def _report(self, sql: str, method: str) -> None:
+        report = self.reporter.report(sql, method=method)
+        for notice in report.notices():
+            self._say(notice)
+        self._say("")
+        self._print_rows(report.result.columns, report.result.rows)
+        flavour = "minimal" if report.minimal else "upper bound"
+        self._say(
+            f"-- {len(report.relevant_source_ids)} relevant source(s), {flavour}, "
+            f"method={report.method}"
+        )
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(self, lines: Iterable[str]) -> None:
+        """Feed lines (a file, a list, or an interactive generator)."""
+        for line in lines:
+            self.handle(line)
+            if not self.running:
+                break
+        self.reporter.close()
+
+    def close(self) -> None:
+        self.reporter.close()
+
+
+def _interactive_lines(stream: TextIO, write: Callable[[str], None]) -> Iterator[str]:
+    while True:
+        write(PROMPT)
+        line = stream.readline()
+        if not line:
+            return
+        yield line
+
+
+def run_shell(backend: Backend, stream: Optional[TextIO] = None) -> None:
+    """Run the shell over ``stream`` (default: stdin) until EOF or .quit."""
+    import sys
+
+    stream = stream or sys.stdin
+
+    def writer(text: str) -> None:
+        sys.stdout.write(text)
+        sys.stdout.flush()
+
+    shell = Shell(backend, writer)
+    writer("TRAC interactive shell - .help for commands, .quit to leave\n")
+    shell.run(_interactive_lines(stream, writer))
+    writer("\n")

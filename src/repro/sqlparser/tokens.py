@@ -1,0 +1,101 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`repro.sqlparser.lexer.tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"       # = <> != < <= > >=
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+#: Words the lexer classifies as keywords (case-insensitive).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "AS",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "TRUE",
+        "FALSE",
+        "GROUP",
+        "BY",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+    }
+)
+
+#: Names of supported aggregate functions.
+AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class Token:
+    """One lexical token.
+
+    Attributes
+    ----------
+    type:
+        The :class:`TokenType`.
+    value:
+        Normalized value. Keywords are upper-cased; identifiers keep their
+        declared case; strings are the unquoted text; numbers are ``int`` or
+        ``float``.
+    position:
+        Zero-based character offset of the token's first character.
+    """
+
+    __slots__ = ("type", "value", "position")
+
+    def __init__(self, type_: TokenType, value: object, position: int) -> None:
+        self.type = type_
+        self.value = value
+        self.position = position
+
+    def is_keyword(self, word: Optional[str] = None) -> bool:
+        """True when this token is a keyword (optionally a specific one)."""
+        if self.type is not TokenType.KEYWORD:
+            return False
+        return word is None or self.value == word.upper()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, pos={self.position})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Token)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))

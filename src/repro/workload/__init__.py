@@ -1,0 +1,47 @@
+"""Synthetic workloads reproducing Section 5.2's experimental setup.
+
+The paper fixed ``data_ratio x num_sources = 10,000,000`` rows in the
+Activity table and swept the data ratio from 10 to 1,000,000 by factors of
+ten. This package generates that data (at a configurable total), the
+Heartbeat and Routing tables that go with it, and the four test queries
+Q1–Q4.
+"""
+
+from repro.workload.generator import (
+    WorkloadConfig,
+    WorkloadData,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+    source_name,
+)
+from repro.workload.queries import (
+    PAPER_MACHINE_INDEXES,
+    query_machine_indexes,
+    query_machines,
+    q1_selective_single,
+    q2_nonselective_single,
+    q3_selective_join,
+    q4_nonselective_join,
+    paper_queries,
+)
+from repro.workload.sweep import SweepConfig, sweep_points
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadData",
+    "generate_workload",
+    "load_workload",
+    "workload_catalog",
+    "source_name",
+    "PAPER_MACHINE_INDEXES",
+    "query_machine_indexes",
+    "query_machines",
+    "q1_selective_single",
+    "q2_nonselective_single",
+    "q3_selective_join",
+    "q4_nonselective_join",
+    "paper_queries",
+    "SweepConfig",
+    "sweep_points",
+]

@@ -1,0 +1,186 @@
+"""Backend behaviour shared across implementations, plus SQLite-specific
+snapshot-isolation tests."""
+
+import pytest
+
+from repro import Catalog, Column, FiniteDomain, MemoryBackend, SQLiteBackend, TableSchema
+from repro.errors import BackendError
+
+
+def tiny_catalog():
+    return Catalog(
+        [
+            TableSchema(
+                "t",
+                [Column("s", "TEXT", FiniteDomain({"a", "b"})), Column("x", "INTEGER")],
+                source_column="s",
+            )
+        ]
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    if request.param == "memory":
+        yield MemoryBackend(tiny_catalog())
+    else:
+        b = SQLiteBackend(tiny_catalog())
+        yield b
+        b.close()
+
+
+class TestCrud:
+    def test_insert_and_count(self, backend):
+        backend.insert_rows("t", [("a", 1), ("b", 2)])
+        assert backend.row_count("t") == 2
+
+    def test_execute_select(self, backend):
+        backend.insert_rows("t", [("a", 1), ("b", 2)])
+        result = backend.execute("SELECT s FROM t WHERE x > 1")
+        assert result.rows == [("b",)]
+
+    def test_delete_all(self, backend):
+        backend.insert_rows("t", [("a", 1)])
+        backend.delete_all("t")
+        assert backend.row_count("t") == 0
+
+    def test_upsert_rows_replaces_by_key(self, backend):
+        backend.insert_rows("t", [("a", 1)])
+        backend.upsert_rows("t", ("s",), [("a", 99), ("b", 2)])
+        result = {s: x for s, x in backend.execute("SELECT s, x FROM t").rows}
+        assert result == {"a": 99, "b": 2}
+        assert backend.row_count("t") == 2
+
+    def test_upsert_composite_key(self, backend):
+        backend.insert_rows("t", [("a", 1), ("a", 2)])
+        backend.upsert_rows("t", ("s", "x"), [("a", 1)])
+        assert backend.row_count("t") == 2
+
+    def test_delete_rows_by_key(self, backend):
+        backend.insert_rows("t", [("a", 1), ("b", 2)])
+        backend.delete_rows("t", ("s",), [("a",)])
+        assert backend.execute("SELECT s FROM t").rows == [("b",)]
+
+
+class TestHeartbeat:
+    def test_upsert_heartbeat_inserts(self, backend):
+        backend.upsert_heartbeat("a", 100.0)
+        assert backend.heartbeat_of("a") == 100.0
+
+    def test_upsert_heartbeat_updates(self, backend):
+        backend.upsert_heartbeat("a", 100.0)
+        backend.upsert_heartbeat("a", 200.0)
+        assert backend.heartbeat_of("a") == 200.0
+        assert len(backend.heartbeat_rows()) == 1
+
+    def test_heartbeat_of_unknown_source(self, backend):
+        assert backend.heartbeat_of("nope") is None
+
+    def test_heartbeat_rows(self, backend):
+        backend.upsert_heartbeat("a", 1.0)
+        backend.upsert_heartbeat("b", 2.0)
+        assert sorted(backend.heartbeat_rows()) == [("a", 1.0), ("b", 2.0)]
+
+
+class TestSnapshots:
+    def test_queries_inside_snapshot(self, backend):
+        backend.insert_rows("t", [("a", 1)])
+        with backend.snapshot() as snap:
+            assert snap.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_memory_snapshot_isolated_from_later_writes(self):
+        backend = MemoryBackend(tiny_catalog())
+        backend.insert_rows("t", [("a", 1)])
+        with backend.snapshot() as snap:
+            backend.insert_rows("t", [("b", 2)])
+            assert snap.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        assert backend.row_count("t") == 2
+
+    def test_sqlite_snapshot_isolated_from_concurrent_writer(self, tmp_path):
+        """The Section 3.2 consistency requirement: a snapshot must not see
+        writes committed by another connection after the snapshot started."""
+        backend = SQLiteBackend(tiny_catalog(), str(tmp_path / "db.sqlite"))
+        backend.insert_rows("t", [("a", 1)])
+        writer = backend.writer_connection()
+        try:
+            with backend.snapshot() as snap:
+                before = snap.execute("SELECT COUNT(*) FROM t").scalar()
+                writer.execute("INSERT INTO t VALUES ('b', 2)")
+                writer.commit()
+                after = snap.execute("SELECT COUNT(*) FROM t").scalar()
+                assert before == after == 1
+            assert backend.row_count("t") == 2
+        finally:
+            writer.close()
+            backend.close()
+
+    def test_nested_snapshot_rejected_sqlite(self):
+        backend = SQLiteBackend(tiny_catalog())
+        try:
+            with backend.snapshot():
+                with pytest.raises(BackendError):
+                    with backend.snapshot():
+                        pass
+        finally:
+            backend.close()
+
+    def test_writer_connection_requires_file_db(self):
+        backend = SQLiteBackend(tiny_catalog())
+        try:
+            with pytest.raises(BackendError):
+                backend.writer_connection()
+        finally:
+            backend.close()
+
+
+class TestTempTables:
+    def test_create_and_query_temp_table(self, backend):
+        with backend.snapshot() as snap:
+            snap.create_temp_table("sys_temp_a99", ("sid", "recency"), [("a", 1.0)])
+        assert "sys_temp_a99" in backend.list_temp_tables()
+        result = backend.execute("SELECT sid FROM sys_temp_a99")
+        assert result.rows == [("a",)]
+
+    def test_drop_temp_table(self, backend):
+        with backend.snapshot() as snap:
+            snap.create_temp_table("sys_temp_a98", ("sid",), [])
+        backend.drop_temp_table("sys_temp_a98")
+        assert "sys_temp_a98" not in backend.list_temp_tables()
+
+    def test_drop_missing_temp_table_is_noop(self, backend):
+        backend.drop_temp_table("never_created")
+
+
+class TestSqliteSpecifics:
+    def test_invalid_identifier_rejected(self):
+        backend = SQLiteBackend(tiny_catalog())
+        try:
+            with pytest.raises(BackendError):
+                with backend.snapshot() as snap:
+                    snap.create_temp_table("bad; DROP TABLE t", ("sid",), [])
+        finally:
+            backend.close()
+
+    def test_bad_sql_raises_backend_error(self):
+        backend = SQLiteBackend(tiny_catalog())
+        try:
+            with pytest.raises(BackendError):
+                backend.execute("SELECT nonsense FROM nowhere")
+        finally:
+            backend.close()
+
+    def test_source_column_index_created(self):
+        backend = SQLiteBackend(tiny_catalog())
+        try:
+            rows = backend._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            ).fetchall()
+            names = {r[0] for r in rows}
+            assert "idx_t_s" in names
+            assert "idx_heartbeat_source" in names
+        finally:
+            backend.close()
+
+    def test_context_manager_closes(self):
+        with SQLiteBackend(tiny_catalog()) as backend:
+            backend.insert_rows("t", [("a", 1)])

@@ -1,0 +1,177 @@
+"""Benchmark-harness tests: metrics, timing protocol, figure builders."""
+
+import pytest
+
+from repro import MemoryBackend
+from repro.bench.harness import MethodMeasurement, measure_methods, time_call
+from repro.bench.metrics import false_positive_rate, naive_fpr, overhead
+from repro.bench.reporting import ascii_table, format_cell, rows_from_dicts, write_csv
+from repro.core.report import RecencyReporter
+from repro.errors import TracError
+
+
+class TestMetrics:
+    def test_fpr_zero_when_exact(self):
+        assert false_positive_rate({"a", "b"}, {"a", "b"}) == 0.0
+
+    def test_fpr_counts_extras(self):
+        assert false_positive_rate({"a", "b", "c"}, {"a"}) == 2.0
+
+    def test_fpr_rejects_incomplete_answer(self):
+        with pytest.raises(TracError):
+            false_positive_rate({"a"}, {"a", "b"})
+
+    def test_fpr_empty_exact_and_empty_reported(self):
+        assert false_positive_rate(set(), set()) == 0.0
+
+    def test_fpr_empty_exact_with_reported_rejected(self):
+        with pytest.raises(TracError):
+            false_positive_rate({"a"}, set())
+
+    def test_paper_q1_closed_form(self):
+        """(100000 - 6) / 6 — the paper prints 16665."""
+        assert naive_fpr(100_000, 6) == pytest.approx(16665.667, abs=0.001)
+
+    def test_paper_q2_closed_form(self):
+        assert naive_fpr(100_000, 100_000 - 6) == pytest.approx(0.00006, abs=1e-6)
+
+    def test_naive_fpr_validation(self):
+        with pytest.raises(TracError):
+            naive_fpr(10, 0)
+        with pytest.raises(TracError):
+            naive_fpr(10, 11)
+
+    def test_overhead(self):
+        assert overhead(1.0, 1.5) == pytest.approx(0.5)
+        assert overhead(2.0, 1.0) == pytest.approx(-0.5)
+        with pytest.raises(TracError):
+            overhead(0.0, 1.0)
+
+
+class TestTimeCall:
+    def test_returns_positive_mean(self):
+        assert time_call(lambda: sum(range(100)), runs=3) > 0
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, runs=0)
+
+    def test_call_count_with_warmup(self):
+        calls = []
+        time_call(lambda: calls.append(1), runs=4)
+        assert len(calls) == 4
+
+    def test_single_run_no_drop(self):
+        calls = []
+        assert time_call(lambda: calls.append(1), runs=1) > 0
+        assert len(calls) == 1
+
+
+class TestMeasureMethods:
+    def test_all_methods_measured(self, paper_memory_backend):
+        reporter = RecencyReporter(paper_memory_backend, create_temp_tables=False)
+        sql = "SELECT mach_id FROM activity WHERE mach_id = 'm1'"
+        results = measure_methods(reporter, sql, runs=2)
+        assert set(results) == {"focused", "focused_hardcoded", "naive"}
+        for m in results.values():
+            assert m.t_plain > 0
+            assert m.t_report > 0
+
+    def test_relevant_counts_differ_between_methods(self, paper_memory_backend):
+        reporter = RecencyReporter(paper_memory_backend, create_temp_tables=False)
+        sql = "SELECT mach_id FROM activity WHERE mach_id = 'm1'"
+        results = measure_methods(reporter, sql, runs=2)
+        assert results["focused"].relevant_count == 1
+        assert results["naive"].relevant_count == 11
+
+    def test_measurement_repr_contains_overhead(self):
+        m = MethodMeasurement("focused", 1.0, 2.0, 5)
+        assert "100.00%" in repr(m)
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("+")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "alpha" in table
+
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(0.00012) == "0.00012"
+        assert format_cell("x") == "x"
+
+    def test_rows_from_dicts(self):
+        rows = rows_from_dicts([{"a": 1, "b": 2}], ["b", "a", "missing"])
+        assert rows == [[2, 1, ""]]
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["a", "b"], [[1, 2]])
+        assert path.read_text().splitlines() == ["a,b", "1,2"]
+
+
+class TestFigureBuilders:
+    """Smoke tests at miniature scale: the builders run end to end and
+    produce the expected record shapes and invariants."""
+
+    def test_fpr_results_focused_is_exact(self):
+        from repro.bench.figures import fpr_results
+
+        records = fpr_results(num_sources=40, data_ratio=5)
+        assert {r["query"] for r in records} == {"Q1", "Q2", "Q3", "Q4"}
+        for record in records:
+            assert record["fpr_focused"] == 0.0
+            if record["query"] in ("Q1", "Q3"):
+                assert record["fpr_naive"] > 1.0
+            else:
+                assert record["fpr_naive"] < 0.5
+
+    def test_figure1_series_shape(self):
+        from repro.bench.figures import figure1_series
+
+        records = figure1_series(total_rows=2000, runs=1, backend_kind="sqlite")
+        queries = {r["query"] for r in records}
+        methods = {r["method"] for r in records}
+        assert queries == {"Q1", "Q2", "Q3", "Q4"}
+        assert methods == {"focused", "focused_hardcoded", "naive"}
+        for record in records:
+            assert record["data_ratio"] * record["num_sources"] == 2000
+
+    def test_figure2_series_shape(self):
+        from repro.bench.figures import figure2_series
+
+        records = figure2_series(total_rows=2000, runs=1, backend_kind="sqlite")
+        assert {r["query"] for r in records} == {"Q1", "Q3"}
+        for record in records:
+            assert record["with_report_s"] > 0
+            assert record["without_report_s"] > 0
+
+    def test_cli_fpr(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fpr", "--fpr-sources", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "False positive rates" in out
+        assert "Q4" in out
+
+
+class TestCliPlot:
+    def test_fig1_with_plot_flag(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["fig1", "--total-rows", "2000", "--runs", "1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead (%) vs data ratio (log-log)" in out
+        assert "legend:" in out
+
+    def test_csv_dir_writes_files(self, tmp_path, capsys):
+        from repro.bench.figures import main
+
+        assert main(
+            ["fpr", "--fpr-sources", "30", "--csv-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "fpr.csv").exists()

@@ -1,0 +1,57 @@
+"""The one-command reproduction report (repro.bench.paper)."""
+
+import pytest
+
+from repro.bench.paper import (
+    build_report,
+    check_semantics,
+    check_transcript,
+    main,
+)
+
+
+class TestClaimCheckers:
+    def test_transcript_check_passes(self):
+        results = check_transcript()
+        assert len(results) == 1
+        assert results[0].passed, results[0].evidence
+
+    def test_semantics_check_passes(self):
+        results = check_semantics()
+        assert results[0].passed, results[0].evidence
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(total_rows=2000, runs=1, fpr_sources=40)
+
+    def test_report_is_markdown_with_checklist(self, report):
+        text, _ = report
+        assert text.startswith("# Reproduction report")
+        assert "| status | claim | evidence |" in text
+        assert "Figure 1 data" in text
+        assert "False-positive rates" in text
+
+    def test_non_timing_claims_always_pass(self, report):
+        """Value claims (fpr, transcript, semantics) are deterministic and
+        must PASS even at tiny scale; timing claims may be noisy there."""
+        text, _ = report
+        for fragment in (
+            "fpr(Focused) = 0",
+            "Section 5.1 transcript",
+            "Section 4.2 cases",
+        ):
+            line = next(l for l in text.splitlines() if fragment in l)
+            assert "**PASS**" in line, line
+
+
+class TestCli:
+    def test_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["--total-rows", "2000", "--runs", "1", "--fpr-sources", "30", "-o", str(out)]
+        )
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()
+        assert code in (0, 1)  # timing claims may be noisy at toy scale

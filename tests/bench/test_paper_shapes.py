@@ -1,0 +1,100 @@
+"""Regression net for the paper's *qualitative* performance claims.
+
+These run a miniature sweep and assert the relationships (not the absolute
+numbers) that Figure 1 and the fpr table report. Margins are deliberately
+loose — an order of magnitude where the real gap is three — so the tests
+stay robust to machine noise while still catching structural regressions
+(e.g. the Focused method accidentally scanning all sources).
+"""
+
+import pytest
+
+from repro import SQLiteBackend
+from repro.bench.harness import measure_methods
+from repro.core.report import RecencyReporter
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+)
+from repro.workload.queries import paper_queries, query_machine_indexes
+
+MANY_SOURCES = 2000
+RATIO = 10
+
+
+@pytest.fixture(scope="module")
+def many_sources_setup():
+    catalog = workload_catalog(MANY_SOURCES)
+    backend = SQLiteBackend(catalog)
+    config = WorkloadConfig(num_sources=MANY_SOURCES, data_ratio=RATIO)
+    load_workload(
+        backend, generate_workload(config, query_machine_indexes(MANY_SOURCES))
+    )
+    reporter = RecencyReporter(backend, create_temp_tables=False)
+    queries = paper_queries(MANY_SOURCES)
+    yield reporter, queries
+    backend.close()
+
+
+class TestFigure1Shapes:
+    def test_naive_much_worse_than_hardcoded_for_selective_q1(self, many_sources_setup):
+        reporter, queries = many_sources_setup
+        results = measure_methods(reporter, queries["Q1"], runs=5)
+        naive = results["naive"].t_report
+        hardcoded = results["focused_hardcoded"].t_report
+        assert naive > 3 * hardcoded, (
+            f"expected Naive >> Focused-hardcoded for selective Q1 at "
+            f"{MANY_SOURCES} sources; got naive={naive:.6f}s vs "
+            f"hardcoded={hardcoded:.6f}s"
+        )
+
+    def test_naive_and_focused_comparable_for_nonselective_q2(self, many_sources_setup):
+        reporter, queries = many_sources_setup
+        results = measure_methods(reporter, queries["Q2"], runs=5)
+        naive = results["naive"].t_report
+        focused = results["focused"].t_report
+        # Both must scan (nearly) all sources; within 5x of each other.
+        assert focused < 5 * naive and naive < 5 * focused
+
+    def test_focused_reports_six_sources_for_selective_queries(self, many_sources_setup):
+        reporter, queries = many_sources_setup
+        for name in ("Q1", "Q3"):
+            report = reporter.report(queries[name])
+            assert len(report.relevant_source_ids) == 6, name
+
+    def test_naive_reports_all_sources(self, many_sources_setup):
+        reporter, queries = many_sources_setup
+        report = reporter.report(queries["Q1"], method="naive")
+        assert len(report.relevant_source_ids) == MANY_SOURCES
+
+    def test_parse_generation_gap(self, many_sources_setup):
+        """Focused (auto) pays parse+generation that hardcoded does not."""
+        reporter, queries = many_sources_setup
+        report = reporter.report(queries["Q3"], method="focused")
+        plan = reporter.plan_for(queries["Q3"])
+        hardcoded = reporter.report(queries["Q3"], method="focused_hardcoded", plan=plan)
+        assert report.timings.parse_generate > 0
+        assert hardcoded.timings.parse_generate == 0
+
+
+class TestHighRatioShapes:
+    def test_overheads_shrink_at_high_ratio(self):
+        """At few sources / many rows per source, every method's overhead
+        collapses (the user query dominates)."""
+        sources, ratio = 20, 2000
+        backend = SQLiteBackend(workload_catalog(sources))
+        config = WorkloadConfig(num_sources=sources, data_ratio=ratio)
+        load_workload(backend, generate_workload(config, query_machine_indexes(sources)))
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        try:
+            queries = paper_queries(sources)
+            results = measure_methods(reporter, queries["Q1"], runs=5)
+            for method, measurement in results.items():
+                assert measurement.overhead < 3.0, (
+                    f"{method} overhead {measurement.overhead:.1%} did not "
+                    "collapse at high data ratio"
+                )
+        finally:
+            backend.close()

@@ -1,0 +1,147 @@
+"""Domain abstraction tests."""
+
+import pytest
+
+from repro.catalog.domains import (
+    FiniteDomain,
+    IntegerDomain,
+    RealDomain,
+    TextDomain,
+    TimestampDomain,
+)
+from repro.errors import DomainError
+
+
+class TestFiniteDomain:
+    def test_contains(self):
+        d = FiniteDomain({"a", "b"})
+        assert d.contains("a")
+        assert not d.contains("c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            FiniteDomain([])
+
+    def test_iter_values_deterministic(self):
+        d = FiniteDomain({"b", "a", "c"})
+        assert list(d.iter_values()) == list(d.iter_values())
+
+    def test_cardinality(self):
+        assert FiniteDomain({1, 2, 3}).cardinality() == 3
+
+    def test_is_finite(self):
+        assert FiniteDomain({1}).is_finite
+
+    def test_interval_intersection(self):
+        d = FiniteDomain({1, 5, 9})
+        assert d.intersects_interval(4, 6)
+        assert not d.intersects_interval(2, 4)
+        assert d.intersects_interval(None, 2)
+        assert d.intersects_interval(9, 9)
+        assert not d.intersects_interval(9, 9, high_inclusive=False)
+
+    def test_mixed_type_values_skip_comparison(self):
+        d = FiniteDomain({"x", 5})
+        assert d.intersects_interval(1, 10)
+
+    def test_equality_and_hash(self):
+        assert FiniteDomain({1, 2}) == FiniteDomain({2, 1})
+        assert hash(FiniteDomain({1, 2})) == hash(FiniteDomain({2, 1}))
+        assert FiniteDomain({1}) != FiniteDomain({2})
+
+
+class TestIntegerDomain:
+    def test_contains_integers_only(self):
+        d = IntegerDomain()
+        assert d.contains(5)
+        assert not d.contains(5.5)
+        assert not d.contains("5")
+        assert not d.contains(True)
+
+    def test_bounds(self):
+        d = IntegerDomain(0, 10)
+        assert d.contains(0)
+        assert d.contains(10)
+        assert not d.contains(-1)
+        assert not d.contains(11)
+
+    def test_bounded_is_finite(self):
+        assert IntegerDomain(0, 10).is_finite
+        assert not IntegerDomain().is_finite
+
+    def test_bounded_enumeration(self):
+        assert list(IntegerDomain(1, 3).iter_values()) == [1, 2, 3]
+
+    def test_unbounded_not_enumerable(self):
+        with pytest.raises(DomainError):
+            list(IntegerDomain().iter_values())
+
+    def test_cardinality(self):
+        assert IntegerDomain(0, 9).cardinality() == 10
+        assert IntegerDomain().cardinality() is None
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DomainError):
+            IntegerDomain(5, 1)
+
+    def test_interval_tightening_open_real_bounds(self):
+        d = IntegerDomain()
+        # (3, 4) contains no integer.
+        assert not d.intersects_interval(3, 4, low_inclusive=False, high_inclusive=False)
+        # (2.5, 3.5) contains 3.
+        assert d.intersects_interval(2.5, 3.5, low_inclusive=False, high_inclusive=False)
+
+    def test_interval_with_domain_bounds(self):
+        d = IntegerDomain(0, 10)
+        assert not d.intersects_interval(11, None)
+        assert d.intersects_interval(10, None)
+
+
+class TestRealDomain:
+    def test_contains(self):
+        d = RealDomain()
+        assert d.contains(1.5)
+        assert d.contains(2)
+        assert not d.contains("x")
+        assert not d.contains(False)
+
+    def test_open_interval_nonempty(self):
+        assert RealDomain().intersects_interval(3, 4, False, False)
+
+    def test_point_interval(self):
+        d = RealDomain()
+        assert d.intersects_interval(3, 3)
+        assert not d.intersects_interval(3, 3, low_inclusive=False)
+
+    def test_clipping_by_domain(self):
+        d = RealDomain(0.0, 1.0)
+        assert not d.intersects_interval(2.0, 3.0)
+        assert d.intersects_interval(0.5, 3.0)
+
+
+class TestTextDomain:
+    def test_contains_strings_only(self):
+        d = TextDomain()
+        assert d.contains("x")
+        assert not d.contains(1)
+
+    def test_intervals(self):
+        d = TextDomain()
+        assert d.intersects_interval("a", "b")
+        assert not d.intersects_interval("b", "a")
+        assert d.intersects_interval("a", "a")
+        assert not d.intersects_interval("a", "a", high_inclusive=False)
+        assert d.intersects_interval(None, "a")
+
+
+class TestTimestampDomain:
+    def test_contains_numbers(self):
+        d = TimestampDomain()
+        assert d.contains(1_142_368_000.0)
+        assert d.contains(0)
+        assert not d.contains("2006-03-15")
+
+    def test_intervals(self):
+        d = TimestampDomain()
+        assert d.intersects_interval(0.0, 10.0)
+        assert not d.intersects_interval(10.0, 0.0)

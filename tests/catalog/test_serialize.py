@@ -1,0 +1,138 @@
+"""Catalog serialization round-trip tests."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    FiniteDomain,
+    IntegerDomain,
+    RealDomain,
+    TableSchema,
+    TextDomain,
+    TimestampDomain,
+)
+from repro.catalog.serialize import (
+    catalog_from_json,
+    catalog_to_json,
+    domain_from_dict,
+    domain_to_dict,
+)
+from repro.errors import CatalogError
+
+
+class TestDomainRoundTrip:
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            FiniteDomain({"a", "b", "c"}),
+            FiniteDomain({1, 2, 3}),
+            IntegerDomain(),
+            IntegerDomain(0, 100),
+            RealDomain(),
+            RealDomain(0.0, 1.0),
+            TextDomain(),
+            TimestampDomain(),
+        ],
+    )
+    def test_round_trip(self, domain):
+        assert domain_from_dict(domain_to_dict(domain)) == domain
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CatalogError):
+            domain_from_dict({"kind": "quantum"})
+
+
+class TestCatalogRoundTrip:
+    def _catalog(self):
+        return Catalog(
+            [
+                TableSchema(
+                    "activity",
+                    [
+                        Column("mach_id", "TEXT", FiniteDomain({"m1", "m2"})),
+                        Column("value", "TEXT", FiniteDomain({"idle", "busy"})),
+                        Column("event_time", "TIMESTAMP"),
+                    ],
+                    source_column="mach_id",
+                ),
+                TableSchema(
+                    "routing",
+                    [
+                        Column("mach_id", "TEXT", FiniteDomain({"m1", "m2"})),
+                        Column("neighbor", "TEXT", FiniteDomain({"m1", "m2"})),
+                    ],
+                    source_column="mach_id",
+                    constraints=("mach_id <> neighbor",),
+                ),
+            ]
+        )
+
+    def test_round_trip_preserves_everything(self):
+        original = self._catalog()
+        rebuilt = catalog_from_json(catalog_to_json(original))
+        assert {t.name for t in rebuilt} == {t.name for t in original}
+        for schema in original.monitored_tables():
+            twin = rebuilt.get(schema.name)
+            assert twin.source_column == schema.source_column
+            assert twin.constraints == schema.constraints
+            assert twin.columns == schema.columns
+
+    def test_heartbeat_not_duplicated(self):
+        rebuilt = catalog_from_json(catalog_to_json(self._catalog()))
+        assert rebuilt.has("heartbeat")
+        assert len(rebuilt) == 3  # heartbeat + 2 tables
+
+    def test_json_is_deterministic(self):
+        assert catalog_to_json(self._catalog()) == catalog_to_json(self._catalog())
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json("not json at all {")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(CatalogError):
+            catalog_from_json('{"version": 99, "tables": []}')
+
+
+class TestSQLiteEmbedding:
+    def test_open_rebuilds_catalog(self, tmp_path):
+        from repro import SQLiteBackend
+
+        path = str(tmp_path / "db.sqlite")
+        original = SQLiteBackend(self_catalog := self._catalog(), path)
+        original.insert_rows("activity", [("m1", "idle", 1.0)])
+        original.upsert_heartbeat("m1", 1.0)
+        original.close()
+
+        reopened = SQLiteBackend.open(path)
+        try:
+            assert reopened.catalog.get("activity").source_column == "mach_id"
+            assert reopened.catalog.get("routing").constraints == ("mach_id <> neighbor",)
+            assert reopened.row_count("activity") == 1
+            # The reopened backend is fully usable for reporting.
+            from repro.core.report import RecencyReporter
+
+            report = RecencyReporter(reopened, create_temp_tables=False).report(
+                "SELECT mach_id FROM activity WHERE mach_id = 'm1'"
+            )
+            assert report.relevant_source_ids == {"m1"}
+        finally:
+            reopened.close()
+
+    def test_open_rejects_plain_sqlite_file(self, tmp_path):
+        import sqlite3
+
+        from repro import SQLiteBackend
+        from repro.errors import BackendError
+
+        path = str(tmp_path / "plain.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE t (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(BackendError):
+            SQLiteBackend.open(path)
+
+    def _catalog(self):
+        return TestCatalogRoundTrip._catalog(self)  # type: ignore[arg-type]

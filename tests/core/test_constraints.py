@@ -1,0 +1,197 @@
+"""Schema-constraint tests: the ``Q -> Q'`` extension of Section 3.4."""
+
+import pytest
+
+from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
+from repro.core.bruteforce import brute_force_relevant_sources
+from repro.core.constraints import (
+    all_constraint_exprs,
+    augmented_where,
+    binding_constraint_exprs,
+)
+from repro.core.relevance import build_relevance_plan
+from repro.core.report import RecencyReporter
+from repro.errors import CatalogError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+MACHINES = FiniteDomain({"m1", "m2", "m3"})
+
+
+def routing_schema(constraints=()):
+    return TableSchema(
+        "routing",
+        [
+            Column("mach_id", "TEXT", MACHINES),
+            Column("neighbor", "TEXT", MACHINES),
+        ],
+        source_column="mach_id",
+        constraints=constraints,
+    )
+
+
+def activity_schema():
+    return TableSchema(
+        "activity",
+        [
+            Column("mach_id", "TEXT", MACHINES),
+            Column("value", "TEXT", FiniteDomain({"idle", "busy"})),
+        ],
+        source_column="mach_id",
+    )
+
+
+class TestConstraintParsing:
+    def test_binding_exprs_resolved(self):
+        catalog = Catalog([routing_schema(("mach_id <> neighbor",))])
+        resolved = resolve(parse_query("SELECT mach_id FROM routing R"), catalog)
+        exprs = binding_constraint_exprs(resolved.bindings[0])
+        assert len(exprs) == 1
+        refs = ast.column_refs(exprs[0])
+        assert all(ref.binding_key == "r" for ref in refs)
+        assert any(ref.is_source for ref in refs)
+
+    def test_unknown_column_rejected(self):
+        catalog = Catalog([routing_schema(("nope = 'x'",))])
+        resolved = resolve(parse_query("SELECT mach_id FROM routing"), catalog)
+        with pytest.raises(CatalogError):
+            binding_constraint_exprs(resolved.bindings[0])
+
+    def test_malformed_text_rejected(self):
+        catalog = Catalog([routing_schema(("mach_id <>",))])
+        resolved = resolve(parse_query("SELECT mach_id FROM routing"), catalog)
+        with pytest.raises(CatalogError):
+            binding_constraint_exprs(resolved.bindings[0])
+
+    def test_foreign_qualifier_rejected(self):
+        catalog = Catalog([routing_schema(("other.mach_id = 'm1'",))])
+        resolved = resolve(parse_query("SELECT mach_id FROM routing"), catalog)
+        with pytest.raises(CatalogError):
+            binding_constraint_exprs(resolved.bindings[0])
+
+    def test_self_join_binds_constraints_twice(self):
+        catalog = Catalog([routing_schema(("mach_id <> neighbor",))])
+        resolved = resolve(
+            parse_query(
+                "SELECT R1.mach_id FROM routing R1, routing R2 "
+                "WHERE R1.neighbor = R2.mach_id"
+            ),
+            catalog,
+        )
+        exprs = all_constraint_exprs(resolved)
+        assert len(exprs) == 2
+        keys = {ast.column_refs(e)[0].binding_key for e in exprs}
+        assert keys == {"r1", "r2"}
+
+    def test_augmented_where_conjoins(self):
+        catalog = Catalog([routing_schema(("mach_id <> neighbor",))])
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM routing WHERE neighbor = 'm3'"), catalog
+        )
+        where = augmented_where(resolved)
+        assert isinstance(where, ast.And)
+        assert len(where.items) == 2
+
+    def test_augmented_where_without_constraints_is_identity(self):
+        catalog = Catalog([routing_schema()])
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM routing WHERE neighbor = 'm3'"), catalog
+        )
+        assert augmented_where(resolved) is resolved.query.where
+
+
+class TestConstraintPrecision:
+    """The paper's own example: with 'a machine can't be its own neighbor',
+    the self-neighbor scenario of Section 4.1.2 cannot make m1 relevant."""
+
+    def _backend(self, constraints):
+        catalog = Catalog([routing_schema(constraints), activity_schema()])
+        backend = MemoryBackend(catalog)
+        backend.insert_rows("activity", [("m1", "idle"), ("m3", "idle")])
+        backend.insert_rows("routing", [("m1", "m3")])
+        for i, m in enumerate(("m1", "m2", "m3")):
+            backend.upsert_heartbeat(m, 100.0 + i)
+        return backend
+
+    # A query whose via-routing relevance hinges on potential self-loops:
+    # which machines are neighbors of themselves and idle?
+    QUERY = (
+        "SELECT R.mach_id FROM routing R, activity A "
+        "WHERE R.mach_id = R.neighbor AND A.mach_id = R.neighbor "
+        "AND A.value = 'idle'"
+    )
+
+    def test_brute_force_shrinks_with_constraint(self):
+        unconstrained = self._backend(())
+        resolved = resolve(parse_query(self.QUERY), unconstrained.catalog)
+        loose = brute_force_relevant_sources(unconstrained.db, resolved)
+        assert loose  # self-loops are potential tuples without the constraint
+
+        constrained = self._backend(("mach_id <> neighbor",))
+        resolved_c = resolve(parse_query(self.QUERY), constrained.catalog)
+        tight = brute_force_relevant_sources(constrained.db, resolved_c)
+        assert tight == set()  # the constraint kills every potential match
+
+    def test_planner_prunes_with_constraint(self):
+        constrained = self._backend(("mach_id <> neighbor",))
+        resolved = resolve(parse_query(self.QUERY), constrained.catalog)
+        plan = build_relevance_plan(resolved, use_constraints=True)
+        # mach_id = neighbor (query) contradicts mach_id <> neighbor
+        # (constraint): the exact finite-domain check proves the conjunct
+        # unsatisfiable and the plan collapses to empty.
+        assert plan.mode == "empty"
+
+    def test_planner_keeps_sources_without_constraint(self):
+        unconstrained = self._backend(())
+        resolved = resolve(parse_query(self.QUERY), unconstrained.catalog)
+        plan = build_relevance_plan(resolved, use_constraints=True)
+        assert plan.mode == "focused"
+
+    def test_reporter_toggle(self):
+        constrained = self._backend(("mach_id <> neighbor",))
+        with_c = RecencyReporter(constrained, create_temp_tables=False)
+        without_c = RecencyReporter(
+            constrained, create_temp_tables=False, use_constraints=False
+        )
+        assert with_c.report(self.QUERY).relevant_source_ids == set()
+        assert without_c.report(self.QUERY).relevant_source_ids != set()
+
+    def test_completeness_preserved_under_constraints(self):
+        """Focused(Q') must still contain brute-force S(Q')."""
+        constrained = self._backend(("mach_id <> neighbor",))
+        for sql in (
+            "SELECT R.mach_id FROM routing R WHERE R.neighbor = 'm3'",
+            "SELECT R.mach_id FROM routing R, activity A "
+            "WHERE R.neighbor = A.mach_id AND A.value = 'idle'",
+        ):
+            resolved = resolve(parse_query(sql), constrained.catalog)
+            exact = brute_force_relevant_sources(constrained.db, resolved)
+            reported = (
+                RecencyReporter(constrained, create_temp_tables=False)
+                .report(sql)
+                .relevant_source_ids
+            )
+            assert reported >= exact
+
+
+class TestConstraintResultInvariance:
+    """Conjoining constraints must not change the *query answer* when the
+    data satisfies them (Q and Q' are equivalent on legal instances)."""
+
+    def test_results_identical(self):
+        catalog = Catalog([routing_schema(("mach_id <> neighbor",)), activity_schema()])
+        backend = MemoryBackend(catalog)
+        backend.insert_rows("routing", [("m1", "m3"), ("m2", "m3")])
+        backend.insert_rows("activity", [("m3", "idle")])
+        for m in ("m1", "m2", "m3"):
+            backend.upsert_heartbeat(m, 1.0)
+        sql = (
+            "SELECT A.mach_id FROM routing R, activity A "
+            "WHERE R.neighbor = A.mach_id AND A.value = 'idle'"
+        )
+        on = RecencyReporter(backend, create_temp_tables=False).report(sql)
+        off = RecencyReporter(
+            backend, create_temp_tables=False, use_constraints=False
+        ).report(sql)
+        assert sorted(on.result.rows) == sorted(off.result.rows)

@@ -1,0 +1,86 @@
+"""Relevance of queries that reference the Heartbeat table itself.
+
+Users legitimately query recency metadata ("which sources are more than an
+hour stale?"). Heartbeat rows are tagged by their own ``source_id``, so the
+standard machinery applies.
+"""
+
+import pytest
+
+from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
+from repro.core.report import RecencyReporter
+
+
+@pytest.fixture
+def backend():
+    activity = TableSchema(
+        "activity",
+        [
+            Column("mach_id", "TEXT", FiniteDomain({"m1", "m2", "m3"})),
+            Column("value", "TEXT", FiniteDomain({"idle", "busy"})),
+        ],
+        source_column="mach_id",
+    )
+    b = MemoryBackend(Catalog([activity]))
+    b.insert_rows("activity", [("m1", "idle"), ("m2", "busy")])
+    b.upsert_heartbeat("m1", 100.0)
+    b.upsert_heartbeat("m2", 200.0)
+    b.upsert_heartbeat("m3", 300.0)
+    return b
+
+
+def report(backend, sql):
+    return RecencyReporter(backend, create_temp_tables=False).report(sql)
+
+
+class TestDirectHeartbeatQueries:
+    def test_point_query_is_minimal(self, backend):
+        r = report(backend, "SELECT recency FROM heartbeat WHERE source_id = 'm1'")
+        assert r.relevant_source_ids == {"m1"}
+        assert r.minimal
+
+    def test_in_list(self, backend):
+        r = report(
+            backend,
+            "SELECT source_id FROM heartbeat WHERE source_id IN ('m1', 'm3')",
+        )
+        assert r.relevant_source_ids == {"m1", "m3"}
+
+    def test_recency_range_query_reports_all(self, backend):
+        # Any source could report and move its recency into range.
+        r = report(backend, "SELECT source_id FROM heartbeat WHERE recency > 150")
+        assert r.relevant_source_ids == {"m1", "m2", "m3"}
+        assert r.minimal
+
+    def test_query_rows_match(self, backend):
+        r = report(backend, "SELECT source_id FROM heartbeat WHERE recency > 150")
+        assert sorted(v for (v,) in r.result.rows) == ["m2", "m3"]
+
+
+class TestJoinWithHeartbeat:
+    def test_staleness_join(self, backend):
+        """'Idle machines whose own heartbeat is older than 150' — a
+        realistic administrator query mixing data and metadata."""
+        sql = (
+            "SELECT A.mach_id FROM activity A, heartbeat H "
+            "WHERE H.source_id = A.mach_id AND A.value = 'idle' "
+            "AND H.recency < 150"
+        )
+        r = report(backend, sql)
+        assert r.result.rows == [("m1",)]
+        # Perhaps surprisingly, only m1 is relevant — and that is exactly
+        # right by Definition 2: via Activity, the existing Heartbeat rows
+        # of m2/m3 fail recency < 150; via Heartbeat, the only existing
+        # idle Activity row is m1's. No single update from m2 or m3 can
+        # change the answer (their OTHER table's row blocks it).
+        assert r.minimal
+        assert r.relevant_source_ids == {"m1"}
+
+    def test_selective_join(self, backend):
+        sql = (
+            "SELECT H.recency FROM activity A, heartbeat H "
+            "WHERE H.source_id = A.mach_id AND A.mach_id = 'm2'"
+        )
+        r = report(backend, sql)
+        assert r.relevant_source_ids == {"m2"}
+        assert r.minimal

@@ -1,0 +1,166 @@
+"""Relevance planning for multi-relation queries (Theorem 4, Corollaries
+4–6) — including the paper's Section 4.1.2 worked example."""
+
+import pytest
+
+from repro.core.relevance import build_relevance_plan
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+Q2 = (
+    "SELECT A.mach_id FROM routing R, activity A "
+    "WHERE R.mach_id = 'm1' AND A.value = 'idle' AND R.neighbor = A.mach_id"
+)
+
+
+def plan_for(sql, catalog, **kwargs):
+    return build_relevance_plan(resolve(parse_query(sql), catalog), **kwargs)
+
+
+class TestPaperQ2Example:
+    def test_one_subquery_per_relation(self, paper_catalog):
+        plan = plan_for(Q2, paper_catalog)
+        assert plan.mode == "focused"
+        assert {s.binding_key for s in plan.subqueries} == {"r", "a"}
+
+    def test_via_routing_is_upper_bound(self, paper_catalog):
+        """S(Q2, R): Jrm present, so only Corollary 5's bound applies."""
+        plan = plan_for(Q2, paper_catalog)
+        via_r = next(s for s in plan.subqueries if s.binding_key == "r")
+        assert not via_r.minimal
+        assert "regular-column join" in via_r.notes
+        # Ps' lands in the main subquery; the A-side Po becomes a guard
+        # because nothing links Heartbeat to A once Jrm is dropped.
+        assert "trac_h.source_id = 'm1'" in via_r.sql
+        assert len(via_r.guards) == 1
+        assert "idle" in via_r.guards[0]
+
+    def test_via_activity_is_minimal(self, paper_catalog):
+        """S(Q2, A): Pm/Jrm NULL and Pr satisfiable — Theorem 4's semijoin."""
+        plan = plan_for(Q2, paper_catalog)
+        via_a = next(s for s in plan.subqueries if s.binding_key == "a")
+        assert via_a.minimal
+        assert "routing r" in via_a.sql
+        assert "r.neighbor = trac_h.source_id" in via_a.sql
+        assert "r.mach_id = 'm1'" in via_a.sql
+        assert via_a.guards == []
+
+    def test_q2_results_match_paper(self, paper_backend):
+        """On Table 1/Table 2 data the paper derives S(Q2,R) = {m1} and
+        S(Q2,A) = {m3}."""
+        from repro.core.report import RecencyReporter
+
+        reporter = RecencyReporter(paper_backend, create_temp_tables=False)
+        report = reporter.report(Q2)
+        assert report.relevant_source_ids == {"m1", "m3"}
+        assert report.result.rows == [("m3",)]
+
+
+class TestGuards:
+    def test_unreferenced_relation_becomes_bare_guard(self, paper_catalog):
+        plan = plan_for(
+            "SELECT A.mach_id FROM activity A, routing R WHERE A.mach_id = 'm1'",
+            paper_catalog,
+        )
+        via_a = next(s for s in plan.subqueries if s.binding_key == "a")
+        assert via_a.guards == ["SELECT 1 FROM routing r LIMIT 1"]
+
+    def test_guard_blocks_when_other_relation_empty(self, paper_catalog):
+        """Definition 2 needs an existing tuple in every other relation: with
+        Routing empty, nothing is relevant via Activity."""
+        from repro import MemoryBackend
+        from repro.core.report import RecencyReporter
+
+        backend = MemoryBackend(paper_catalog)
+        backend.insert_rows("activity", [("m1", "idle", 1.0)])
+        backend.upsert_heartbeat("m1", 10.0)
+        backend.upsert_heartbeat("m2", 20.0)
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report(
+            "SELECT A.mach_id FROM activity A, routing R WHERE A.mach_id = 'm1'"
+        )
+        # Via A: guard on routing fails. Via R: Heartbeat x Activity with no
+        # retained predicate linking them -> activity guard passes, all
+        # sources relevant via R... but R itself projects every heartbeat
+        # row filtered by nothing, with activity guard satisfied.
+        via_a = next(s for s in report.plan.subqueries if s.binding_key == "a")
+        assert any("routing" in g for g in via_a.guards)
+        # The via-R subquery has an activity guard that passes, so all
+        # heartbeat sources are reported via R.
+        assert report.relevant_source_ids == {"m1", "m2"}
+
+    def test_guard_failure_empties_relevant_set(self, paper_catalog):
+        from repro import MemoryBackend
+        from repro.core.report import RecencyReporter
+
+        backend = MemoryBackend(paper_catalog)
+        # Both tables empty; heartbeats exist.
+        backend.upsert_heartbeat("m1", 10.0)
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report(
+            "SELECT A.mach_id FROM activity A, routing R "
+            "WHERE A.mach_id = 'm1' AND R.neighbor = 'm2'"
+        )
+        assert report.relevant_source_ids == set()
+
+
+class TestJsHandling:
+    def test_source_to_source_join_is_retained_everywhere(self, paper_catalog):
+        plan = plan_for(
+            "SELECT A.mach_id FROM activity A, routing R "
+            "WHERE R.mach_id = A.mach_id AND A.value = 'idle'",
+            paper_catalog,
+        )
+        via_a = next(s for s in plan.subqueries if s.binding_key == "a")
+        via_r = next(s for s in plan.subqueries if s.binding_key == "r")
+        assert via_a.minimal
+        assert "r.mach_id = trac_h.source_id" in via_a.sql
+        # Via R, A.value='idle' is Po and A.mach_id joins to Heartbeat.
+        assert via_r.minimal
+        assert "a.mach_id" in via_r.sql and "idle" in via_r.sql
+
+    def test_three_relation_query(self, paper_catalog):
+        from repro.catalog import Column, FiniteDomain, TableSchema
+
+        paper_catalog.add(
+            TableSchema(
+                "load",
+                [
+                    Column("mach_id", "TEXT", FiniteDomain({"m1", "m2", "m3"})),
+                    Column("cpu", "REAL"),
+                ],
+                source_column="mach_id",
+            )
+        )
+        plan = plan_for(
+            "SELECT A.mach_id FROM activity A, routing R, load L "
+            "WHERE R.neighbor = A.mach_id AND L.mach_id = A.mach_id "
+            "AND L.cpu > 0.5",
+            paper_catalog,
+        )
+        assert {s.binding_key for s in plan.subqueries} == {"a", "r", "l"}
+        via_a = next(s for s in plan.subqueries if s.binding_key == "a")
+        # Both join predicates keep A's source column: Js twice -> minimal.
+        assert via_a.minimal
+
+
+class TestCorollary6:
+    def test_unsat_conjunct_prunes_all_relations(self, paper_catalog):
+        plan = plan_for(
+            "SELECT A.mach_id FROM activity A, routing R "
+            "WHERE A.value = 'neither' AND R.neighbor = A.mach_id",
+            paper_catalog,
+        )
+        assert plan.mode == "empty"
+
+    def test_pr_unsat_for_one_relation_prunes_conjunct(self, paper_catalog):
+        # A.value='idle' AND A.value='busy' is Pr-unsat via A; the whole
+        # conjunct can never be satisfied so nothing is relevant via R
+        # either.
+        plan = plan_for(
+            "SELECT A.mach_id FROM activity A, routing R "
+            "WHERE A.value = 'idle' AND A.value = 'busy' "
+            "AND R.neighbor = A.mach_id",
+            paper_catalog,
+        )
+        assert plan.mode == "empty"

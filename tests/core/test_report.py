@@ -1,0 +1,189 @@
+"""End-to-end recency report tests (the Section 5.1 table function)."""
+
+import pytest
+
+from repro.core.report import RecencyReporter, recency_report
+from repro.errors import TracError
+
+IDLE_QUERY = "SELECT mach_id, value FROM activity A WHERE value = 'idle'"
+
+
+class TestReportBasics:
+    def test_result_rows_match_plain_query(self, paper_backend):
+        reporter = RecencyReporter(paper_backend)
+        report = reporter.report(IDLE_QUERY)
+        plain = paper_backend.execute(IDLE_QUERY)
+        assert sorted(report.result.rows) == sorted(plain.rows)
+
+    def test_all_sources_relevant_for_pr_only_query(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert report.relevant_source_ids == {f"m{i}" for i in range(1, 12)}
+        assert report.minimal
+
+    def test_focused_restricts_to_in_list(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(
+            "SELECT mach_id FROM activity "
+            "WHERE mach_id IN ('m1', 'm2') AND value = 'idle'"
+        )
+        assert report.relevant_source_ids == {"m1", "m2"}
+
+    def test_naive_reports_everything(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(
+            "SELECT mach_id FROM activity WHERE mach_id = 'm1'", method="naive"
+        )
+        assert len(report.relevant_source_ids) == 11
+        assert not report.minimal
+
+    def test_hardcoded_requires_plan(self, paper_backend):
+        reporter = RecencyReporter(paper_backend)
+        with pytest.raises(TracError):
+            reporter.report(IDLE_QUERY, method="focused_hardcoded")
+
+    def test_hardcoded_with_plan_matches_focused(self, paper_backend):
+        reporter = RecencyReporter(paper_backend)
+        plan = reporter.plan_for(IDLE_QUERY)
+        hardcoded = reporter.report(IDLE_QUERY, method="focused_hardcoded", plan=plan)
+        focused = reporter.report(IDLE_QUERY, method="focused")
+        assert hardcoded.relevant_source_ids == focused.relevant_source_ids
+        assert hardcoded.timings.parse_generate == 0.0
+
+    def test_unknown_method_rejected(self, paper_backend):
+        with pytest.raises(TracError):
+            RecencyReporter(paper_backend).report(IDLE_QUERY, method="bogus")
+
+    def test_convenience_function(self, paper_backend):
+        report = recency_report(paper_backend, IDLE_QUERY)
+        assert report.method == "focused"
+
+
+class TestSection51Transcript:
+    """The exact behaviours shown in the paper's interactive session."""
+
+    def test_exceptional_source_detected(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert [s.source_id for s in report.exceptional_sources] == ["m2"]
+
+    def test_least_and_most_recent(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert report.statistics.least_recent.source_id == "m1"
+        assert report.statistics.most_recent.source_id == "m3"
+
+    def test_bound_of_inconsistency_is_twenty_minutes(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert report.statistics.inconsistency_bound == pytest.approx(20 * 60.0)
+
+    def test_normal_table_has_ten_rows(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert len(report.normal_sources) == 10
+
+    def test_notices_format(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        notices = report.notices()
+        assert any("Exceptional relevant data sources" in n for n in notices)
+        assert any("The least recent data source: m1" in n for n in notices)
+        assert any("The most recent data source: m3" in n for n in notices)
+        assert any("Bound of inconsistency: 00:20:00" in n for n in notices)
+        assert any('All "normal" relevant data sources' in n for n in notices)
+
+    def test_temp_tables_queryable(self, paper_backend):
+        reporter = RecencyReporter(paper_backend)
+        report = reporter.report(IDLE_QUERY)
+        normal = paper_backend.execute(
+            f"SELECT sid FROM {report.temp_tables.normal}"
+        )
+        exceptional = paper_backend.execute(
+            f"SELECT sid FROM {report.temp_tables.exceptional}"
+        )
+        assert len(normal.rows) == 10
+        assert exceptional.rows == [("m2",)]
+
+    def test_no_relevant_sources_notice(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(
+            "SELECT mach_id FROM activity WHERE value = 'not_a_state'"
+        )
+        assert report.relevant_source_ids == set()
+        assert any("No relevant data sources" in n for n in report.notices())
+
+
+class TestTimings:
+    def test_breakdown_populated(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        t = report.timings
+        assert t.parse_generate > 0
+        assert t.user_query > 0
+        assert t.recency_query > 0
+        assert t.statistics >= 0
+        assert t.total >= t.parse_generate + t.user_query + t.recency_query
+
+    def test_naive_has_no_parse_cost(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY, method="naive")
+        assert report.timings.parse_generate == 0.0
+
+    def test_run_plain(self, paper_backend):
+        result = RecencyReporter(paper_backend).run_plain(IDLE_QUERY)
+        assert sorted(result.rows) == sorted(paper_backend.execute(IDLE_QUERY).rows)
+
+
+class TestConsistency:
+    def test_report_uses_one_snapshot(self, tmp_path, paper_catalog):
+        """Writes committed between the user query and the recency query
+        must not be visible: both run in one snapshot."""
+        from repro import SQLiteBackend
+        from repro.backends.base import Snapshot
+
+        backend = SQLiteBackend(paper_catalog, str(tmp_path / "db.sqlite"))
+        backend.insert_rows("activity", [("m1", "idle", 1.0)])
+        backend.upsert_heartbeat("m1", 100.0)
+
+        writer = backend.writer_connection()
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+
+        calls = {"n": 0}
+
+        def hooked(self, sql):
+            calls["n"] += 1
+            result = type(self)._original_execute(self, sql)
+            if calls["n"] == 1:
+                # Sneak a write in right after the user query finished and
+                # before the recency query runs.
+                writer.execute("INSERT INTO heartbeat VALUES ('m999', 999.0)")
+                writer.commit()
+            return result
+
+        from repro.backends.sqlite import _SQLiteSnapshot
+
+        _SQLiteSnapshot._original_execute = _SQLiteSnapshot.execute
+        _SQLiteSnapshot.execute = hooked
+        try:
+            report = reporter.report(IDLE_QUERY)
+        finally:
+            _SQLiteSnapshot.execute = _SQLiteSnapshot._original_execute
+            del _SQLiteSnapshot._original_execute
+            writer.close()
+
+        # m999 was committed mid-report but must not appear.
+        assert "m999" not in report.relevant_source_ids
+        # It is visible to a fresh query afterwards.
+        assert backend.heartbeat_of("m999") == 999.0
+        backend.close()
+
+
+class TestZThreshold:
+    def test_custom_threshold_changes_split(self, paper_backend):
+        strict = RecencyReporter(paper_backend, z_threshold=0.5).report(IDLE_QUERY)
+        default = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert len(strict.exceptional_sources) >= len(default.exceptional_sources)
+
+
+class TestReporterLifecycle:
+    def test_context_manager_drops_temp_tables(self, paper_backend):
+        with RecencyReporter(paper_backend) as reporter:
+            reporter.report(IDLE_QUERY)
+            assert len(paper_backend.list_temp_tables()) == 2
+        assert paper_backend.list_temp_tables() == []
+
+    def test_create_temp_tables_false(self, paper_backend):
+        reporter = RecencyReporter(paper_backend, create_temp_tables=False)
+        report = reporter.report(IDLE_QUERY)
+        assert report.temp_tables is None
+        assert paper_backend.list_temp_tables() == []

@@ -1,0 +1,225 @@
+"""Mini-engine execution tests: selection, projection, joins, aggregates."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, FiniteDomain, TableSchema
+from repro.engine import Database, execute_sql
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def db(paper_catalog):
+    database = Database(paper_catalog)
+    database.insert_many(
+        "activity",
+        [
+            ("m1", "idle", 100.0),
+            ("m2", "busy", 200.0),
+            ("m3", "idle", 300.0),
+        ],
+    )
+    database.insert_many(
+        "routing",
+        [
+            ("m1", "m3", 400.0),
+            ("m2", "m3", 500.0),
+        ],
+    )
+    database.insert_many("heartbeat", [("m1", 10.0), ("m2", 20.0), ("m3", 30.0)])
+    return database
+
+
+class TestSelection:
+    def test_no_where(self, db):
+        result = execute_sql(db, "SELECT mach_id FROM activity")
+        assert len(result) == 3
+
+    def test_equality_filter(self, db):
+        result = execute_sql(db, "SELECT mach_id FROM activity WHERE value = 'idle'")
+        assert sorted(result.column()) == ["m1", "m3"]
+
+    def test_in_list(self, db):
+        result = execute_sql(
+            db, "SELECT mach_id FROM activity WHERE mach_id IN ('m1', 'm2')"
+        )
+        assert sorted(result.column()) == ["m1", "m2"]
+
+    def test_range(self, db):
+        result = execute_sql(
+            db, "SELECT mach_id FROM activity WHERE event_time BETWEEN 150 AND 350"
+        )
+        assert sorted(result.column()) == ["m2", "m3"]
+
+    def test_or_predicate(self, db):
+        result = execute_sql(
+            db,
+            "SELECT mach_id FROM activity WHERE mach_id = 'm1' OR event_time > 250",
+        )
+        assert sorted(result.column()) == ["m1", "m3"]
+
+    def test_not_predicate(self, db):
+        result = execute_sql(
+            db, "SELECT mach_id FROM activity WHERE NOT value = 'idle'"
+        )
+        assert result.column() == ["m2"]
+
+    def test_constant_false(self, db):
+        assert len(execute_sql(db, "SELECT mach_id FROM activity WHERE 1 = 2")) == 0
+
+    def test_constant_true(self, db):
+        assert len(execute_sql(db, "SELECT mach_id FROM activity WHERE 1 = 1")) == 3
+
+
+class TestProjection:
+    def test_star_single_table(self, db):
+        result = execute_sql(db, "SELECT * FROM activity WHERE mach_id = 'm1'")
+        assert result.columns == ["mach_id", "value", "event_time"]
+        assert result.rows == [("m1", "idle", 100.0)]
+
+    def test_star_join_prefixes_columns(self, db):
+        result = execute_sql(
+            db,
+            "SELECT * FROM routing R, activity A WHERE R.neighbor = A.mach_id",
+        )
+        assert "r.mach_id" in result.columns
+        assert "a.mach_id" in result.columns
+
+    def test_column_order_preserved(self, db):
+        result = execute_sql(db, "SELECT value, mach_id FROM activity")
+        assert result.columns == ["value", "mach_id"]
+
+    def test_alias_in_output(self, db):
+        result = execute_sql(db, "SELECT mach_id AS machine FROM activity")
+        assert result.columns == ["machine"]
+
+    def test_distinct(self, db):
+        result = execute_sql(db, "SELECT DISTINCT value FROM activity")
+        assert sorted(result.column()) == ["busy", "idle"]
+
+    def test_literal_projection(self, db):
+        result = execute_sql(db, "SELECT 1 FROM activity LIMIT 1")
+        assert result.rows == [(1,)]
+
+    def test_limit(self, db):
+        assert len(execute_sql(db, "SELECT mach_id FROM activity LIMIT 2")) == 2
+
+    def test_scalar_helper(self, db):
+        assert execute_sql(db, "SELECT COUNT(*) FROM activity").scalar() == 3
+
+    def test_scalar_rejects_multi_row(self, db):
+        with pytest.raises(EngineError):
+            execute_sql(db, "SELECT mach_id FROM activity").scalar()
+
+
+class TestJoins:
+    def test_paper_q2(self, db):
+        result = execute_sql(
+            db,
+            "SELECT A.mach_id FROM routing R, activity A "
+            "WHERE R.mach_id = 'm1' AND A.value = 'idle' "
+            "AND R.neighbor = A.mach_id",
+        )
+        assert result.rows == [("m3",)]
+
+    def test_cross_join(self, db):
+        result = execute_sql(db, "SELECT A.mach_id FROM routing R, activity A")
+        assert len(result) == 6
+
+    def test_self_join(self, db):
+        result = execute_sql(
+            db,
+            "SELECT R1.mach_id FROM routing R1, routing R2 "
+            "WHERE R1.neighbor = R2.neighbor AND R1.mach_id <> R2.mach_id",
+        )
+        assert sorted(result.column()) == ["m1", "m2"]
+
+    def test_join_with_null_never_matches(self, db):
+        db.insert("routing", ("m3", None, 600.0))
+        result = execute_sql(
+            db,
+            "SELECT R.mach_id FROM routing R, activity A "
+            "WHERE R.neighbor = A.mach_id",
+        )
+        assert "m3" not in result.column()
+
+    def test_three_way_join(self, db):
+        result = execute_sql(
+            db,
+            "SELECT A.mach_id FROM routing R, activity A, heartbeat H "
+            "WHERE R.neighbor = A.mach_id AND H.source_id = A.mach_id "
+            "AND R.mach_id = 'm1'",
+        )
+        assert result.rows == [("m3",)]
+
+    def test_non_equi_join(self, db):
+        result = execute_sql(
+            db,
+            "SELECT A.mach_id FROM activity A, heartbeat H "
+            "WHERE H.recency > A.event_time",
+        )
+        assert result.rows == []
+
+    def test_general_boolean_join(self, db):
+        # OR across relations exercises the non-conjunctive path.
+        result = execute_sql(
+            db,
+            "SELECT A.mach_id FROM routing R, activity A "
+            "WHERE R.neighbor = A.mach_id OR A.mach_id = 'm1'",
+        )
+        assert sorted(set(result.column())) == ["m1", "m3"]
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert execute_sql(db, "SELECT COUNT(*) FROM activity").scalar() == 3
+
+    def test_count_with_filter(self, db):
+        assert (
+            execute_sql(
+                db, "SELECT COUNT(*) FROM activity WHERE value = 'idle'"
+            ).scalar()
+            == 2
+        )
+
+    def test_count_column_skips_nulls(self, db):
+        db.insert("routing", ("m3", None, 600.0))
+        assert execute_sql(db, "SELECT COUNT(neighbor) FROM routing").scalar() == 2
+
+    def test_count_distinct(self, db):
+        assert execute_sql(db, "SELECT COUNT(DISTINCT value) FROM activity").scalar() == 2
+
+    def test_sum_avg_min_max(self, db):
+        assert execute_sql(db, "SELECT SUM(event_time) FROM activity").scalar() == 600.0
+        assert execute_sql(db, "SELECT AVG(event_time) FROM activity").scalar() == 200.0
+        assert execute_sql(db, "SELECT MIN(event_time) FROM activity").scalar() == 100.0
+        assert execute_sql(db, "SELECT MAX(event_time) FROM activity").scalar() == 300.0
+
+    def test_aggregates_on_empty_input(self, db):
+        assert (
+            execute_sql(db, "SELECT COUNT(*) FROM activity WHERE 1 = 2").scalar() == 0
+        )
+        assert (
+            execute_sql(db, "SELECT MAX(event_time) FROM activity WHERE 1 = 2").scalar()
+            is None
+        )
+
+    def test_sum_of_strings_rejected(self, db):
+        with pytest.raises(EngineError):
+            execute_sql(db, "SELECT SUM(value) FROM activity")
+
+    def test_group_by(self, db):
+        result = execute_sql(
+            db, "SELECT value, COUNT(*) FROM activity GROUP BY value"
+        )
+        assert dict(result.rows) == {"idle": 2, "busy": 1}
+
+    def test_group_by_preserves_first_seen_order(self, db):
+        result = execute_sql(db, "SELECT value, COUNT(*) FROM activity GROUP BY value")
+        assert [r[0] for r in result.rows] == ["idle", "busy"]
+
+    def test_plain_column_without_group_by_rejected(self, db):
+        with pytest.raises(EngineError):
+            execute_sql(db, "SELECT mach_id, COUNT(*) FROM activity")
+
+    def test_min_on_strings(self, db):
+        assert execute_sql(db, "SELECT MIN(value) FROM activity").scalar() == "busy"

@@ -1,0 +1,125 @@
+"""ORDER BY tests: parser, printer, engine, and SQLite agreement."""
+
+import sqlite3
+
+import pytest
+
+from repro.catalog import Catalog, Column, TableSchema
+from repro.engine import Database, execute_sql
+from repro.errors import EngineError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.printer import to_sql
+
+
+@pytest.fixture
+def db():
+    schema = TableSchema(
+        "t",
+        [Column("s", "TEXT"), Column("x", "INTEGER"), Column("v", "TEXT")],
+        source_column="s",
+    )
+    database = Database(Catalog([schema]))
+    database.insert_many(
+        "t",
+        [
+            ("b", 2, "q"),
+            ("a", 3, None),
+            ("c", 1, "p"),
+            ("a", 1, "q"),
+        ],
+    )
+    return database
+
+
+class TestParsing:
+    def test_order_by_single(self):
+        q = parse_query("SELECT s FROM t ORDER BY s")
+        assert len(q.order_by) == 1
+        assert not q.order_by[0].descending
+
+    def test_order_by_desc(self):
+        q = parse_query("SELECT s FROM t ORDER BY s DESC")
+        assert q.order_by[0].descending
+
+    def test_order_by_asc_explicit(self):
+        q = parse_query("SELECT s FROM t ORDER BY s ASC")
+        assert not q.order_by[0].descending
+
+    def test_order_by_multiple(self):
+        q = parse_query("SELECT s FROM t ORDER BY s, x DESC")
+        assert len(q.order_by) == 2
+        assert q.order_by[1].descending
+
+    def test_order_by_before_limit(self):
+        q = parse_query("SELECT s FROM t ORDER BY s LIMIT 2")
+        assert q.limit == 2
+
+    def test_round_trip(self):
+        sql = "SELECT s, x FROM t WHERE x > 0 ORDER BY s, x DESC LIMIT 3"
+        assert parse_query(to_sql(parse_query(sql))) == parse_query(sql)
+
+
+class TestEngineOrdering:
+    def test_ascending(self, db):
+        result = execute_sql(db, "SELECT s FROM t ORDER BY s")
+        assert result.column() == ["a", "a", "b", "c"]
+
+    def test_descending(self, db):
+        result = execute_sql(db, "SELECT x FROM t ORDER BY x DESC")
+        assert result.column() == [3, 2, 1, 1]
+
+    def test_multi_key_mixed_directions(self, db):
+        result = execute_sql(db, "SELECT s, x FROM t ORDER BY s ASC, x DESC")
+        assert result.rows == [("a", 3), ("a", 1), ("b", 2), ("c", 1)]
+
+    def test_order_by_column_not_in_select(self, db):
+        result = execute_sql(db, "SELECT s FROM t ORDER BY x, s")
+        assert result.column() == ["a", "c", "b", "a"]
+
+    def test_nulls_sort_first_ascending(self, db):
+        result = execute_sql(db, "SELECT v FROM t ORDER BY v")
+        assert result.column() == [None, "p", "q", "q"]
+
+    def test_nulls_sort_last_descending(self, db):
+        result = execute_sql(db, "SELECT v FROM t ORDER BY v DESC")
+        assert result.column() == ["q", "q", "p", None]
+
+    def test_order_with_limit(self, db):
+        result = execute_sql(db, "SELECT x FROM t ORDER BY x LIMIT 2")
+        assert result.column() == [1, 1]
+
+    def test_order_on_distinct_output(self, db):
+        result = execute_sql(db, "SELECT DISTINCT s FROM t ORDER BY s DESC")
+        assert result.column() == ["c", "b", "a"]
+
+    def test_order_on_group_by_output(self, db):
+        result = execute_sql(
+            db, "SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s"
+        )
+        assert [r[0] for r in result.rows] == ["a", "b", "c"]
+
+    def test_order_on_aggregate_requires_output_column(self, db):
+        with pytest.raises(EngineError):
+            execute_sql(db, "SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY x")
+
+
+class TestSqliteAgreement:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT s, x FROM t ORDER BY s, x",
+            "SELECT s, x FROM t ORDER BY x DESC, s ASC",
+            "SELECT v FROM t ORDER BY v",
+            "SELECT v FROM t ORDER BY v DESC",
+            "SELECT s FROM t WHERE x > 0 ORDER BY s DESC LIMIT 3",
+            "SELECT DISTINCT s FROM t ORDER BY s",
+        ],
+    )
+    def test_same_order_as_sqlite(self, db, sql):
+        conn = sqlite3.connect(":memory:")
+        conn.execute("CREATE TABLE t (s TEXT, x INTEGER, v TEXT)")
+        conn.executemany("INSERT INTO t VALUES (?,?,?)", db.relation("t").rows)
+        expected = conn.execute(sql).fetchall()
+        conn.close()
+        assert execute_sql(db, sql).rows == expected

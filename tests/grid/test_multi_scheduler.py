@@ -1,0 +1,68 @@
+"""Multi-scheduler grids (the P2P flavour of Section 4.1.2's example)."""
+
+import pytest
+
+from repro.core.report import RecencyReporter
+from repro.grid import GridSimulator, SimulationConfig
+
+
+@pytest.fixture
+def sim():
+    return GridSimulator(
+        SimulationConfig(
+            num_machines=6,
+            seed=21,
+            num_schedulers=3,
+            job_submit_probability=0.0,
+        )
+    )
+
+
+class TestMultipleSchedulers:
+    def test_scheduler_machines_are_first_n(self, sim):
+        assert set(sim.schedulers) == {"m1", "m2", "m3"}
+
+    def test_submit_to_each_scheduler(self, sim):
+        for machine in ("m1", "m2", "m3"):
+            job = sim.submit_job("alice", machine, duration=5.0)
+            assert job.submit_machine == machine
+        sim.run(30)
+        assert all(not job.is_active for job in sim.all_jobs)
+
+    def test_random_scheduler_choice(self, sim):
+        chosen = {sim.submit_job("bob").submit_machine for _ in range(20)}
+        assert chosen <= {"m1", "m2", "m3"}
+        assert len(chosen) > 1  # the seeded RNG spreads submissions
+
+    def test_job_ids_unique_across_schedulers(self, sim):
+        ids = [sim.submit_job("carol").job_id for _ in range(10)]
+        assert len(set(ids)) == 10
+
+    def test_find_job_across_schedulers(self, sim):
+        jobs = [sim.submit_job("dave") for _ in range(6)]
+        sim.run(10)
+        for job in jobs:
+            assert sim._find_job(job.job_id) is job
+
+    def test_sched_rows_tagged_by_owning_scheduler(self, sim):
+        for machine in ("m1", "m2", "m3"):
+            sim.submit_job("erin", machine, duration=5.0)
+        sim.run(20)
+        sim.drain()
+        rows = sim.backend.execute(
+            "SELECT sched_machine_id, job_id FROM sched_jobs"
+        ).rows
+        owners = {owner for owner, _ in rows}
+        assert owners == {"m1", "m2", "m3"}
+
+    def test_per_scheduler_query_relevance(self, sim):
+        """'What has scheduler m2 scheduled?' is relevant to m2 only."""
+        sim.submit_job("frank", "m2", duration=5.0)
+        sim.run(20)
+        sim.drain()
+        reporter = RecencyReporter(sim.backend, create_temp_tables=False)
+        report = reporter.report(
+            "SELECT S.job_id FROM sched_jobs S WHERE S.sched_machine_id = 'm2'"
+        )
+        assert report.relevant_source_ids == {"m2"}
+        assert report.minimal

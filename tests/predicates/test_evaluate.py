@@ -1,0 +1,170 @@
+"""Three-valued predicate evaluation tests."""
+
+import pytest
+
+from repro.predicates.evaluate import evaluate_predicate, evaluate_truth, like_match
+from repro.sqlparser.parser import parse_expression
+
+
+def ev(text, **env):
+    expr = parse_expression(text)
+    return evaluate_truth(expr, lambda ref: env.get(ref.name))
+
+
+def ok(text, **env):
+    expr = parse_expression(text)
+    return evaluate_predicate(expr, lambda ref: env.get(ref.name))
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert ev("x = 1", x=1) is True
+        assert ev("x = 1", x=2) is False
+
+    def test_string_equality(self):
+        assert ev("v = 'idle'", v="idle") is True
+        assert ev("v = 'idle'", v="busy") is False
+
+    def test_int_float_cross_comparison(self):
+        assert ev("x = 1", x=1.0) is True
+
+    def test_inequality_ops(self):
+        assert ev("x < 5", x=4) is True
+        assert ev("x <= 4", x=4) is True
+        assert ev("x > 5", x=4) is False
+        assert ev("x >= 4", x=4) is True
+        assert ev("x <> 4", x=5) is True
+
+    def test_string_ordering(self):
+        assert ev("v < 'b'", v="a") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert ev("x = 1", x=None) is None
+        assert ev("x <> 1", x=None) is None
+        assert ev("x < 1", x=None) is None
+
+    def test_null_literal_comparison_is_unknown(self):
+        assert ev("x = NULL", x=1) is None
+
+    def test_mixed_type_equality_is_false(self):
+        assert ev("x = 'a'", x=1) is False
+        assert ev("x <> 'a'", x=1) is True
+
+    def test_mixed_type_ordering_is_unknown(self):
+        assert ev("x < 'a'", x=1) is None
+
+
+class TestInList:
+    def test_member(self):
+        assert ev("v IN ('m1', 'm2')", v="m1") is True
+
+    def test_non_member(self):
+        assert ev("v IN ('m1', 'm2')", v="m3") is False
+
+    def test_null_value_is_unknown(self):
+        assert ev("v IN ('m1')", v=None) is None
+
+    def test_null_in_list_with_match(self):
+        assert ev("v IN ('m1', NULL)", v="m1") is True
+
+    def test_null_in_list_without_match_is_unknown(self):
+        assert ev("v IN ('m1', NULL)", v="m2") is None
+
+    def test_not_in(self):
+        assert ev("v NOT IN ('m1')", v="m2") is True
+        assert ev("v NOT IN ('m1')", v="m1") is False
+
+    def test_not_in_with_null_never_true(self):
+        # x NOT IN (..., NULL) is FALSE or UNKNOWN, never TRUE.
+        assert ev("v NOT IN ('m1', NULL)", v="m1") is False
+        assert ev("v NOT IN ('m1', NULL)", v="m2") is None
+
+
+class TestBetween:
+    def test_inside(self):
+        assert ev("x BETWEEN 1 AND 5", x=3) is True
+
+    def test_boundaries_inclusive(self):
+        assert ev("x BETWEEN 1 AND 5", x=1) is True
+        assert ev("x BETWEEN 1 AND 5", x=5) is True
+
+    def test_outside(self):
+        assert ev("x BETWEEN 1 AND 5", x=6) is False
+
+    def test_not_between(self):
+        assert ev("x NOT BETWEEN 1 AND 5", x=6) is True
+        assert ev("x NOT BETWEEN 1 AND 5", x=3) is False
+
+    def test_null_is_unknown(self):
+        assert ev("x BETWEEN 1 AND 5", x=None) is None
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert ev("v LIKE 'Tao%'", v="Tao100") is True
+        assert ev("v LIKE 'Tao%'", v="Xao100") is False
+
+    def test_underscore_wildcard(self):
+        assert ev("v LIKE 'm_'", v="m1") is True
+        assert ev("v LIKE 'm_'", v="m10") is False
+
+    def test_exact_pattern(self):
+        assert ev("v LIKE 'idle'", v="idle") is True
+
+    def test_case_sensitive(self):
+        assert ev("v LIKE 'IDLE'", v="idle") is False
+
+    def test_not_like(self):
+        assert ev("v NOT LIKE 'm%'", v="x1") is True
+
+    def test_null_is_unknown(self):
+        assert ev("v LIKE 'x%'", v=None) is None
+
+    def test_regex_metacharacters_escaped(self):
+        assert like_match("a.b", "a.b") is True
+        assert like_match("a.b", "axb") is False
+        assert like_match("(x)", "(x)") is True
+
+    def test_percent_matches_newline(self):
+        assert like_match("a%b", "a\nb") is True
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert ev("x IS NULL", x=None) is True
+        assert ev("x IS NULL", x=1) is False
+
+    def test_is_not_null(self):
+        assert ev("x IS NOT NULL", x=1) is True
+        assert ev("x IS NOT NULL", x=None) is False
+
+
+class TestBooleanLogic:
+    def test_and_short_circuit_false(self):
+        assert ev("x = 1 AND y = 2", x=2, y=2) is False
+
+    def test_and_unknown_propagates(self):
+        assert ev("x = 1 AND y = 2", x=1, y=None) is None
+
+    def test_false_beats_unknown_in_and(self):
+        assert ev("x = 1 AND y = 2", x=2, y=None) is False
+
+    def test_or_true_beats_unknown(self):
+        assert ev("x = 1 OR y = 2", x=1, y=None) is True
+
+    def test_or_unknown(self):
+        assert ev("x = 1 OR y = 2", x=2, y=None) is None
+
+    def test_not_unknown_is_unknown(self):
+        assert ev("NOT x = 1", x=None) is None
+
+    def test_not_true(self):
+        assert ev("NOT x = 1", x=1) is False
+
+    def test_true_false_literals(self):
+        assert ev("TRUE") is True
+        assert ev("FALSE") is False
+
+    def test_predicate_collapses_unknown_to_false(self):
+        assert ok("x = 1", x=None) is False
+        assert ok("x = 1", x=1) is True

@@ -1,0 +1,228 @@
+"""Satisfiability checker tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import FiniteDomain, IntegerDomain, RealDomain, TextDomain
+from repro.predicates.dnf import basic_terms_of
+from repro.predicates.satisfiability import (
+    ColumnConstraint,
+    Satisfiability,
+    check_conjunction,
+)
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+from repro.catalog import Catalog, Column, TableSchema
+
+SAT = Satisfiability.SAT
+UNSAT = Satisfiability.UNSAT
+UNKNOWN = Satisfiability.UNKNOWN
+
+
+def make_catalog(**domains):
+    """A one-table catalog with column 's' as source plus given columns."""
+    columns = [Column("s", "TEXT", FiniteDomain({"s1", "s2"}))]
+    for name, domain in domains.items():
+        sql_type = "INTEGER" if isinstance(domain, IntegerDomain) else (
+            "REAL" if isinstance(domain, RealDomain) else "TEXT")
+        columns.append(Column(name, sql_type, domain))
+    return Catalog([TableSchema("t", columns, source_column="s")])
+
+
+def check(where, **domains):
+    catalog = make_catalog(**domains)
+    query = parse_query(f"SELECT s FROM t WHERE {where}")
+    resolved = resolve(query, catalog)
+    schema = catalog.get("t")
+    terms = basic_terms_of(query.where)
+    return check_conjunction(terms, lambda ref: schema.column(ref.name).domain)
+
+
+class TestFiniteDomains:
+    def test_satisfiable_equality(self):
+        assert check("v = 'idle'", v=FiniteDomain({"idle", "busy"})) is SAT
+
+    def test_value_outside_domain(self):
+        assert check("v = 'gone'", v=FiniteDomain({"idle", "busy"})) is UNSAT
+
+    def test_contradictory_equalities(self):
+        assert check("v = 'idle' AND v = 'busy'", v=FiniteDomain({"idle", "busy"})) is UNSAT
+
+    def test_in_list_intersection(self):
+        assert check("v IN ('a', 'b') AND v IN ('b', 'c')", v=FiniteDomain({"a", "b", "c"})) is SAT
+        assert check("v IN ('a') AND v IN ('b')", v=FiniteDomain({"a", "b"})) is UNSAT
+
+    def test_exclusion_exhausts_domain(self):
+        assert check("v <> 'a' AND v <> 'b'", v=FiniteDomain({"a", "b"})) is UNSAT
+
+    def test_exclusion_leaves_room(self):
+        assert check("v <> 'a'", v=FiniteDomain({"a", "b"})) is SAT
+
+    def test_not_in_with_null_is_unsat(self):
+        # x NOT IN (..., NULL) can never be TRUE in SQL.
+        assert check("v NOT IN ('a', NULL)", v=FiniteDomain({"a", "b"})) is UNSAT
+
+    def test_equals_null_is_unsat(self):
+        assert check("v = NULL", v=FiniteDomain({"a"})) is UNSAT
+
+    def test_like_on_finite_domain(self):
+        assert check("v LIKE 'id%'", v=FiniteDomain({"idle", "busy"})) is SAT
+        assert check("v LIKE 'zz%'", v=FiniteDomain({"idle", "busy"})) is UNSAT
+
+
+class TestIntervals:
+    def test_integer_range_satisfiable(self):
+        assert check("x > 3 AND x < 10", x=IntegerDomain()) is SAT
+
+    def test_integer_range_empty(self):
+        assert check("x > 3 AND x < 4", x=IntegerDomain()) is UNSAT
+
+    def test_integer_range_single_point(self):
+        assert check("x >= 4 AND x <= 4", x=IntegerDomain()) is SAT
+
+    def test_integer_point_excluded(self):
+        assert check("x >= 4 AND x <= 4 AND x <> 4", x=IntegerDomain()) is UNSAT
+
+    def test_real_open_interval_satisfiable(self):
+        # (3, 4) is empty over the integers but not over the reals.
+        assert check("x > 3 AND x < 4", x=RealDomain()) is SAT
+
+    def test_real_degenerate_empty(self):
+        assert check("x > 3 AND x < 3", x=RealDomain()) is UNSAT
+
+    def test_between_contradiction(self):
+        assert check("x BETWEEN 5 AND 1", x=IntegerDomain()) is UNSAT
+
+    def test_domain_bounds_respected(self):
+        assert check("x > 100", x=IntegerDomain(0, 50)) is UNSAT
+        assert check("x > 40", x=IntegerDomain(0, 50)) is SAT
+
+    def test_exclusions_inside_bounded_integer_interval(self):
+        assert check(
+            "x BETWEEN 1 AND 3 AND x <> 1 AND x <> 2 AND x <> 3", x=IntegerDomain()
+        ) is UNSAT
+        assert check(
+            "x BETWEEN 1 AND 3 AND x <> 1 AND x <> 2", x=IntegerDomain()
+        ) is SAT
+
+    def test_unbounded_with_exclusions_is_sat(self):
+        assert check("x <> 1 AND x <> 2 AND x <> 3", x=IntegerDomain()) is SAT
+
+
+class TestNullHandling:
+    def test_is_null_unsat_over_domains(self):
+        # Potential tuples draw from NULL-free domains (Definition 1).
+        assert check("v IS NULL", v=FiniteDomain({"a"})) is UNSAT
+
+    def test_is_not_null_vacuous(self):
+        assert check("v IS NOT NULL", v=FiniteDomain({"a"})) is SAT
+
+
+class TestTextDomains:
+    def test_plain_like_satisfiable(self):
+        assert check("v LIKE 'Tao%'", v=TextDomain()) is SAT
+
+    def test_equality_on_text(self):
+        assert check("v = 'anything'", v=TextDomain()) is SAT
+
+    def test_range_on_text(self):
+        assert check("v >= 'a' AND v <= 'b'", v=TextDomain()) is SAT
+
+    def test_empty_text_range(self):
+        assert check("v > 'b' AND v < 'a'", v=TextDomain()) is UNSAT
+
+
+class TestCrossColumnTerms:
+    def test_cross_column_small_finite_exact(self):
+        d = FiniteDomain({1, 2, 3})
+        assert check("x = y", x=d, y=d) is SAT
+
+    def test_cross_column_contradiction_exact(self):
+        assert check(
+            "x = y AND x = 1 AND y = 2",
+            x=FiniteDomain({1, 2}),
+            y=FiniteDomain({1, 2}),
+        ) is UNSAT
+
+    def test_cross_column_infinite_is_unknown(self):
+        assert check("x = y", x=RealDomain(), y=RealDomain()) is UNKNOWN
+
+    def test_constant_false_term(self):
+        assert check("FALSE AND x = 1", x=IntegerDomain()) is UNSAT
+
+    def test_constant_literal_comparison(self):
+        # 1 = 2 has no column; the exact fallback proves it UNSAT.
+        assert check("1 = 2 AND v = 'a'", v=FiniteDomain({"a"})) is UNSAT
+
+
+class TestColumnConstraintUnit:
+    def test_admits_respects_interval_inclusivity(self):
+        c = ColumnConstraint()
+        c.require_low(1, False)
+        c.require_high(5, True)
+        assert not c.admits(1)
+        assert c.admits(2)
+        assert c.admits(5)
+        assert not c.admits(6)
+
+    def test_tightening_keeps_strictest_bound(self):
+        c = ColumnConstraint()
+        c.require_low(1, True)
+        c.require_low(3, False)
+        assert not c.admits(3)
+        assert c.admits(4)
+
+    def test_same_bound_exclusive_wins(self):
+        c = ColumnConstraint()
+        c.require_low(3, True)
+        c.require_low(3, False)
+        assert not c.admits(3)
+
+    def test_allowed_then_excluded(self):
+        c = ColumnConstraint()
+        c.require_in(["a", "b"])
+        c.require_not_equal("a")
+        assert not c.admits("a")
+        assert c.admits("b")
+
+    def test_satisfiability_has_no_truthiness(self):
+        with pytest.raises(TypeError):
+            bool(SAT)
+
+
+class TestSoundnessProperty:
+    """SAT/UNSAT verdicts must agree with brute-force enumeration."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y"]),
+                st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                st.integers(0, 4),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_verdict_matches_enumeration(self, triples):
+        domain = FiniteDomain(set(range(5)))
+        where = " AND ".join(f"{c} {op} {v}" for c, op, v in triples)
+        verdict = check(where, x=domain, y=domain)
+
+        # Brute-force ground truth over the 5x5 grid.
+        from repro.predicates.evaluate import evaluate_predicate
+        from repro.sqlparser.parser import parse_expression
+
+        expr = parse_expression(where)
+        truth = any(
+            evaluate_predicate(expr, lambda ref, a=a, b=b: a if ref.name == "x" else b)
+            for a in range(5)
+            for b in range(5)
+        )
+        if verdict is SAT:
+            assert truth
+        elif verdict is UNSAT:
+            assert not truth
+        # UNKNOWN is always permitted.

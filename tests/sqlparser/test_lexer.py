@@ -1,0 +1,160 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import Token, TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t  ") == [TokenType.EOF]
+
+    def test_keywords_are_uppercased(self):
+        assert values("select From wHeRe") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        assert values("Activity mach_id") == ["Activity", "mach_id"]
+
+    def test_identifier_with_digits_and_underscores(self):
+        assert values("Tao100 sys_temp_a1") == ["Tao100", "sys_temp_a1"]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ; *")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.SEMICOLON,
+            TokenType.STAR,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values("'idle'") == ["idle"]
+
+    def test_empty_string(self):
+        assert values("''") == [""]
+
+    def test_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_string_with_spaces_and_keywords(self):
+        assert values("'SELECT FROM x'") == ["SELECT FROM x"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_string_token_type(self):
+        token = tokenize("'a'")[0]
+        assert token.type is TokenType.STRING
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+        assert isinstance(tokenize("42")[0].value, int)
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+        assert isinstance(tokenize("3.25")[0].value, float)
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_scientific_notation(self):
+        assert values("1e3") == [1000.0]
+        assert values("2.5e-2") == [0.025]
+
+    def test_number_then_identifier(self):
+        assert values("1x") == [1, "x"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", "<=", ">", ">=", "<>", "!="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[1].value == op
+
+    def test_adjacent_operators_split_correctly(self):
+        # "a<=b" must lex as identifier, <=, identifier.
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_bare_bang_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a ! b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment here\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* anything\n at all */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* oops")
+
+    def test_lone_dash_is_error(self):
+        with pytest.raises(LexerError):
+            tokenize("a - b")
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted_identifier(self):
+        assert values('"select"') == ["select"]
+        assert tokenize('"select"')[0].type is TokenType.IDENTIFIER
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestFullStatements:
+    def test_paper_query_q1(self):
+        sql = (
+            "SELECT mach_id FROM Activity "
+            "WHERE mach_id IN ('m1', 'm2') AND value = 'idle';"
+        )
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF
+        assert tokens[-2].type is TokenType.SEMICOLON
+        keyword_values = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keyword_values == ["SELECT", "FROM", "WHERE", "IN", "AND"]
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("ab = 'c'")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+        assert tokens[2].position == 5
+
+    def test_token_equality_ignores_position(self):
+        a = Token(TokenType.IDENTIFIER, "x", 0)
+        b = Token(TokenType.IDENTIFIER, "x", 7)
+        assert a == b
+
+    def test_unexpected_character_raises_with_offset(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("a ? b")
+        assert info.value.position == 2

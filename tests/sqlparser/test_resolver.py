@@ -1,0 +1,148 @@
+"""Resolver tests: binding columns to catalog tables."""
+
+import pytest
+
+from repro.errors import ResolutionError
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+
+def _where_refs(resolved):
+    return ast.column_refs(resolved.query.where)
+
+
+class TestBindings:
+    def test_single_table_binding(self, paper_catalog):
+        resolved = resolve(parse_query("SELECT mach_id FROM activity"), paper_catalog)
+        assert resolved.is_single_relation
+        assert resolved.bindings[0].key == "activity"
+        assert resolved.bindings[0].schema.name == "activity"
+
+    def test_alias_binding(self, paper_catalog):
+        resolved = resolve(parse_query("SELECT A.mach_id FROM activity A"), paper_catalog)
+        assert resolved.bindings[0].key == "a"
+
+    def test_binding_lookup_case_insensitive(self, paper_catalog):
+        resolved = resolve(parse_query("SELECT A.mach_id FROM activity A"), paper_catalog)
+        assert resolved.binding("A").schema.name == "activity"
+
+    def test_unknown_table(self, paper_catalog):
+        with pytest.raises(ResolutionError):
+            resolve(parse_query("SELECT x FROM nope"), paper_catalog)
+
+    def test_duplicate_binding_key(self, paper_catalog):
+        with pytest.raises(ResolutionError, match="duplicate"):
+            resolve(parse_query("SELECT mach_id FROM activity, activity"), paper_catalog)
+
+    def test_self_join_with_aliases_allowed(self, paper_catalog):
+        resolved = resolve(
+            parse_query(
+                "SELECT R1.mach_id FROM routing R1, routing R2 "
+                "WHERE R1.neighbor = R2.mach_id"
+            ),
+            paper_catalog,
+        )
+        assert [b.key for b in resolved.bindings] == ["r1", "r2"]
+
+    def test_heartbeat_is_resolvable(self, paper_catalog):
+        resolved = resolve(
+            parse_query("SELECT source_id FROM heartbeat"), paper_catalog
+        )
+        assert resolved.bindings[0].schema.source_column == "source_id" 
+
+
+class TestColumnBinding:
+    def test_qualified_reference(self, paper_catalog):
+        resolved = resolve(
+            parse_query("SELECT A.mach_id FROM activity A WHERE A.value = 'idle'"),
+            paper_catalog,
+        )
+        ref = _where_refs(resolved)[0]
+        assert ref.binding_key == "a"
+
+    def test_unqualified_unique_reference(self, paper_catalog):
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM activity WHERE value = 'idle'"),
+            paper_catalog,
+        )
+        ref = _where_refs(resolved)[0]
+        assert ref.binding_key == "activity"
+
+    def test_ambiguous_unqualified_reference(self, paper_catalog):
+        # mach_id exists in both activity and routing.
+        with pytest.raises(ResolutionError, match="ambiguous"):
+            resolve(
+                parse_query(
+                    "SELECT neighbor FROM routing, activity WHERE mach_id = 'm1'"
+                ),
+                paper_catalog,
+            )
+
+    def test_unknown_column(self, paper_catalog):
+        with pytest.raises(ResolutionError):
+            resolve(parse_query("SELECT nope FROM activity"), paper_catalog)
+
+    def test_unknown_column_via_qualifier(self, paper_catalog):
+        with pytest.raises(ResolutionError):
+            resolve(parse_query("SELECT A.nope FROM activity A"), paper_catalog)
+
+    def test_unknown_qualifier(self, paper_catalog):
+        with pytest.raises(ResolutionError):
+            resolve(parse_query("SELECT B.mach_id FROM activity A"), paper_catalog)
+
+
+class TestSourceFlag:
+    def test_source_column_flagged(self, paper_catalog):
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM activity WHERE mach_id = 'm1'"),
+            paper_catalog,
+        )
+        ref = _where_refs(resolved)[0]
+        assert ref.is_source
+
+    def test_regular_column_not_flagged(self, paper_catalog):
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM activity WHERE value = 'idle'"),
+            paper_catalog,
+        )
+        ref = _where_refs(resolved)[0]
+        assert not ref.is_source
+
+    def test_neighbor_is_regular_despite_machine_domain(self, paper_catalog):
+        # routing.neighbor holds machine ids but is NOT the source column.
+        resolved = resolve(
+            parse_query("SELECT mach_id FROM routing WHERE neighbor = 'm3'"),
+            paper_catalog,
+        )
+        ref = _where_refs(resolved)[0]
+        assert not ref.is_source
+
+    def test_source_flag_per_binding_in_join(self, paper_catalog):
+        resolved = resolve(
+            parse_query(
+                "SELECT A.mach_id FROM routing R, activity A "
+                "WHERE R.neighbor = A.mach_id"
+            ),
+            paper_catalog,
+        )
+        refs = {ref.display(): ref for ref in _where_refs(resolved)}
+        assert not refs["R.neighbor"].is_source
+        assert refs["A.mach_id"].is_source
+
+    def test_select_list_also_resolved(self, paper_catalog):
+        resolved = resolve(parse_query("SELECT A.mach_id FROM activity A"), paper_catalog)
+        item_ref = resolved.query.select_items[0].expr
+        assert item_ref.binding_key == "a"
+        assert item_ref.is_source
+
+    def test_equal_after_resolution_regardless_of_qualification(self, paper_catalog):
+        r1 = resolve(
+            parse_query("SELECT mach_id FROM activity WHERE value = 'idle'"),
+            paper_catalog,
+        )
+        r2 = resolve(
+            parse_query("SELECT activity.mach_id FROM activity WHERE activity.value = 'idle'"),
+            paper_catalog,
+        )
+        assert r1.query.where == r2.query.where

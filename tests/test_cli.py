@@ -1,0 +1,128 @@
+"""CLI tests: simulate / report / replay / inspect / bench."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def grid_db(tmp_path):
+    db = str(tmp_path / "grid.sqlite")
+    logs = str(tmp_path / "logs")
+    code = main(
+        [
+            "simulate",
+            "--db",
+            db,
+            "--machines",
+            "6",
+            "--duration",
+            "200",
+            "--seed",
+            "4",
+            "--archive",
+            logs,
+        ]
+    )
+    assert code == 0
+    return db, logs
+
+
+class TestSimulate:
+    def test_creates_database_and_archive(self, grid_db, capsys):
+        db, logs = grid_db
+        assert os.path.exists(db)
+        assert len(os.listdir(logs)) == 6
+
+    def test_output_mentions_tables(self, tmp_path, capsys):
+        db = str(tmp_path / "g.sqlite")
+        main(["simulate", "--db", db, "--machines", "3", "--duration", "50"])
+        out = capsys.readouterr().out
+        assert "activity" in out
+        assert "heartbeat" in out
+
+
+class TestReport:
+    def test_report_prints_notices_and_rows(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(
+            ["report", "--db", db, "SELECT mach_id FROM activity WHERE value = 'idle'"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NOTICE:" in out
+        assert "relevant sources" in out
+        assert "provably minimal : True" in out
+
+    def test_show_plan(self, grid_db, capsys):
+        db, _ = grid_db
+        main(
+            [
+                "report",
+                "--db",
+                db,
+                "SELECT mach_id FROM activity WHERE mach_id = 'm1'",
+                "--show-plan",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "via activity" in out
+        assert "trac_h.source_id = 'm1'" in out
+
+    def test_naive_method(self, grid_db, capsys):
+        db, _ = grid_db
+        main(
+            [
+                "report",
+                "--db",
+                db,
+                "SELECT mach_id FROM activity WHERE mach_id = 'm1'",
+                "--method",
+                "naive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "relevant sources : 6" in out
+        assert "provably minimal : False" in out
+
+    def test_bad_sql_reports_error(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(["report", "--db", db, "SELECT FROM nothing"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_replay_roundtrip(self, grid_db, tmp_path, capsys):
+        db, logs = grid_db
+        out_db = str(tmp_path / "replayed.sqlite")
+        code = main(["replay", "--logs", logs, "--db", out_db])
+        assert code == 0
+        assert os.path.exists(out_db)
+        out = capsys.readouterr().out
+        assert "replayed" in out
+
+    def test_replay_empty_directory_fails(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        code = main(["replay", "--logs", empty, "--db", str(tmp_path / "x.sqlite")])
+        assert code == 1
+
+
+class TestInspect:
+    def test_inspect_summarizes(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(["inspect", "--db", db])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heartbeats: 6 sources" in out
+        assert "spread" in out
+
+
+class TestBench:
+    def test_bench_delegates_to_figures(self, capsys):
+        code = main(["bench", "fpr", "--fpr-sources", "30"])
+        assert code == 0
+        assert "False positive rates" in capsys.readouterr().out

@@ -1,0 +1,11 @@
+"""The README-facing doctests must stay runnable."""
+
+import doctest
+
+import repro
+
+
+def test_package_docstring_examples():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 5

@@ -1,0 +1,55 @@
+"""Error-hierarchy contract: one except clause catches the whole family."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.LexerError("x", 0),
+    errors.ParseError("x", 3),
+    errors.ParseError("x"),
+    errors.ResolutionError("x"),
+    errors.CatalogError("x"),
+    errors.UnsupportedQueryError("x"),
+    errors.EngineError("x"),
+    errors.BackendError("x"),
+    errors.DomainError("x"),
+    errors.DnfBlowupError("x", 100, 10),
+    errors.SimulationError("x"),
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: type(e).__name__)
+    def test_everything_is_a_trac_error(self, error):
+        assert isinstance(error, errors.TracError)
+
+    def test_lexer_error_carries_position(self):
+        error = errors.LexerError("bad char", 17)
+        assert error.position == 17
+        assert "offset 17" in str(error)
+
+    def test_parse_error_position_optional(self):
+        with_pos = errors.ParseError("oops", 5)
+        without = errors.ParseError("oops")
+        assert "offset 5" in str(with_pos)
+        assert "offset" not in str(without)
+
+    def test_dnf_blowup_carries_counts(self):
+        error = errors.DnfBlowupError("too big", term_count=5000, limit=4096)
+        assert error.term_count == 5000
+        assert error.limit == 4096
+
+    def test_single_except_clause_suffices(self):
+        """The promise the docstring makes: catch TracError, get them all."""
+        from repro import Catalog, MemoryBackend, RecencyReporter
+
+        reporter = RecencyReporter(MemoryBackend(Catalog()), create_temp_tables=False)
+        for bad_sql in (
+            "SELECT",                     # parse error
+            "SELECT x FROM missing",      # resolution error
+            "SELECT ' FROM t",            # lexer error
+        ):
+            with pytest.raises(errors.TracError):
+                reporter.report(bad_sql)

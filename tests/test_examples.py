@@ -1,0 +1,68 @@
+"""Every example script must run clean and produce its headline output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Focused method" in out
+        assert "NOTICE: Bound of inconsistency" in out
+        assert "relevant sources  : ['m1', 'm2']" in out
+
+    def test_grid_monitoring(self):
+        out = run_example("grid_monitoring.py")
+        assert "Ground truth" in out
+        assert "relevant sources" in out
+        assert "The value of recency reporting" in out
+
+    def test_query_semantics(self):
+        out = run_example("query_semantics.py")
+        assert "State 0" in out and "State 2" in out
+        assert "Q3 relevant sources: 8" in out
+        assert "Q4 relevant sources: 2" in out
+
+    def test_paper_session(self):
+        out = run_example("paper_session.py")
+        # The Section 5.1 transcript, verbatim details.
+        assert "NOTICE: The least recent data source: m1, 2006-03-15 14:20:05" in out
+        assert "NOTICE: The most recent data source: m3, 2006-03-15 14:40:05" in out
+        assert "NOTICE: Bound of inconsistency: 00:20:00" in out
+        assert "m2  | 2006-02-13 17:23:00" in out
+        assert "(10 rows)" in out
+
+    def test_outlier_detection(self):
+        out = run_example("outlier_detection.py")
+        assert "Detected outliers: ['m11', 'm4']" in out
+        assert "Threshold sweep" in out
+
+    def test_watch_rules(self):
+        out = run_example("watch_rules.py")
+        assert "all rules pass" in out
+        assert "[exceptional]" in out
+        assert "Alert history" in out
+
+    def test_sensor_network(self):
+        out = run_example("sensor_network.py")
+        assert "cold room" in out
+        assert "ALERT [exceptional]" in out
+        assert "sensor07" in out
+        assert "minimal relevant set: {'sensor12'}" in out

@@ -1,0 +1,124 @@
+"""End-to-end integration: recency reports over simulated grid databases.
+
+For several seeds, run the simulator (with lag, failures, partial drains),
+then check the reporting guarantees against the brute-force oracle on the
+resulting — realistically messy — database state.
+"""
+
+import pytest
+
+from repro.core.bruteforce import brute_force_relevant_sources
+from repro.core.report import RecencyReporter
+from repro.grid import GridSimulator, SimulationConfig
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+#: Queries over activity/routing only (their columns all carry finite
+#: domains, so the oracle is exact).
+QUERIES = [
+    "SELECT mach_id FROM activity WHERE value = 'idle'",
+    "SELECT mach_id FROM activity WHERE mach_id IN ('m1', 'm3') AND value = 'busy'",
+    "SELECT mach_id FROM routing WHERE neighbor = 'm2'",
+    "SELECT A.mach_id FROM routing R, activity A "
+    "WHERE R.mach_id = 'm1' AND R.neighbor = A.mach_id",
+    "SELECT A.mach_id FROM routing R, activity A "
+    "WHERE R.neighbor = A.mach_id AND A.value = 'idle'",
+    "SELECT COUNT(*) FROM activity A WHERE A.mach_id NOT IN ('m2')",
+]
+
+
+@pytest.fixture(params=[11, 22, 33])
+def messy_sim(request):
+    sim = GridSimulator(
+        SimulationConfig(
+            num_machines=6,
+            seed=request.param,
+            job_submit_probability=0.2,
+            sniffer_lag_range=(2.0, 12.0),
+            machine_failure_probability=0.005,
+            machine_recover_probability=0.02,
+        )
+    )
+    sim.run(400)  # deliberately NOT drained: DB lags reality
+    return sim
+
+
+class TestGuaranteesOnSimulatedState:
+    def test_completeness_and_minimality(self, messy_sim):
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        for sql in QUERIES:
+            resolved = resolve(parse_query(sql), backend.catalog)
+            exact = brute_force_relevant_sources(backend.db, resolved)
+            report = reporter.report(sql)
+            assert report.relevant_source_ids >= exact, sql
+            if report.minimal:
+                assert report.relevant_source_ids == exact, sql
+
+    def test_report_rows_match_plain_execution(self, messy_sim):
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        for sql in QUERIES:
+            report = reporter.report(sql)
+            assert sorted(map(tuple, report.result.rows)) == sorted(
+                map(tuple, backend.execute(sql).rows)
+            ), sql
+
+    def test_recency_values_come_from_heartbeat(self, messy_sim):
+        backend = messy_sim.backend
+        heartbeats = dict(backend.heartbeat_rows())
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report(QUERIES[0])
+        for source in report.normal_sources + report.exceptional_sources:
+            assert heartbeats[source.source_id] == source.recency
+
+    def test_min_recency_is_consistent_prefix(self, messy_sim):
+        """Section 4.3: every event at or before the minimum recency of the
+        relevant sources has been loaded into the database."""
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report("SELECT mach_id FROM activity")
+        stats = report.statistics
+        if stats.least_recent is None:
+            pytest.skip("no sources reported yet")
+        minimum = stats.least_recent.recency
+        for machine_id, sniffer in messy_sim.sniffers.items():
+            if machine_id not in report.relevant_source_ids:
+                continue
+            log_events = list(messy_sim.machines[machine_id].log)
+            for position, event in enumerate(log_events):
+                if event.timestamp <= minimum:
+                    assert position < sniffer.offset, (
+                        f"{machine_id}: event at t={event.timestamp} <= "
+                        f"min recency {minimum} not yet loaded"
+                    )
+
+
+class TestAggregateQueries:
+    """Relevance is a property of FROM/WHERE; aggregates and grouping in
+    the select list must not change the relevant set."""
+
+    def test_count_and_plain_agree(self, messy_sim):
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        plain = reporter.report("SELECT mach_id FROM activity WHERE value = 'idle'")
+        counted = reporter.report("SELECT COUNT(*) FROM activity A WHERE A.value = 'idle'")
+        assert plain.relevant_source_ids == counted.relevant_source_ids
+
+    def test_group_by_report(self, messy_sim):
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report(
+            "SELECT value, COUNT(*) FROM activity GROUP BY value"
+        )
+        assert report.minimal
+        assert report.relevant_source_ids == set(messy_sim.machine_ids)
+
+    def test_order_by_report(self, messy_sim):
+        backend = messy_sim.backend
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        report = reporter.report(
+            "SELECT mach_id FROM activity WHERE value = 'idle' ORDER BY mach_id DESC"
+        )
+        ids = [r[0] for r in report.result.rows]
+        assert ids == sorted(ids, reverse=True)

@@ -1,0 +1,179 @@
+"""Interactive shell tests (scripted input, captured output)."""
+
+import pytest
+
+from repro.shell import Shell
+
+IDLE = "SELECT mach_id FROM activity WHERE value = 'idle'"
+
+
+@pytest.fixture
+def shell(paper_memory_backend):
+    output = []
+    shell = Shell(paper_memory_backend, output.append)
+    return shell, output
+
+
+def text_of(output):
+    return "".join(output)
+
+
+class TestReports:
+    def test_select_produces_report(self, shell):
+        sh, output = shell
+        sh.handle(IDLE)
+        text = text_of(output)
+        assert "NOTICE: The least recent data source: m1" in text
+        assert "mach_id" in text
+        assert "(2 rows)" in text
+        assert "minimal" in text
+
+    def test_trailing_semicolon_tolerated(self, shell):
+        sh, output = shell
+        sh.handle(IDLE + ";")
+        assert "(2 rows)" in text_of(output)
+
+    def test_naive_command(self, shell):
+        sh, output = shell
+        sh.handle(f".naive {IDLE}")
+        assert "11 relevant source(s)" in text_of(output)
+
+    def test_plain_command_has_no_notices(self, shell):
+        sh, output = shell
+        sh.handle(f".plain {IDLE}")
+        text = text_of(output)
+        assert "NOTICE" not in text
+        assert "(2 rows)" in text
+
+    def test_error_reported_not_raised(self, shell):
+        sh, output = shell
+        sh.handle("SELECT nope FROM nowhere")
+        assert "error:" in text_of(output)
+
+    def test_null_rendered_blank(self, paper_memory_backend):
+        paper_memory_backend.insert_rows("routing", [("m3", None, 1.0)])
+        output = []
+        sh = Shell(paper_memory_backend, output.append)
+        sh.handle(".plain SELECT neighbor FROM routing WHERE mach_id = 'm3'")
+        assert "(1 row)" in text_of(output)
+
+
+class TestDotCommands:
+    def test_tables(self, shell):
+        sh, output = shell
+        sh.handle(".tables")
+        text = text_of(output)
+        assert "activity" in text
+        assert "heartbeat" in text
+
+    def test_tables_lists_session_temp_tables(self, shell):
+        sh, output = shell
+        sh.handle(IDLE)
+        output.clear()
+        sh.handle(".tables")
+        assert "sys_temp_a" in text_of(output)
+
+    def test_sources_marks_exceptional(self, shell):
+        sh, output = shell
+        sh.handle(".sources")
+        text = text_of(output)
+        assert "m2" in text
+        assert "EXCEPTIONAL" in text
+
+    def test_plan(self, shell):
+        sh, output = shell
+        sh.handle(f".plan {IDLE}")
+        assert "Pr  (regular-column selection)" in text_of(output)
+
+    def test_plan_without_sql(self, shell):
+        sh, output = shell
+        sh.handle(".plan")
+        assert "usage:" in text_of(output)
+
+    def test_help(self, shell):
+        sh, output = shell
+        sh.handle(".help")
+        assert ".tables" in text_of(output)
+
+    def test_unknown_command(self, shell):
+        sh, output = shell
+        sh.handle(".wat")
+        assert "unknown command" in text_of(output)
+
+    def test_quit_stops(self, shell):
+        sh, output = shell
+        sh.run([".quit", IDLE])
+        assert "NOTICE" not in text_of(output)
+        assert not sh.running
+
+    def test_blank_lines_ignored(self, shell):
+        sh, output = shell
+        sh.handle("   ")
+        assert output == []
+
+
+class TestRunLoop:
+    def test_run_closes_session(self, paper_memory_backend):
+        output = []
+        sh = Shell(paper_memory_backend, output.append)
+        sh.run([IDLE])
+        # Session ended: temp tables dropped.
+        assert paper_memory_backend.list_temp_tables() == []
+
+
+class TestSaveCommand:
+    def test_save_temp_table(self, paper_memory_backend):
+        output = []
+        sh = Shell(paper_memory_backend, output.append)
+        sh.handle(IDLE)
+        temp = paper_memory_backend.list_temp_tables()[0]
+        sh.handle(f".save {temp} keeper")
+        assert "saved" in text_of(output)
+        sh.close()  # session ends, temp tables dropped
+        assert paper_memory_backend.execute("SELECT sid FROM keeper").rows
+
+    def test_save_usage_message(self, shell):
+        sh, output = shell
+        sh.handle(".save onlyone")
+        assert "usage:" in text_of(output)
+
+    def test_save_unknown_temp_reports_error(self, shell):
+        sh, output = shell
+        sh.handle(".save nope keeper")
+        assert "error:" in text_of(output)
+
+
+class TestRunShellStream:
+    def test_run_shell_over_stream(self, tmp_path, capsys):
+        """End-to-end: run_shell drives a scripted session over a real
+        SQLite monitoring DB (what `trac shell` does with stdin)."""
+        import io
+
+        from repro.backends.sqlite import SQLiteBackend
+        from repro.cli import main as cli_main
+        from repro.shell import run_shell
+
+        db = str(tmp_path / "g.sqlite")
+        cli_main(["simulate", "--db", db, "--machines", "3", "--duration", "60"])
+        capsys.readouterr()
+
+        backend = SQLiteBackend.open(db)
+        script = io.StringIO(
+            ".tables\n"
+            "SELECT mach_id FROM activity;\n"
+            ".quit\n"
+        )
+        run_shell(backend, script)
+        backend.close()
+        out = capsys.readouterr().out
+        assert "TRAC interactive shell" in out
+        assert "activity" in out
+        assert "NOTICE" in out
+
+    def test_run_shell_handles_eof(self, paper_sqlite_backend, capsys):
+        import io
+
+        from repro.shell import run_shell
+
+        run_shell(paper_sqlite_backend, io.StringIO(""))
+        assert "TRAC interactive shell" in capsys.readouterr().out

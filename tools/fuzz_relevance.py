@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Long-running fuzz of the central relevance guarantees.
+
+Runs the completeness / minimality / Theorem-1 properties (the same ones as
+``tests/core/test_relevance_properties.py``) with a much larger example
+budget and richer strategies. Intended for occasional deep verification::
+
+    python tools/fuzz_relevance.py [examples-per-property]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro import Catalog, Column, FiniteDomain, IntegerDomain, MemoryBackend, TableSchema
+from repro.core.bruteforce import brute_force_relevant_sources
+from repro.core.relevance import build_relevance_plan
+from repro.core.report import RecencyReporter
+from repro.engine.evaluate import execute_query
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import resolve
+
+SOURCES = ("s1", "s2", "s3", "s4")
+VALUES = ("p", "q", "r")
+NUMS = (0, 1, 2, 3)
+
+
+def catalog():
+    return Catalog(
+        [
+            TableSchema(
+                "t1",
+                [
+                    Column("src", "TEXT", FiniteDomain(SOURCES)),
+                    Column("v", "TEXT", FiniteDomain(VALUES)),
+                    Column("n", "INTEGER", FiniteDomain(NUMS)),
+                ],
+                source_column="src",
+            ),
+            TableSchema(
+                "t2",
+                [
+                    Column("src", "TEXT", FiniteDomain(SOURCES)),
+                    Column("ref", "TEXT", FiniteDomain(SOURCES)),
+                    Column("m", "INTEGER", FiniteDomain(NUMS)),
+                ],
+                source_column="src",
+            ),
+        ]
+    )
+
+
+_row1 = st.tuples(st.sampled_from(SOURCES), st.sampled_from(VALUES), st.sampled_from(NUMS))
+_row2 = st.tuples(st.sampled_from(SOURCES), st.sampled_from(SOURCES), st.sampled_from(NUMS))
+
+_atoms = st.sampled_from(
+    [
+        "t1.src = 's1'",
+        "t1.src IN ('s1', 's2')",
+        "t1.src NOT IN ('s3', 's4')",
+        "t1.src LIKE 's_'",
+        "t1.src BETWEEN 's1' AND 's3'",
+        "t1.v = 'p'",
+        "t1.v <> 'q'",
+        "t1.v IN ('p', 'r')",
+        "t1.n > 0",
+        "t1.n BETWEEN 1 AND 2",
+        "t1.n <= 2",
+        "t1.src = t1.v",
+        "t1.v = t1.src",
+        "t1.n = 1 AND t1.n = 2",
+        "t2.src = 's2'",
+        "t2.ref = 's1'",
+        "t2.m >= 2",
+        "t1.src = t2.src",
+        "t1.src = t2.ref",
+        "t2.ref = t1.src",
+        "t1.n = t2.m",
+        "t1.n < t2.m",
+        "t2.src = t2.ref",
+        "t1.v IS NULL",
+        "t1.v IS NOT NULL",
+    ]
+)
+
+_where = st.recursive(
+    _atoms,
+    lambda inner: st.one_of(
+        st.builds(lambda a, b: f"({a} AND {b})", inner, inner),
+        st.builds(lambda a, b: f"({a} OR {b})", inner, inner),
+        st.builds(lambda a: f"NOT ({a})", inner),
+    ),
+    max_leaves=8,
+)
+
+
+def _setup(rows1, rows2):
+    backend = MemoryBackend(catalog())
+    backend.insert_rows("t1", rows1)
+    backend.insert_rows("t2", rows2)
+    for i, src in enumerate(SOURCES):
+        backend.upsert_heartbeat(src, 100.0 + i)
+    return backend
+
+
+def make_property(max_examples: int):
+    @settings(max_examples=max_examples, deadline=None, print_blob=True)
+    @given(
+        st.lists(_row1, max_size=4),
+        st.lists(_row2, max_size=4),
+        _where,
+        _row1,
+        _row2,
+    )
+    def property_holds(rows1, rows2, where, new_row1, new_row2):
+        backend = _setup(rows1, rows2)
+        sql = f"SELECT t1.src FROM t1, t2 WHERE {where}"
+        resolved = resolve(parse_query(sql), backend.catalog)
+        exact = brute_force_relevant_sources(backend.db, resolved)
+        plan = build_relevance_plan(resolved)
+        reporter = RecencyReporter(backend, create_temp_tables=False)
+        reported = reporter.report(sql).relevant_source_ids
+
+        assert reported >= exact, f"INCOMPLETE for {where!r}: missing {exact - reported}"
+        if plan.minimal:
+            assert reported == exact, (
+                f"NOT MINIMAL for {where!r}: extra {reported - exact}"
+            )
+
+        baseline = sorted(execute_query(backend.db, resolved).rows)
+        for table, row in (("t1", new_row1), ("t2", new_row2)):
+            if row[0] in exact:
+                continue
+            trial = backend.db.copy()
+            trial.insert(table, row)
+            after = sorted(execute_query(trial, resolved).rows)
+            assert after == baseline, (
+                f"THEOREM 1 VIOLATION for {where!r}: insert {row!r} into {table}"
+            )
+
+    return property_holds
+
+
+def main() -> int:
+    examples = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    print(f"fuzzing relevance guarantees with {examples} examples ...")
+    make_property(examples)()
+    print("OK: completeness, minimality and Theorem 1 held on every example")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
