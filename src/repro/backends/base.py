@@ -19,6 +19,7 @@ from repro.catalog import (
     Catalog,
 )
 from repro.engine.evaluate import QueryResult
+from repro.obs import instrument as obs
 
 
 class Snapshot(abc.ABC):
@@ -44,10 +45,24 @@ class Snapshot(abc.ABC):
 
 
 class Backend(abc.ABC):
-    """Storage backend interface. See the package docstring."""
+    """Storage backend interface. See the package docstring.
 
-    def __init__(self, catalog: Catalog) -> None:
+    ``telemetry`` is an optional :class:`~repro.obs.Telemetry` override for
+    this backend's counters (queries, rows, snapshots). Left as ``None``
+    (the default, also settable later: ``backend.telemetry = tel``), the
+    backend follows the process-wide default of :mod:`repro.obs`.
+    """
+
+    #: Label value used for this backend's metrics.
+    kind = "backend"
+
+    def __init__(self, catalog: Catalog, telemetry: Optional[object] = None) -> None:
         self.catalog = catalog
+        self.telemetry = telemetry
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
 
     # -- schema and data -----------------------------------------------------
 

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.backends.base import Backend, Snapshot
 from repro.catalog import HEARTBEAT_TABLE, Catalog
 from repro.engine import Database, execute_sql
 from repro.engine.evaluate import QueryResult
 from repro.errors import BackendError
+from repro.obs import instrument as obs
 
 
 class _MemorySnapshot(Snapshot):
@@ -36,8 +38,10 @@ class MemoryBackend(Backend):
     permanent ones.
     """
 
-    def __init__(self, catalog: Catalog) -> None:
-        super().__init__(catalog)
+    kind = "memory"
+
+    def __init__(self, catalog: Catalog, telemetry: Optional[object] = None) -> None:
+        super().__init__(catalog, telemetry)
         self.db = Database(catalog)
         self._temp: Dict[str, Tuple[List[str], List[Tuple[object, ...]]]] = {}
         self._heartbeat_index: Dict[str, int] = {}
@@ -98,11 +102,17 @@ class MemoryBackend(Backend):
         return self._execute_on(self.db, sql)
 
     def _execute_on(self, db: Database, sql: str) -> QueryResult:
+        tel = self._tel()
         lowered = sql.lower()
         for temp_name in self._temp:
             if temp_name.lower() in lowered:
-                return self._execute_with_temp(db, sql)
-        return execute_sql(db, sql)
+                result = self._execute_with_temp(db, sql)
+                break
+        else:
+            result = execute_sql(db, sql, telemetry=tel if tel.enabled else None)
+        if tel.enabled:
+            obs.record_backend_query(tel, self.kind, len(result.rows))
+        return result
 
     def _execute_with_temp(self, db: Database, sql: str) -> QueryResult:
         # Queries over temp tables are rare (a user inspecting a recency
@@ -125,7 +135,16 @@ class MemoryBackend(Backend):
 
     @contextlib.contextmanager
     def snapshot(self) -> Iterator[Snapshot]:
-        yield _MemorySnapshot(self, self.db.copy())
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_snapshot_open(tel, self.kind)
+            opened = time.perf_counter()
+            try:
+                yield _MemorySnapshot(self, self.db.copy())
+            finally:
+                obs.record_snapshot_close(tel, self.kind, time.perf_counter() - opened)
+        else:
+            yield _MemorySnapshot(self, self.db.copy())
 
     # -- temp tables ---------------------------------------------------------------
 

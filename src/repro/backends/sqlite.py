@@ -17,9 +17,11 @@ import contextlib
 import re
 import sqlite3
 import threading
-from typing import Iterable, Iterator, List, Sequence
+import time
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.backends.base import Backend, Snapshot
+from repro.obs import instrument as obs
 from repro.catalog import (
     HEARTBEAT_RECENCY_COLUMN,
     HEARTBEAT_SOURCE_COLUMN,
@@ -67,8 +69,12 @@ class SQLiteBackend(Backend):
         simulator uses.
     """
 
-    def __init__(self, catalog: Catalog, path: str = ":memory:") -> None:
-        super().__init__(catalog)
+    kind = "sqlite"
+
+    def __init__(
+        self, catalog: Catalog, path: str = ":memory:", telemetry: Optional[object] = None
+    ) -> None:
+        super().__init__(catalog, telemetry)
         self.path = path
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.isolation_level = None  # explicit transaction control
@@ -218,6 +224,9 @@ class SQLiteBackend(Backend):
                 raise BackendError(f"SQLite error for {sql!r}: {exc}") from exc
             columns = [d[0] for d in cursor.description] if cursor.description else []
             rows = [tuple(row) for row in cursor.fetchall()]
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_backend_query(tel, self.kind, len(rows))
         return QueryResult(columns, rows)
 
     @contextlib.contextmanager
@@ -229,6 +238,10 @@ class SQLiteBackend(Backend):
             # BEGIN starts a deferred transaction: the snapshot is pinned at
             # the first read and held until COMMIT.
             self._conn.execute("BEGIN")
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_snapshot_open(tel, self.kind)
+        opened = time.perf_counter()
         try:
             yield _SQLiteSnapshot(self)
         finally:
@@ -238,6 +251,8 @@ class SQLiteBackend(Backend):
                 except sqlite3.Error:
                     self._conn.execute("ROLLBACK")
                 self._in_snapshot = False
+            if tel.enabled:
+                obs.record_snapshot_close(tel, self.kind, time.perf_counter() - opened)
 
     # -- temp tables ---------------------------------------------------------
 

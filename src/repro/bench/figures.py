@@ -29,7 +29,13 @@ from repro.backends.memory import MemoryBackend
 from repro.backends.sqlite import SQLiteBackend
 from repro.bench.harness import measure_methods, time_call
 from repro.bench.metrics import false_positive_rate, naive_fpr
-from repro.bench.reporting import ascii_chart, ascii_table, rows_from_dicts, write_csv
+from repro.bench.reporting import (
+    ascii_chart,
+    ascii_table,
+    rows_from_dicts,
+    write_csv,
+    write_json,
+)
 from repro.core.bruteforce import brute_force_relevant_sources
 from repro.core.report import RecencyReporter
 from repro.sqlparser.parser import parse_query
@@ -72,18 +78,19 @@ def figure1_series(
         for name, sql in queries.items():
             measurements = measure_methods(reporter, sql, runs=runs)
             for method, m in measurements.items():
-                records.append(
-                    {
-                        "query": name,
-                        "data_ratio": config.data_ratio,
-                        "num_sources": config.num_sources,
-                        "method": method,
-                        "t_plain_s": m.t_plain,
-                        "t_report_s": m.t_report,
-                        "overhead_pct": 100.0 * m.overhead,
-                        "relevant_sources": m.relevant_count,
-                    }
-                )
+                record = {
+                    "query": name,
+                    "data_ratio": config.data_ratio,
+                    "num_sources": config.num_sources,
+                    "method": method,
+                    "t_plain_s": m.t_plain,
+                    "t_report_s": m.t_report,
+                    "overhead_pct": 100.0 * m.overhead,
+                    "relevant_sources": m.relevant_count,
+                }
+                for phase, seconds in sorted(m.phases.items()):
+                    record[f"phase_{phase.split('.', 1)[-1]}_s"] = seconds
+                records.append(record)
         backend.close()
     return records
 
@@ -177,6 +184,10 @@ _FIG1_HEADERS = [
     "t_report_s",
     "overhead_pct",
     "relevant_sources",
+    "phase_parse_generate_s",
+    "phase_user_query_s",
+    "phase_recency_query_s",
+    "phase_statistics_s",
 ]
 _FIG2_HEADERS = ["query", "data_ratio", "num_sources", "without_report_s", "with_report_s"]
 _FPR_HEADERS = [
@@ -194,6 +205,7 @@ def _emit(
     headers: List[str],
     csv_dir: Optional[str],
     csv_name: str,
+    json_dir: Optional[str] = None,
 ) -> None:
     print(f"\n== {title} ==")
     print(ascii_table(headers, rows_from_dicts(records, headers)))
@@ -201,6 +213,11 @@ def _emit(
         os.makedirs(csv_dir, exist_ok=True)
         path = os.path.join(csv_dir, csv_name)
         write_csv(path, headers, rows_from_dicts(records, headers))
+        print(f"(written to {path})")
+    if json_dir:
+        os.makedirs(json_dir, exist_ok=True)
+        path = os.path.join(json_dir, csv_name.replace(".csv", ".json"))
+        write_json(path, records)
         print(f"(written to {path})")
 
 
@@ -260,6 +277,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--backend", choices=sorted(_BACKENDS), default="sqlite")
     parser.add_argument("--fpr-sources", type=int, default=200)
     parser.add_argument("--csv-dir", default=None)
+    parser.add_argument(
+        "--json-dir", default=None, help="also write records (with per-phase breakdowns) as JSON"
+    )
     parser.add_argument("--plot", action="store_true", help="also render ASCII charts")
     args = parser.parse_args(argv)
 
@@ -273,6 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _FIG1_HEADERS,
             args.csv_dir,
             "figure1.csv",
+            json_dir=args.json_dir,
         )
         if args.plot:
             print()
@@ -285,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _FIG2_HEADERS,
             args.csv_dir,
             "figure2.csv",
+            json_dir=args.json_dir,
         )
         if args.plot:
             print()
@@ -297,6 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _FPR_HEADERS,
             args.csv_dir,
             "fpr.csv",
+            json_dir=args.json_dir,
         )
     return 0
 

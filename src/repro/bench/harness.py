@@ -13,8 +13,9 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.bench.metrics import overhead
-from repro.core.report import RecencyReporter
+from repro.core.report import SPAN_REPORT, RecencyReporter
 from repro.core.relevance import RelevancePlan
+from repro.obs import Telemetry, phase_durations
 
 #: Paper protocol: 11 runs, first discarded.
 PAPER_RUNS = 11
@@ -39,19 +40,45 @@ def time_call(fn: Callable[[], object], runs: int = 5, drop_first: bool = True) 
 
 
 class MethodMeasurement:
-    """Timings of one (query, method) cell of Figure 1 / Figure 2."""
+    """Timings of one (query, method) cell of Figure 1 / Figure 2.
 
-    __slots__ = ("method", "t_plain", "t_report", "relevant_count")
+    ``phases`` maps phase span names (``report.user_query``, ...) to mean
+    durations in seconds, captured from an instrumented run outside the
+    timed region — the per-phase breakdown benchmark JSON carries.
+    """
 
-    def __init__(self, method: str, t_plain: float, t_report: float, relevant_count: int) -> None:
+    __slots__ = ("method", "t_plain", "t_report", "relevant_count", "phases")
+
+    def __init__(
+        self,
+        method: str,
+        t_plain: float,
+        t_report: float,
+        relevant_count: int,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.method = method
         self.t_plain = t_plain
         self.t_report = t_report
         self.relevant_count = relevant_count
+        self.phases = phases or {}
 
     @property
     def overhead(self) -> float:
         return overhead(self.t_plain, self.t_report)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form, phases flattened under ``phase_*`` keys."""
+        out: Dict[str, object] = {
+            "method": self.method,
+            "t_plain_s": self.t_plain,
+            "t_report_s": self.t_report,
+            "overhead": self.overhead,
+            "relevant_sources": self.relevant_count,
+        }
+        for name, seconds in sorted(self.phases.items()):
+            out[f"phase_{name.split('.', 1)[-1]}_s"] = seconds
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -65,12 +92,18 @@ def measure_methods(
     sql: str,
     runs: int = 5,
     methods: Optional[List[str]] = None,
+    collect_phases: bool = True,
 ) -> Dict[str, MethodMeasurement]:
     """Measure the plain query and each reporting method for one query.
 
     ``focused_hardcoded`` reuses a plan built once outside the timed region,
     isolating execution cost from parse/generation cost exactly as the
     paper's hardcoded table function did.
+
+    With ``collect_phases`` (default), one extra instrumented report per
+    method runs *outside* the timed loop to capture the per-phase span
+    breakdown — the timed runs themselves keep the reporter's (normally
+    disabled) telemetry so timings stay comparable to the paper protocol.
     """
     methods = methods or ["focused", "focused_hardcoded", "naive"]
     t_plain = time_call(lambda: reporter.run_plain(sql), runs)
@@ -88,5 +121,23 @@ def measure_methods(
 
         t_report = time_call(run, runs)
         relevant = len(report_holder["r"].relevant_source_ids)
-        out[method] = MethodMeasurement(method, t_plain, t_report, relevant)
+        phases: Dict[str, float] = {}
+        if collect_phases:
+            phases = _capture_phases(reporter, sql, method, kwargs)
+        out[method] = MethodMeasurement(method, t_plain, t_report, relevant, phases)
     return out
+
+
+def _capture_phases(
+    reporter: RecencyReporter, sql: str, method: str, kwargs: Dict[str, object]
+) -> Dict[str, float]:
+    """One instrumented report through a throwaway telemetry; returns the
+    phase-name -> duration breakdown of its ``trac.report`` span."""
+    tel = Telemetry()
+    saved = reporter.telemetry
+    reporter.telemetry = tel
+    try:
+        reporter.report(sql, method=method, **kwargs)  # type: ignore[arg-type]
+    finally:
+        reporter.telemetry = saved
+    return phase_durations(tel, SPAN_REPORT)

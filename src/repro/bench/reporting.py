@@ -1,8 +1,9 @@
-"""Plain-text table, chart and CSV output for benchmark results."""
+"""Plain-text table, chart, CSV and JSON output for benchmark results."""
 
 from __future__ import annotations
 
 import csv
+import json
 import math
 from typing import Dict, List, Sequence, Tuple
 
@@ -47,6 +48,14 @@ def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence[object]
 def rows_from_dicts(records: Sequence[Dict[str, object]], headers: Sequence[str]) -> List[List[object]]:
     """Project a list of dicts onto an ordered header list."""
     return [[record.get(h, "") for h in headers] for record in records]
+
+
+def write_json(path: str, records: Sequence[Dict[str, object]]) -> None:
+    """Dump benchmark records as a JSON array (one object per record,
+    per-phase breakdowns included when present)."""
+    with open(path, "w") as handle:
+        json.dump(list(records), handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
 
 
 #: Marker characters assigned to series, in declaration order.

@@ -18,6 +18,11 @@ Subcommands::
         Summarize a monitoring database: tables, row counts, heartbeat
         spread, exceptional sources.
 
+    trac stats --db grid.sqlite "SELECT ..." [SQL ...]
+        Run reports with telemetry enabled and print the live span/metric
+        summary (optionally dump spans as JSONL / metrics as Prometheus
+        text).
+
     trac bench {fig1,fig2,fpr,all} [...]
         Regenerate the paper's figures (delegates to repro.bench.figures).
 """
@@ -96,6 +101,15 @@ def _build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive recency-reporting shell")
     shell.add_argument("--db", required=True, help="monitoring SQLite file")
     shell.set_defaults(handler=_cmd_shell)
+
+    stats = sub.add_parser("stats", help="run reports with telemetry and print stats")
+    stats.add_argument("--db", required=True, help="monitoring SQLite file")
+    stats.add_argument("sql", nargs="+", help="one or more user queries to report on")
+    stats.add_argument("--method", choices=["focused", "naive"], default="focused")
+    stats.add_argument("--repeat", type=int, default=1, help="reports per query")
+    stats.add_argument("--spans-jsonl", help="also dump finished spans to this file")
+    stats.add_argument("--prometheus", help="also write Prometheus text format here")
+    stats.set_defaults(handler=_cmd_stats)
 
     bench = sub.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("rest", nargs=argparse.REMAINDER)
@@ -264,6 +278,37 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         return 2  # distinct exit code: rules tripped
     finally:
         backend.close()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    tel = obs.enable()
+    backend = SQLiteBackend.open(args.db)
+    try:
+        reporter = RecencyReporter(backend, telemetry=tel, create_temp_tables=False)
+        for sql in args.sql:
+            for _ in range(max(1, args.repeat)):
+                report = reporter.report(sql, method=args.method)
+            print(
+                f"-- {sql}\n   {len(report.result.rows)} rows, "
+                f"{len(report.relevant_source_ids)} relevant source(s), "
+                f"total {report.timings.total * 1000:.2f}ms"
+            )
+        print()
+        print(obs.render_summary(tel, max_spans=1))
+        if args.spans_jsonl:
+            with open(args.spans_jsonl, "w") as handle:
+                handle.write(obs.spans_to_jsonl(tel.tracer.finished_spans()) + "\n")
+            print(f"\nspans written to {args.spans_jsonl}")
+        if args.prometheus:
+            with open(args.prometheus, "w") as handle:
+                handle.write(obs.prometheus_text(tel.metrics))
+            print(f"metrics written to {args.prometheus}")
+        return 0
+    finally:
+        backend.close()
+        obs.disable()
 
 
 def _cmd_shell(args: argparse.Namespace) -> int:

@@ -36,6 +36,8 @@ from repro.backends.base import Backend
 from repro.core.report import RecencyReport, RecencyReporter
 from repro.core.statistics import format_interval
 from repro.errors import TracError
+from repro.obs import instrument as obs
+from repro.obs.instrument import PhaseTimer
 
 
 class WatchRule:
@@ -112,14 +114,23 @@ class RecencyMonitor:
         backend: Backend,
         clock: Optional[Callable[[], float]] = None,
         z_threshold: float = 3.0,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.clock = clock or time.time
+        self.telemetry = telemetry
         self.reporter = RecencyReporter(
-            backend, z_threshold=z_threshold, create_temp_tables=False
+            backend,
+            z_threshold=z_threshold,
+            create_temp_tables=False,
+            telemetry=telemetry,
         )
         self._rules: Dict[str, WatchRule] = {}
         self.history: List[Alert] = []
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
 
     def add_rule(self, rule: WatchRule) -> None:
         if rule.name in self._rules:
@@ -136,10 +147,16 @@ class RecencyMonitor:
     def check(self, now: Optional[float] = None) -> List[Alert]:
         """Evaluate every rule once; returns (and records) fresh alerts."""
         at = self.clock() if now is None else now
+        tel = self._tel()
         alerts: List[Alert] = []
         for rule in self._rules.values():
-            report = self.reporter.report(rule.sql)
-            alerts.extend(self._evaluate(rule, report, at))
+            with PhaseTimer(tel, "monitor.rule", rule=rule.name) as phase:
+                report = self.reporter.report(rule.sql)
+                tripped = self._evaluate(rule, report, at)
+                phase.set_attribute("trips", len(tripped))
+            if tel.enabled:
+                obs.record_rule_evaluation(tel, rule.name, phase.duration, len(tripped))
+            alerts.extend(tripped)
         self.history.extend(alerts)
         return alerts
 

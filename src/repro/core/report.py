@@ -17,7 +17,6 @@ Three methods are supported, matching the experimental setup of Section 5.2:
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set
 
@@ -37,10 +36,19 @@ from repro.core.statistics import (
 )
 from repro.engine.evaluate import QueryResult
 from repro.errors import TracError
+from repro.obs import instrument as obs
+from repro.obs.instrument import PhaseTimer
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.resolver import resolve
 
 _METHODS = ("focused", "focused_hardcoded", "naive")
+
+#: Span names for the report phases (children of ``trac.report``).
+SPAN_REPORT = "trac.report"
+SPAN_PARSE = "report.parse_generate"
+SPAN_USER = "report.user_query"
+SPAN_RECENCY = "report.recency_query"
+SPAN_STATS = "report.statistics"
 
 
 class ReportTimings:
@@ -49,6 +57,11 @@ class ReportTimings:
     Mirrors the decomposition of Section 5.2: parse + recency-query
     generation; user query execution; recency query execution; statistics
     (z-score split, min/max/range, temp-table creation).
+
+    This is a thin view over the report's phase spans: the reporter times
+    each phase with :class:`~repro.obs.instrument.PhaseTimer` and copies
+    the measured durations here, so the numbers equal the span durations
+    exported by :mod:`repro.obs` when telemetry is enabled.
     """
 
     __slots__ = ("parse_generate", "user_query", "recency_query", "statistics", "total")
@@ -67,15 +80,33 @@ class ReportTimings:
         self.statistics = statistics
         self.total = total
 
+    def to_dict(self) -> Dict[str, float]:
+        """Phase durations keyed by phase name (JSON exporter friendly)."""
+        return {
+            "parse_generate": self.parse_generate,
+            "user_query": self.user_query,
+            "recency_query": self.recency_query,
+            "statistics": self.statistics,
+            "total": self.total,
+        }
+
     def __repr__(self) -> str:
         return (
             f"ReportTimings(parse={self.parse_generate:.6f}s, user={self.user_query:.6f}s, "
-            f"recency={self.recency_query:.6f}s, stats={self.statistics:.6f}s)"
+            f"recency={self.recency_query:.6f}s, stats={self.statistics:.6f}s, "
+            f"total={self.total:.6f}s)"
         )
 
 
 class RecencyReport:
-    """Everything the recency report returns for one user query."""
+    """Everything the recency report returns for one user query.
+
+    ``telemetry`` is the report's root :class:`~repro.obs.trace.Span`
+    (``trac.report``) when the producing reporter had telemetry enabled,
+    else ``None``. Its children are the four phase spans; walk them via
+    the reporter's ``telemetry.tracer`` or export them with
+    :func:`repro.obs.spans_to_jsonl`.
+    """
 
     def __init__(
         self,
@@ -87,6 +118,7 @@ class RecencyReport:
         plan: RelevancePlan,
         temp_tables: Optional[TempTablePair],
         timings: ReportTimings,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -96,6 +128,7 @@ class RecencyReport:
         self.plan = plan
         self.temp_tables = temp_tables
         self.timings = timings
+        self.telemetry = telemetry
 
     @property
     def normal_sources(self) -> List[SourceRecency]:
@@ -180,6 +213,11 @@ class RecencyReporter:
         SQL text. Repeated queries then pay parse/generation only once —
         the paper's "hardcoded" method, automated. Safe because plans
         depend only on the catalog (fixed per reporter), never on data.
+    telemetry:
+        An explicit :class:`~repro.obs.Telemetry` for this reporter's spans
+        and counters. ``None`` (default) follows the process-wide default,
+        which is a no-op unless enabled via ``repro.obs.enable()`` or
+        ``TRAC_TELEMETRY=1``.
     """
 
     def __init__(
@@ -191,6 +229,7 @@ class RecencyReporter:
         create_temp_tables: bool = True,
         use_constraints: bool = True,
         plan_cache_size: int = 0,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -199,9 +238,14 @@ class RecencyReporter:
         self.create_temp_tables = create_temp_tables
         self.use_constraints = use_constraints
         self.plan_cache_size = plan_cache_size
+        self.telemetry = telemetry
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         self.plan_cache_hits = 0
         self.session = Session(backend)
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
 
     # -- planning -----------------------------------------------------------
 
@@ -212,6 +256,9 @@ class RecencyReporter:
             if cached is not None:
                 self._plan_cache.move_to_end(sql)
                 self.plan_cache_hits += 1
+                tel = self._tel()
+                if tel.enabled:
+                    obs.record_plan_cache_hit(tel)
                 return cached
         resolved = resolve(parse_query(sql), self.backend.catalog)
         plan = build_relevance_plan(
@@ -242,39 +289,50 @@ class RecencyReporter:
         if method not in _METHODS:
             raise TracError(f"unknown method {method!r}; expected one of {_METHODS}")
 
-        t_start = time.perf_counter()
-        parse_generate = 0.0
-        if method == "focused":
-            t0 = time.perf_counter()
-            plan = self.plan_for(sql)
-            parse_generate = time.perf_counter() - t0
-        elif method == "focused_hardcoded":
-            if plan is None:
-                raise TracError("focused_hardcoded requires a pre-built plan")
-        else:  # naive
-            plan = build_naive_plan()
+        tel = self._tel()
+        with PhaseTimer(tel, SPAN_REPORT, method=method, sql=sql) as root:
+            parse_phase = PhaseTimer(tel, SPAN_PARSE)
+            if method == "focused":
+                with parse_phase:
+                    plan = self.plan_for(sql)
+            elif method == "focused_hardcoded":
+                if plan is None:
+                    raise TracError("focused_hardcoded requires a pre-built plan")
+            else:  # naive
+                plan = build_naive_plan()
 
-        with self.backend.snapshot() as snapshot:
-            t0 = time.perf_counter()
-            result = snapshot.execute(sql)
-            user_time = time.perf_counter() - t0
+            with self.backend.snapshot() as snapshot:
+                with PhaseTimer(tel, SPAN_USER) as user_phase:
+                    result = snapshot.execute(sql)
+                    user_phase.set_attribute("rows", len(result.rows))
 
-            t0 = time.perf_counter()
-            sources = self._relevant_sources(snapshot, plan)
-            recency_time = time.perf_counter() - t0
+                with PhaseTimer(tel, SPAN_RECENCY) as recency_phase:
+                    sources = self._relevant_sources(snapshot, plan)
+                    recency_phase.set_attribute("relevant", len(sources))
 
-            t0 = time.perf_counter()
-            split = zscore_split(sources, self.z_threshold)
-            stats = describe(split.normal)
-            temp_tables: Optional[TempTablePair] = None
-            if self.create_temp_tables:
-                temp_tables = self.session.next_table_names()
-                self.session.materialize(snapshot, temp_tables, split.normal, split.exceptional)
-            stats_time = time.perf_counter() - t0
+                with PhaseTimer(tel, SPAN_STATS) as stats_phase:
+                    split = zscore_split(sources, self.z_threshold)
+                    stats = describe(split.normal)
+                    temp_tables: Optional[TempTablePair] = None
+                    if self.create_temp_tables:
+                        temp_tables = self.session.next_table_names()
+                        self.session.materialize(
+                            snapshot, temp_tables, split.normal, split.exceptional
+                        )
 
-        total = time.perf_counter() - t_start
-        timings = ReportTimings(parse_generate, user_time, recency_time, stats_time, total)
-        return RecencyReport(sql, method, result, split, stats, plan, temp_tables, timings)
+        timings = ReportTimings(
+            parse_phase.duration,
+            user_phase.duration,
+            recency_phase.duration,
+            stats_phase.duration,
+            root.duration,
+        )
+        if tel.enabled:
+            obs.record_report(tel, method, root.duration)
+        root_span = root.span if tel.enabled else None
+        return RecencyReport(
+            sql, method, result, split, stats, plan, temp_tables, timings, root_span
+        )
 
     def run_plain(self, sql: str) -> QueryResult:
         """Run a user query with no recency reporting (the baseline

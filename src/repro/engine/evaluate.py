@@ -56,9 +56,24 @@ class QueryResult:
         return f"QueryResult(columns={self.columns!r}, rows={len(self.rows)})"
 
 
-def execute_sql(db: Database, sql: str) -> QueryResult:
-    """Parse, resolve and execute a SQL string against ``db``."""
+def execute_sql(db: Database, sql: str, telemetry=None) -> QueryResult:
+    """Parse, resolve and execute a SQL string against ``db``.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, enabled) additionally
+    records the scan upper bound — the total base-table rows the executor
+    may read for this query — without re-parsing; the memory backend
+    threads its telemetry through here.
+    """
     resolved = resolve(parse_query(sql), db.catalog)
+    if telemetry is not None and telemetry.enabled:
+        from repro.obs import instrument as obs
+
+        scanned = sum(
+            len(db.relation(b.schema.name).rows)
+            for b in resolved.bindings
+            if db.has(b.schema.name)
+        )
+        obs.record_backend_scan(telemetry, "memory", scanned)
     return execute_query(db, resolved)
 
 

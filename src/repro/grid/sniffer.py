@@ -21,6 +21,7 @@ from repro.backends.base import Backend
 from repro.errors import SimulationError
 from repro.grid.events import EventKind, LogEvent
 from repro.grid.machine import Machine
+from repro.obs import instrument as obs
 
 #: Monitoring-schema table names.
 ACTIVITY_TABLE = "activity"
@@ -136,6 +137,20 @@ class Sniffer:
         if events:
             self.last_loaded_timestamp = events[-1].timestamp
             self.records_loaded += len(events)
+
+        tel = self.backend._tel()
+        if tel.enabled:
+            if events:
+                # End-to-end sniff->DB lag per event: simulated "now" minus
+                # the moment the source logged it.
+                obs.record_sniffer_batch(
+                    tel,
+                    self.machine.machine_id,
+                    len(events),
+                    now,
+                    (event.timestamp for event in events),
+                )
+            obs.record_sniffer_backlog(tel, self.machine.machine_id, self.backlog)
 
         recency: Optional[float] = None
         if self.config.recency_protocol == "horizon" and not truncated:

@@ -1,0 +1,89 @@
+"""``repro.obs`` — self-instrumentation for the TRAC reproduction.
+
+The paper's whole point is *reporting* on a system you cannot fully
+control; this package applies the same discipline to the reproduction
+itself. Three layers, no third-party dependencies:
+
+* :mod:`repro.obs.trace` — hierarchical spans (context-manager and
+  decorator APIs, monotonic clocks, per-span attributes) collected by a
+  thread-safe in-process :class:`Tracer`;
+* :mod:`repro.obs.metrics` — named counters, gauges and fixed-bucket
+  histograms in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.export` — JSON-lines span dumps, Prometheus text
+  exposition, and the human-readable :func:`render_summary` table.
+
+:mod:`repro.obs.instrument` glues it together: a :class:`Telemetry`
+facade, a process-wide default (no-op unless enabled), and the
+``record_*`` shims the instrumented subsystems call.
+
+Telemetry is **off by default** and the disabled path costs one attribute
+load plus a branch (guarded by ``tools/check_telemetry_overhead.py``).
+Enable it per process::
+
+    from repro import obs
+    tel = obs.enable()          # or: export TRAC_TELEMETRY=1
+    ... run reports ...
+    print(obs.render_summary(tel))
+
+or per component, by passing ``telemetry=Telemetry()`` to
+:class:`~repro.core.report.RecencyReporter`, a backend, or
+:class:`~repro.core.monitor.RecencyMonitor`. See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.instrument import (
+    NULL_TELEMETRY,
+    PhaseTimer,
+    Telemetry,
+    disable,
+    enable,
+    get_default,
+    resolve,
+    set_default,
+)
+from repro.obs.export import (
+    parse_prometheus_text,
+    phase_durations,
+    prometheus_text,
+    render_summary,
+    span_name_aggregates,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "PhaseTimer",
+    "enable",
+    "disable",
+    "get_default",
+    "set_default",
+    "resolve",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "render_summary",
+    "span_name_aggregates",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "phase_durations",
+]

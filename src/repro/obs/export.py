@@ -1,0 +1,295 @@
+"""Exporters: JSON-lines span dumps, Prometheus text format, and a
+human-readable summary table.
+
+* :func:`spans_to_jsonl` / :func:`spans_from_jsonl` — one JSON object per
+  finished span (the dict of :meth:`Span.to_dict`); round-trips losslessly
+  for JSON-representable attribute values.
+* :func:`prometheus_text` / :func:`parse_prometheus_text` — the Prometheus
+  exposition format (``# HELP``/``# TYPE`` comments, label escaping,
+  cumulative ``_bucket``/``_sum``/``_count`` series for histograms). The
+  parser understands exactly what the renderer emits, giving tests a
+  round-trip check.
+* :func:`render_summary` — counters, gauges, histograms and per-span-name
+  aggregates as aligned plain-text tables (what ``trac stats`` and the
+  shell's ``.stats`` print).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TracError
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.trace import Span
+
+# -- JSON lines -------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One compact JSON object per span, newline-separated."""
+    return "\n".join(
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+        for span in spans
+    )
+
+
+def spans_from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse a JSONL span dump back into span dicts."""
+    out: List[Dict[str, object]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise TracError(f"malformed span JSONL at line {number}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TracError(f"span JSONL line {number} is not an object")
+        out.append(record)
+    return out
+
+
+# -- Prometheus text format -------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry) -> str:
+    """Render every instrument of ``registry`` in the exposition format."""
+    lines: List[str] = []
+    seen_header: set = set()
+    for instrument in registry.collect():
+        name = instrument.name
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_text(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        labels = list(instrument.labels)
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name}{_render_labels(labels)} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, count in instrument.bucket_counts():
+                bucket_labels = labels + [("le", _format_value(bound))]
+                lines.append(f"{name}_bucket{_render_labels(bucket_labels)} {count}")
+            lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count{_render_labels(labels)} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``k="v",...`` (the bit between braces) honouring escapes."""
+    pairs: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq]
+        if text[eq + 1] != '"':
+            raise TracError(f"malformed label value near {text[eq:]!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while True:
+            ch = text[j]
+            if ch == "\\":
+                nxt = text[j + 1]
+                value_chars.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                j += 2
+            elif ch == '"':
+                j += 1
+                break
+            else:
+                value_chars.append(ch)
+                j += 1
+        pairs.append((key, "".join(value_chars)))
+        if j < len(text) and text[j] == ",":
+            j += 1
+        i = j
+    return tuple(pairs)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse sample lines back into ``{(name, labels): value}``.
+
+    Comments (``# HELP``/``# TYPE``) are skipped. Covers the subset of the
+    format :func:`prometheus_text` emits; used for round-trip testing and
+    by the overhead tooling.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            if "{" in stripped:
+                name, rest = stripped.split("{", 1)
+                label_text, value_text = rest.rsplit("} ", 1)
+                labels = _parse_labels(label_text)
+            else:
+                name, value_text = stripped.rsplit(" ", 1)
+                labels = ()
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except (ValueError, IndexError) as exc:
+            raise TracError(f"malformed Prometheus line {number}: {stripped!r}") from exc
+        samples[(name, labels)] = value
+    return samples
+
+
+# -- human-readable summary -------------------------------------------------
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _labels_str(labels: Sequence[Tuple[str, str]]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) or "-"
+
+
+def span_name_aggregates(spans: Iterable[Span]) -> Dict[str, Dict[str, float]]:
+    """Per-span-name count/total/mean/min/max durations (seconds)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        agg = out.setdefault(
+            span.name,
+            {"count": 0.0, "total": 0.0, "min": math.inf, "max": 0.0},
+        )
+        agg["count"] += 1
+        agg["total"] += span.duration
+        agg["min"] = min(agg["min"], span.duration)
+        agg["max"] = max(agg["max"], span.duration)
+    for agg in out.values():
+        agg["mean"] = agg["total"] / agg["count"] if agg["count"] else 0.0
+        if agg["min"] is math.inf:
+            agg["min"] = 0.0
+    return out
+
+
+def render_summary(telemetry, max_spans: int = 0) -> str:
+    """Counters, gauges, histograms and span aggregates as plain text.
+
+    ``max_spans`` > 0 additionally renders the most recent ``max_spans``
+    finished spans as an indented tree fragment.
+    """
+    if not telemetry.enabled:
+        return "telemetry is disabled (enable with TRAC_TELEMETRY=1 or repro.obs.enable())"
+    lines: List[str] = []
+
+    counters = [i for i in telemetry.metrics.collect() if isinstance(i, Counter)]
+    gauges = [i for i in telemetry.metrics.collect() if isinstance(i, Gauge)]
+    histograms = [i for i in telemetry.metrics.collect() if isinstance(i, Histogram)]
+
+    if counters or gauges:
+        lines.append("counters and gauges:")
+        rows = [
+            (i.name, _labels_str(i.labels), _format_value(i.value))
+            for i in counters + gauges
+        ]
+        lines.extend(_table(("name", "labels", "value"), rows))
+
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        rows = []
+        for h in histograms:
+            rows.append(
+                (
+                    h.name,
+                    _labels_str(h.labels),
+                    str(h.count),
+                    f"{h.mean:.6f}",
+                    f"{h.sum:.6f}",
+                )
+            )
+        lines.extend(_table(("name", "labels", "count", "mean", "sum"), rows))
+
+    spans = telemetry.tracer.finished_spans()
+    if spans:
+        lines.append("")
+        lines.append("spans (by name):")
+        rows = []
+        for name, agg in sorted(span_name_aggregates(spans).items()):
+            rows.append(
+                (
+                    name,
+                    str(int(agg["count"])),
+                    f"{agg['total'] * 1000:.3f}",
+                    f"{agg['mean'] * 1000:.3f}",
+                    f"{agg['min'] * 1000:.3f}",
+                    f"{agg['max'] * 1000:.3f}",
+                )
+            )
+        lines.extend(
+            _table(
+                ("span", "count", "total_ms", "mean_ms", "min_ms", "max_ms"), rows
+            )
+        )
+
+    if max_spans > 0 and spans:
+        lines.append("")
+        lines.append(f"most recent spans (up to {max_spans}):")
+        for root in telemetry.tracer.roots()[-max_spans:]:
+            for span, depth in telemetry.tracer.walk(root):
+                indent = "  " * (depth + 1)
+                attrs = (
+                    " " + json.dumps(span.attributes, sort_keys=True, default=str)
+                    if span.attributes
+                    else ""
+                )
+                lines.append(
+                    f"{indent}{span.name}  {span.duration * 1000:.3f}ms{attrs}"
+                )
+
+    if not lines:
+        return "telemetry is enabled but nothing has been recorded yet"
+    return "\n".join(lines)
+
+
+def phase_durations(telemetry, root_name: str) -> Dict[str, float]:
+    """Mean duration per direct child span name under roots called
+    ``root_name`` (the per-phase breakdown benchmarks attach)."""
+    spans = telemetry.tracer.finished_spans()
+    root_ids = {s.span_id for s in spans if s.name == root_name}
+    if not root_ids:
+        return {}
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.parent_id in root_ids:
+            totals.setdefault(span.name, []).append(span.duration)
+    return {name: sum(ds) / len(ds) for name, ds in sorted(totals.items())}

@@ -1,0 +1,307 @@
+"""The telemetry facade and its integration shims.
+
+A :class:`Telemetry` bundles a :class:`~repro.obs.trace.Tracer` with a
+:class:`~repro.obs.metrics.MetricsRegistry`. Exactly one of two flavours is
+ever handed to instrumented code:
+
+* a live ``Telemetry()`` — records spans and metrics;
+* the shared :data:`NULL_TELEMETRY` — ``enabled`` is False and every
+  operation is a no-op on shared singletons.
+
+Instrumented hot paths are written so the *disabled* cost is one attribute
+load and one branch::
+
+    tel = self.telemetry or get_default()
+    if tel.enabled:
+        ...record...
+
+Resolution order: an explicit ``telemetry=`` argument (to a reporter,
+backend, monitor, ...) wins; otherwise the process-wide default applies,
+which is :data:`NULL_TELEMETRY` unless :func:`enable` was called or the
+``TRAC_TELEMETRY`` environment variable was set to a truthy value
+(``1``/``true``/``yes``/``on``) when this module was imported.
+
+The ``record_*`` helpers below keep metric names and label conventions in
+one place; instrumented modules call them instead of minting names ad hoc.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Iterable, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
+
+# -- canonical metric names -------------------------------------------------
+
+BACKEND_QUERIES = "trac_backend_queries_total"
+BACKEND_ROWS_RETURNED = "trac_backend_rows_returned_total"
+BACKEND_ROWS_SCANNED = "trac_backend_rows_scanned_total"
+SNAPSHOTS_OPENED = "trac_backend_snapshots_opened_total"
+SNAPSHOTS_CLOSED = "trac_backend_snapshots_closed_total"
+SNAPSHOT_SECONDS = "trac_backend_snapshot_seconds"
+REPORTS = "trac_reports_total"
+REPORT_SECONDS = "trac_report_seconds"
+PLAN_CACHE_HITS = "trac_plan_cache_hits_total"
+DNF_CONVERSIONS = "trac_dnf_conversions_total"
+DNF_CONJUNCTS = "trac_dnf_conjuncts"
+DNF_EXPANSION = "trac_dnf_expansion_factor"
+SNIFFER_EVENTS = "trac_sniffer_events_total"
+SNIFFER_BATCHES = "trac_sniffer_batches_total"
+SNIFFER_LAG = "trac_sniff_lag_seconds"
+SNIFFER_BACKLOG = "trac_sniffer_backlog"
+MONITOR_RULE_SECONDS = "trac_monitor_rule_seconds"
+MONITOR_TRIPS = "trac_monitor_trips_total"
+
+#: Buckets for DNF conjunct counts / expansion factors (dimensionless).
+COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
+
+#: Buckets for sniff->DB lag (seconds of simulated or wall time).
+LAG_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0, 900.0, 3600.0)
+
+
+class Telemetry:
+    """A live tracer + metrics registry pair."""
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.enabled = True
+
+    def reset(self) -> None:
+        """Clear collected spans and every metric."""
+        self.tracer.reset()
+        self.metrics.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(spans={len(self.tracer.finished_spans())}, "
+            f"metrics={len(self.metrics)})"
+        )
+
+
+class _NullTelemetry:
+    """The disabled telemetry: shared no-op tracer and registry."""
+
+    __slots__ = ()
+
+    tracer = NULL_TRACER
+    metrics = NULL_REGISTRY
+    enabled = False
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTelemetry()"
+
+
+#: The shared disabled telemetry (the process default unless enabled).
+NULL_TELEMETRY = _NullTelemetry()
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("TRAC_TELEMETRY", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+_default = Telemetry() if _env_enabled() else NULL_TELEMETRY
+
+
+def get_default():
+    """The process-wide telemetry (``NULL_TELEMETRY`` unless enabled)."""
+    return _default
+
+
+def set_default(telemetry) -> None:
+    """Install ``telemetry`` (a :class:`Telemetry` or ``NULL_TELEMETRY``)
+    as the process-wide default."""
+    global _default
+    _default = telemetry
+
+
+def enable() -> Telemetry:
+    """Turn on process-wide telemetry; returns the live instance.
+
+    Idempotent: re-enabling keeps the existing instance (and its data).
+    """
+    global _default
+    if not _default.enabled:
+        _default = Telemetry()
+    return _default  # type: ignore[return-value]
+
+
+def disable() -> None:
+    """Reset the process-wide default back to the no-op telemetry."""
+    set_default(NULL_TELEMETRY)
+
+
+def resolve(telemetry=None):
+    """An explicit telemetry if given, else the process default."""
+    return telemetry if telemetry is not None else _default
+
+
+# -- integration shims ------------------------------------------------------
+#
+# Each helper assumes the caller already checked ``tel.enabled`` (they are
+# only reachable from enabled paths) and encapsulates the metric names and
+# label conventions above.
+
+
+def record_backend_query(tel, backend: str, rows_returned: int) -> None:
+    labels = {"backend": backend}
+    tel.metrics.counter(
+        BACKEND_QUERIES, labels, help="Queries executed through a backend"
+    ).inc()
+    tel.metrics.counter(
+        BACKEND_ROWS_RETURNED, labels, help="Result rows returned by backend queries"
+    ).inc(rows_returned)
+
+
+def record_backend_scan(tel, backend: str, rows_scanned: int) -> None:
+    tel.metrics.counter(
+        BACKEND_ROWS_SCANNED,
+        {"backend": backend},
+        help="Base-table rows readable by executed queries (scan upper bound)",
+    ).inc(rows_scanned)
+
+
+def record_snapshot_open(tel, backend: str) -> None:
+    tel.metrics.counter(
+        SNAPSHOTS_OPENED, {"backend": backend}, help="Snapshots opened"
+    ).inc()
+
+
+def record_snapshot_close(tel, backend: str, held_seconds: float) -> None:
+    labels = {"backend": backend}
+    tel.metrics.counter(SNAPSHOTS_CLOSED, labels, help="Snapshots closed").inc()
+    tel.metrics.histogram(
+        SNAPSHOT_SECONDS, labels, help="How long snapshots stayed open"
+    ).observe(held_seconds)
+
+
+def record_report(tel, method: str, seconds: float) -> None:
+    labels = {"method": method}
+    tel.metrics.counter(REPORTS, labels, help="Recency reports produced").inc()
+    tel.metrics.histogram(
+        REPORT_SECONDS, labels, help="End-to-end recency report latency"
+    ).observe(seconds)
+
+
+def record_plan_cache_hit(tel) -> None:
+    tel.metrics.counter(
+        PLAN_CACHE_HITS, help="Relevance-plan LRU cache hits"
+    ).inc()
+
+
+def record_dnf(tel, input_terms: int, conjuncts: int) -> None:
+    tel.metrics.counter(
+        DNF_CONVERSIONS, help="Predicate DNF conversions performed"
+    ).inc()
+    tel.metrics.histogram(
+        DNF_CONJUNCTS,
+        buckets=COUNT_BUCKETS,
+        help="Conjuncts produced per DNF conversion",
+    ).observe(float(conjuncts))
+    if input_terms > 0:
+        tel.metrics.histogram(
+            DNF_EXPANSION,
+            buckets=COUNT_BUCKETS,
+            help="DNF blowup: conjuncts produced per input basic term",
+        ).observe(conjuncts / input_terms)
+
+
+def record_sniffer_batch(
+    tel, machine: str, events: int, now: float, timestamps: Iterable[float]
+) -> None:
+    labels = {"machine": machine}
+    tel.metrics.counter(
+        SNIFFER_BATCHES, labels, help="Sniffer polls that applied records"
+    ).inc()
+    tel.metrics.counter(
+        SNIFFER_EVENTS, labels, help="Log events parsed and applied"
+    ).inc(events)
+    lag_hist = tel.metrics.histogram(
+        SNIFFER_LAG,
+        labels,
+        buckets=LAG_BUCKETS,
+        help="End-to-end lag from event timestamp to DB load",
+    )
+    for ts in timestamps:
+        lag_hist.observe(now - ts)
+
+
+def record_sniffer_backlog(tel, machine: str, backlog: int) -> None:
+    tel.metrics.gauge(
+        SNIFFER_BACKLOG, {"machine": machine}, help="Log records written but not loaded"
+    ).set(backlog)
+
+
+def record_rule_evaluation(tel, rule: str, seconds: float, trips: int) -> None:
+    labels = {"rule": rule}
+    tel.metrics.histogram(
+        MONITOR_RULE_SECONDS, labels, help="Watch-rule evaluation latency"
+    ).observe(seconds)
+    if trips:
+        tel.metrics.counter(
+            MONITOR_TRIPS, labels, help="Watch-rule conditions tripped"
+        ).inc(trips)
+
+
+class PhaseTimer:
+    """Times a region with :func:`time.perf_counter`; optionally also
+    records it as a span.
+
+    This is how :meth:`RecencyReporter.report` keeps its
+    :class:`~repro.core.report.ReportTimings` contract on the disabled path
+    (durations are always measured) while producing real spans when
+    telemetry is on: the timings object becomes a thin view over whatever
+    this timer measured.
+    """
+
+    __slots__ = ("duration", "span", "_start", "_ctx")
+
+    def __init__(self, tel, name: str, **attributes: Any) -> None:
+        self._ctx = tel.tracer.span(name, **attributes) if tel.enabled else NULL_SPAN
+        self.span = NULL_SPAN  # the live Span once entered (NULL_SPAN when disabled)
+        self.duration = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self.span = self._ctx.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        self._ctx.__exit__(exc_type, exc, tb)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.span.set_attribute(key, value)
+
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_default",
+    "set_default",
+    "enable",
+    "disable",
+    "resolve",
+    "PhaseTimer",
+    "DEFAULT_BUCKETS",
+    "COUNT_BUCKETS",
+    "LAG_BUCKETS",
+]

@@ -1,0 +1,355 @@
+"""A dependency-free registry of counters, gauges and histograms.
+
+Instruments are created (or fetched — creation is idempotent) through a
+:class:`MetricsRegistry`::
+
+    registry.counter("trac_backend_queries_total", labels={"backend": "sqlite"}).inc()
+    registry.gauge("trac_sniffer_backlog", labels={"machine": "m1"}).set(12)
+    registry.histogram("trac_sniff_lag_seconds").observe(0.8)
+
+Each (name, label-set) pair is a distinct time series, mirroring the
+Prometheus data model; the exporters in :mod:`repro.obs.export` render the
+whole registry. Histograms use fixed, cumulative upper-bound buckets (the
+Prometheus convention: a sample counts toward every bucket whose bound is
+>= the value, plus the implicit ``+Inf`` bucket).
+
+All updates are thread-safe: instruments share their registry's lock, which
+is plenty for the update rates telemetry sees (instrument lookups and
+updates only happen when telemetry is enabled).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TracError
+
+#: Default histogram bucket upper bounds (seconds-oriented, log-spaced).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelPairs, lock: threading.Lock) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TracError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelPairs, lock: threading.Lock) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative bucket semantics.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the trailing
+    ``+Inf`` bucket equals :attr:`count`. Bounds must be strictly
+    increasing.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TracError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TracError(f"histogram {name!r} bucket bounds must be increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._lock = lock
+        self._counts = [0] * len(bounds)  # per-bucket (non-cumulative) tallies
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, tally in zip(self.bounds, counts):
+            running += tally
+            out.append((bound, running))
+        out.append((float("inf"), total))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, {dict(self.labels)}, "
+            f"count={self._count}, sum={self._sum:.6f})"
+        )
+
+
+class NullInstrument:
+    """Stand-in for any instrument while telemetry is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelPairs = ()
+    kind = "null"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    bounds: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        return []
+
+
+#: Shared instance handed out by :class:`NullRegistry`.
+NULL_INSTRUMENT = NullInstrument()
+
+
+class MetricsRegistry:
+    """Owns every instrument; creation is idempotent per (name, labels).
+
+    A name is bound to one instrument kind (and, for histograms, one bucket
+    layout) on first use; conflicting re-registration raises
+    :class:`~repro.errors.TracError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    def _get(self, kind: str, name: str, labels: LabelPairs, factory) -> object:
+        key = (name, labels)
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if self._kinds[name] != kind:
+                    raise TracError(
+                        f"metric {name!r} is a {self._kinds[name]}, not a {kind}"
+                    )
+                return existing
+            if name in self._kinds and self._kinds[name] != kind:
+                raise TracError(f"metric {name!r} is a {self._kinds[name]}, not a {kind}")
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+            return instrument
+
+    def counter(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: Optional[str] = None,
+    ) -> Counter:
+        pairs = _label_pairs(labels)
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(  # type: ignore[return-value]
+            "counter", name, pairs, lambda: Counter(name, pairs, self._lock)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: Optional[str] = None,
+    ) -> Gauge:
+        pairs = _label_pairs(labels)
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(  # type: ignore[return-value]
+            "gauge", name, pairs, lambda: Gauge(name, pairs, self._lock)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: Optional[str] = None,
+    ) -> Histogram:
+        pairs = _label_pairs(labels)
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(  # type: ignore[return-value]
+            "histogram", name, pairs, lambda: Histogram(name, pairs, self._lock, buckets)
+        )
+
+    def collect(self) -> List[object]:
+        """Every instrument, sorted by (name, labels) for stable output."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return [instrument for _, instrument in items]
+
+    def help_text(self, name: str) -> Optional[str]:
+        return self._help.get(name)
+
+    def kind_of(self, name: str) -> Optional[str]:
+        return self._kinds.get(name)
+
+    def names(self) -> List[str]:
+        """Distinct metric names, sorted."""
+        with self._lock:
+            return sorted(self._kinds)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry in place)."""
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+            self._help.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+class NullRegistry:
+    """Registry stand-in while telemetry is disabled: hands out one shared
+    no-op instrument and never stores anything."""
+
+    __slots__ = ()
+
+    def counter(self, name, labels=None, help=None) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None, help=None) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, buckets=DEFAULT_BUCKETS, help=None) -> NullInstrument:
+        return NULL_INSTRUMENT
+
+    def collect(self) -> List[object]:
+        return []
+
+    def help_text(self, name: str) -> None:
+        return None
+
+    def kind_of(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op registry used by disabled telemetry.
+NULL_REGISTRY = NullRegistry()

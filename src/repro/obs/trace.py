@@ -1,0 +1,283 @@
+"""Hierarchical tracing spans with a thread-safe in-process collector.
+
+A :class:`Span` is one timed region of work: a name, monotonic start/end
+times, a parent (for nesting), and free-form attributes. Spans are created
+through a :class:`Tracer`, either as a context manager::
+
+    with tracer.span("report", method="focused") as span:
+        span.set_attribute("rows", 42)
+
+or as a decorator::
+
+    @tracer.trace("plan")
+    def plan_for(sql): ...
+
+Each thread has its own span stack, so concurrently recording threads nest
+independently; finished spans land in one shared, lock-protected list in
+completion order. Timing uses :func:`time.perf_counter` (monotonic, never
+jumps backwards); :attr:`Span.start_wall` additionally records the wall
+clock so exported spans can be correlated with external logs.
+
+The :class:`NullTracer` is the zero-cost stand-in used while telemetry is
+disabled: ``span()`` hands back one shared no-op context manager and nothing
+is ever recorded.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region. Obtain via :meth:`Tracer.span`; do not construct."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "start_wall",
+        "attributes",
+    )
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.start_wall = time.time()
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = {}
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (consumed by the JSONL exporter)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall": self.start_wall,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1000:.3f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, {state})"
+
+
+class _SpanContext:
+    """Context manager that opens a span on entry and finishes it on exit.
+
+    The span is allocated lazily in ``__enter__`` so an unused context (a
+    phase that never runs) records nothing and touches no tracer state.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is not None:
+            self._tracer._finish(self._span, exc)
+            self._span = None
+
+
+class NullSpan:
+    """Inert span: every method is a no-op. One shared instance suffices."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = -1
+    parent_id = None
+    duration = 0.0
+    finished = False
+    attributes: Dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+#: The shared no-op span/context manager used on the disabled path.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Creates spans and collects them once finished. Thread-safe."""
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._local = threading.local()
+        self._dropped = 0
+        self.max_spans = max_spans
+
+    # -- recording ----------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """A context manager that, on entry, opens a child span of the
+        calling thread's innermost open span."""
+        return _SpanContext(self, name, attributes)
+
+    def _open(self, name: str, attributes: Dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(name, next(self._ids), parent_id)
+        if attributes:
+            span.attributes.update(attributes)
+        stack.append(span)
+        return span
+
+    def _finish(self, span: Span, exc: Optional[BaseException]) -> None:
+        span.end = time.perf_counter()
+        if exc is not None:
+            span.attributes["error"] = type(exc).__name__
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop the span from wherever it sits
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            if len(self._finished) < self.max_spans:
+                self._finished.append(span)
+            else:
+                self._dropped += 1
+
+    def trace(self, name: Optional[str] = None) -> Callable:
+        """Decorator form: wraps the function body in a span."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- inspection ---------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished_spans(self) -> List[Span]:
+        """Snapshot of finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the collector hit ``max_spans``."""
+        with self._lock:
+            return self._dropped
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.finished_spans() if s.parent_id == span.span_id]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.finished_spans() if s.parent_id is None]
+
+    def walk(self, root: Span, depth: int = 0) -> Iterator[tuple]:
+        """Yield ``(span, depth)`` over a finished span tree, children in
+        completion order."""
+        yield root, depth
+        for child in self.children_of(root):
+            yield from self.walk(child, depth + 1)
+
+    def reset(self) -> None:
+        """Discard every collected span (open spans keep recording)."""
+        with self._lock:
+            self._finished.clear()
+            self._dropped = 0
+
+
+class NullTracer:
+    """Tracer that records nothing; ``span()`` returns the shared
+    :data:`NULL_SPAN` so the disabled path allocates nothing."""
+
+    __slots__ = ()
+
+    max_spans = 0
+    dropped = 0
+
+    def span(self, name: str, **attributes: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def trace(self, name: Optional[str] = None) -> Callable:
+        def decorate(fn: Callable) -> Callable:
+            return fn
+
+        return decorate
+
+    def current_span(self) -> None:
+        return None
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def children_of(self, span: Span) -> List[Span]:
+        return []
+
+    def roots(self) -> List[Span]:
+        return []
+
+    def walk(self, root: Span, depth: int = 0) -> Iterator[tuple]:
+        return iter(())
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared no-op tracer used by disabled telemetry.
+NULL_TRACER = NullTracer()

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import DnfBlowupError, UnsupportedQueryError
+from repro.obs import instrument as obs
 from repro.sqlparser import ast
 
 #: Default cap on the number of DNF conjuncts before giving up.
@@ -91,7 +92,20 @@ def to_dnf(expr: ast.Expr, max_conjuncts: int = DEFAULT_MAX_CONJUNCTS) -> List[L
     """
     nnf = to_nnf(expr)
     conjuncts = _dnf(nnf, max_conjuncts)
-    return _simplify(conjuncts)
+    simplified = _simplify(conjuncts)
+    tel = obs.get_default()
+    if tel.enabled:
+        obs.record_dnf(tel, _count_leaves(expr), len(simplified))
+    return simplified
+
+
+def _count_leaves(expr: ast.Expr) -> int:
+    """Basic terms in the input tree (denominator of the expansion factor)."""
+    if isinstance(expr, ast.Not):
+        return _count_leaves(expr.expr)
+    if isinstance(expr, (ast.And, ast.Or)):
+        return sum(_count_leaves(item) for item in expr.items)
+    return 1
 
 
 def _dnf(expr: ast.Expr, limit: int) -> List[List[ast.Expr]]:

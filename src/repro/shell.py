@@ -12,6 +12,7 @@ Dot-commands::
     .plan SQL          explain the relevance analysis without executing
     .naive SQL         run one report with the Naive method
     .plain SQL         run the bare query, no recency report
+    .stats             telemetry summary: spans, counters, histograms
     .save TEMP NAME    copy a session temp table to a permanent table
     .help              this text
     .quit              leave (dropping session temp tables)
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, List, Optional, TextIO
 
+from repro import obs
 from repro.backends.base import Backend
 from repro.core.explain import explain_sql
 from repro.core.report import RecencyReporter
@@ -33,11 +35,19 @@ _HELP = __doc__.split("Dot-commands::", 1)[1]
 
 
 class Shell:
-    """The REPL engine, decoupled from stdin/stdout for testability."""
+    """The REPL engine, decoupled from stdin/stdout for testability.
+
+    Every shell session records telemetry into its own
+    :class:`~repro.obs.Telemetry` so ``.stats`` can show live span and
+    metric summaries for the reports run so far.
+    """
 
     def __init__(self, backend: Backend, write: Optional[Callable[[str], None]] = None) -> None:
         self.backend = backend
-        self.reporter = RecencyReporter(backend)
+        self.telemetry = obs.Telemetry()
+        self.reporter = RecencyReporter(backend, telemetry=self.telemetry)
+        self._saved_backend_telemetry = backend.telemetry
+        backend.telemetry = self.telemetry
         self._write = write or (lambda text: print(text, end=""))
         self.running = True
 
@@ -90,6 +100,8 @@ class Shell:
                 self._say(f"  {temp:<16} (session temp table)")
         elif command == ".sources":
             self._sources()
+        elif command == ".stats":
+            self._say(obs.render_summary(self.telemetry, max_spans=3))
         elif command == ".plan":
             if not rest:
                 self._say("usage: .plan SELECT ...")
@@ -143,10 +155,11 @@ class Shell:
             self.handle(line)
             if not self.running:
                 break
-        self.reporter.close()
+        self.close()
 
     def close(self) -> None:
         self.reporter.close()
+        self.backend.telemetry = self._saved_backend_telemetry
 
 
 def _interactive_lines(stream: TextIO, write: Callable[[str], None]) -> Iterator[str]:

@@ -123,6 +123,54 @@ class TestTimings:
         result = RecencyReporter(paper_backend).run_plain(IDLE_QUERY)
         assert sorted(result.rows) == sorted(paper_backend.execute(IDLE_QUERY).rows)
 
+    def test_to_dict_mirrors_attributes(self, paper_backend):
+        t = RecencyReporter(paper_backend).report(IDLE_QUERY).timings
+        assert t.to_dict() == {
+            "parse_generate": t.parse_generate,
+            "user_query": t.user_query,
+            "recency_query": t.recency_query,
+            "statistics": t.statistics,
+            "total": t.total,
+        }
+
+    def test_to_dict_is_json_serializable(self, paper_backend):
+        import json
+
+        t = RecencyReporter(paper_backend).report(IDLE_QUERY).timings
+        round_tripped = json.loads(json.dumps(t.to_dict()))
+        assert round_tripped["total"] == t.total
+
+    def test_repr_names_every_phase(self):
+        from repro.core.report import ReportTimings
+
+        t = ReportTimings(0.001, 0.002, 0.003, 0.004, 0.011)
+        text = repr(t)
+        assert "parse=0.001000s" in text
+        assert "user=0.002000s" in text
+        assert "recency=0.003000s" in text
+        assert "stats=0.004000s" in text
+        assert "total=0.011000s" in text
+
+    def test_report_telemetry_none_when_disabled(self, paper_backend):
+        report = RecencyReporter(paper_backend).report(IDLE_QUERY)
+        assert report.telemetry is None
+
+    def test_report_telemetry_is_root_span_when_enabled(self, paper_backend):
+        from repro import obs
+
+        tel = obs.Telemetry()
+        report = RecencyReporter(paper_backend, telemetry=tel).report(IDLE_QUERY)
+        assert report.telemetry is not None
+        assert report.telemetry.name == "trac.report"
+        # Timings are a thin view over the same phase spans.
+        children = {s.name: s for s in tel.tracer.children_of(report.telemetry)}
+        assert set(children) == {
+            "report.parse_generate",
+            "report.user_query",
+            "report.recency_query",
+            "report.statistics",
+        }
+
 
 class TestConsistency:
     def test_report_uses_one_snapshot(self, tmp_path, paper_catalog):

@@ -1,0 +1,194 @@
+"""Exporter tests: JSONL round-trip, Prometheus format + escaping, summary."""
+
+import math
+
+import pytest
+
+from repro.errors import TracError
+from repro.obs import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    parse_prometheus_text,
+    phase_durations,
+    prometheus_text,
+    render_summary,
+    span_name_aggregates,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+
+
+def make_spans():
+    tracer = Tracer()
+    with tracer.span("root", method="focused"):
+        with tracer.span("child") as child:
+            child.set_attribute("rows", 3)
+    return tracer.finished_spans()
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        spans = make_spans()
+        dumped = spans_to_jsonl(spans)
+        parsed = spans_from_jsonl(dumped)
+        assert parsed == [s.to_dict() for s in spans]
+
+    def test_empty_input(self):
+        assert spans_to_jsonl([]) == ""
+        assert spans_from_jsonl("") == []
+
+    def test_blank_lines_skipped(self):
+        dumped = spans_to_jsonl(make_spans())
+        assert len(spans_from_jsonl(dumped + "\n\n")) == 2
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(TracError, match="line 2"):
+            spans_from_jsonl('{"name": "ok"}\nnot json')
+
+    def test_non_object_line_raises(self):
+        with pytest.raises(TracError, match="not an object"):
+            spans_from_jsonl("[1, 2, 3]")
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", {"backend": "sqlite"}, help="Hit count").inc(3)
+        registry.gauge("backlog").set(7)
+        text = prometheus_text(registry)
+        assert "# HELP hits Hit count" in text
+        assert "# TYPE hits counter" in text
+        assert '\nhits{backend="sqlite"} 3\n' in text
+        assert "# TYPE backlog gauge" in text
+        assert "\nbacklog 7" in text
+
+    def test_histogram_series(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", {"m": "x"}, buckets=(0.5, 1.0))
+        h.observe(0.25)
+        h.observe(2.0)
+        text = prometheus_text(registry)
+        assert 'lat_bucket{m="x",le="0.5"} 1' in text
+        assert 'lat_bucket{m="x",le="1"} 1' in text
+        assert 'lat_bucket{m="x",le="+Inf"} 2' in text
+        assert 'lat_sum{m="x"} 2.25' in text
+        assert 'lat_count{m="x"} 2' in text
+
+    def test_type_comment_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", {"b": "1"})
+        registry.counter("hits", {"b": "2"})
+        text = prometheus_text(registry)
+        assert text.count("# TYPE hits counter") == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        tricky = 'a"b\\c\nd'
+        registry.counter("c", {"sql": tricky}).inc()
+        text = prometheus_text(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert "\nd" not in text.split("# TYPE c counter")[1]  # newline escaped
+
+
+class TestPrometheusParse:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", {"backend": "sqlite", "sql": 'x "y" \\ z\n'}).inc(5)
+        registry.gauge("backlog").set(-2.5)
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(3.0)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("hits", (("backend", "sqlite"), ("sql", 'x "y" \\ z\n')))] == 5
+        assert samples[("backlog", ())] == -2.5
+        assert samples[("lat_bucket", (("le", "1"),))] == 1
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 2
+        assert samples[("lat_sum", ())] == 3.5
+        assert samples[("lat_count", ())] == 2
+
+    def test_comments_skipped(self):
+        samples = parse_prometheus_text("# HELP x y\n# TYPE x counter\nx 1\n")
+        assert samples == {("x", ()): 1.0}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(TracError, match="line 1"):
+            parse_prometheus_text("not a sample line at all")
+
+
+class TestSpanAggregates:
+    def test_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("q"):
+                pass
+        aggs = span_name_aggregates(tracer.finished_spans())
+        assert set(aggs) == {"q"}
+        q = aggs["q"]
+        assert q["count"] == 3
+        assert q["min"] <= q["mean"] <= q["max"]
+        assert math.isclose(q["total"], q["mean"] * 3)
+
+    def test_empty(self):
+        assert span_name_aggregates([]) == {}
+
+
+class TestRenderSummary:
+    def test_disabled_telemetry_message(self):
+        out = render_summary(NULL_TELEMETRY)
+        assert "disabled" in out
+        assert "TRAC_TELEMETRY" in out
+
+    def test_enabled_but_empty(self):
+        out = render_summary(Telemetry())
+        assert "nothing has been recorded" in out
+
+    def test_sections_present(self):
+        tel = Telemetry()
+        tel.metrics.counter("hits", {"backend": "memory"}).inc(2)
+        tel.metrics.histogram("lat", buckets=(1.0,)).observe(0.5)
+        with tel.tracer.span("trac.report"):
+            pass
+        out = render_summary(tel)
+        assert "counters and gauges:" in out
+        assert "hits" in out and "backend=memory" in out
+        assert "histograms:" in out and "lat" in out
+        assert "spans (by name):" in out and "trac.report" in out
+
+    def test_max_spans_renders_tree(self):
+        tel = Telemetry()
+        with tel.tracer.span("root", method="focused"):
+            with tel.tracer.span("leaf"):
+                pass
+        out = render_summary(tel, max_spans=1)
+        assert "most recent spans" in out
+        tree = out.split("most recent spans", 1)[1].splitlines()
+        root_line = next(l for l in tree if "root" in l)
+        leaf_line = next(l for l in tree if "leaf" in l)
+        # The child is indented one level deeper than its root.
+        assert len(leaf_line) - len(leaf_line.lstrip()) > len(root_line) - len(
+            root_line.lstrip()
+        )
+        assert '"method": "focused"' in out
+
+
+class TestPhaseDurations:
+    def test_means_of_direct_children(self):
+        tel = Telemetry()
+        for _ in range(2):
+            with tel.tracer.span("trac.report"):
+                with tel.tracer.span("report.user_query"):
+                    pass
+                with tel.tracer.span("report.statistics"):
+                    with tel.tracer.span("grandchild"):
+                        pass
+        phases = phase_durations(tel, "trac.report")
+        assert set(phases) == {"report.user_query", "report.statistics"}
+        assert all(v >= 0.0 for v in phases.values())
+
+    def test_unknown_root_name(self):
+        assert phase_durations(Telemetry(), "nope") == {}

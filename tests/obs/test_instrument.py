@@ -1,0 +1,323 @@
+"""Integration tests for the telemetry facade and the instrumented paths:
+defaults and enable/disable, the no-op fast path, report spans, backend
+counters, DNF metrics, sniffer lag and monitor rule metrics."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import MemoryBackend, obs
+from repro.core.monitor import RecencyMonitor, WatchRule
+from repro.core.report import (
+    SPAN_PARSE,
+    SPAN_RECENCY,
+    SPAN_REPORT,
+    SPAN_STATS,
+    SPAN_USER,
+    RecencyReporter,
+)
+from repro.grid.machine import Machine
+from repro.grid.simulator import monitoring_catalog
+from repro.grid.sniffer import Sniffer, SnifferConfig
+from repro.obs import instrument
+from repro.obs.instrument import NULL_TELEMETRY, PhaseTimer
+from repro.obs.trace import NULL_SPAN
+
+IDLE_SQL = "SELECT mach_id FROM activity WHERE value = 'idle'"
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def clean_default():
+    """Keep the process-wide default telemetry no-op around every test."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestDefaults:
+    def test_default_is_disabled(self):
+        tel = obs.get_default()
+        assert tel is NULL_TELEMETRY
+        assert not tel.enabled
+
+    def test_enable_returns_live_and_is_idempotent(self):
+        tel = obs.enable()
+        assert tel.enabled
+        assert obs.get_default() is tel
+        assert obs.enable() is tel  # keeps existing instance and data
+
+    def test_disable_restores_null(self):
+        obs.enable()
+        obs.disable()
+        assert obs.get_default() is NULL_TELEMETRY
+
+    def test_resolve_prefers_explicit(self):
+        tel = obs.Telemetry()
+        assert obs.resolve(tel) is tel
+        assert obs.resolve(None) is obs.get_default()
+
+    def test_set_default(self):
+        tel = obs.Telemetry()
+        obs.set_default(tel)
+        assert obs.get_default() is tel
+
+    @pytest.mark.parametrize(
+        "value,expected", [("1", "True"), ("on", "True"), ("0", "False"), ("", "False")]
+    )
+    def test_env_var_controls_import_time_default(self, value, expected):
+        env = dict(os.environ, PYTHONPATH=SRC_DIR, TRAC_TELEMETRY=value)
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.obs as o; print(o.get_default().enabled)"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == expected
+
+
+class TestPhaseTimer:
+    def test_disabled_measures_but_records_nothing(self):
+        with PhaseTimer(NULL_TELEMETRY, "phase") as timer:
+            timer.set_attribute("ignored", 1)
+        assert timer.duration >= 0.0
+        assert timer.span is NULL_SPAN
+
+    def test_enabled_opens_real_span(self):
+        tel = obs.Telemetry()
+        with PhaseTimer(tel, "phase", method="focused") as timer:
+            timer.set_attribute("rows", 9)
+        (span,) = tel.tracer.finished_spans()
+        assert span.name == "phase"
+        assert span.attributes == {"method": "focused", "rows": 9}
+        assert timer.duration > 0.0
+
+    def test_unentered_timer_leaves_no_trace(self):
+        tel = obs.Telemetry()
+        PhaseTimer(tel, "never")
+        with PhaseTimer(tel, "real"):
+            pass
+        (span,) = tel.tracer.finished_spans()
+        assert span.name == "real"
+        assert span.parent_id is None
+
+    def test_exception_recorded_and_propagated(self):
+        tel = obs.Telemetry()
+        with pytest.raises(RuntimeError):
+            with PhaseTimer(tel, "boom"):
+                raise RuntimeError("x")
+        (span,) = tel.tracer.finished_spans()
+        assert span.attributes["error"] == "RuntimeError"
+
+
+class TestReportSpans:
+    def test_focused_report_produces_phase_tree(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        reporter = RecencyReporter(
+            paper_memory_backend, telemetry=tel, create_temp_tables=False
+        )
+        report = reporter.report(IDLE_SQL)
+        (root,) = tel.tracer.roots()
+        assert root.name == SPAN_REPORT
+        assert root.attributes["method"] == "focused"
+        assert root.attributes["sql"] == IDLE_SQL
+        children = [s.name for s in tel.tracer.children_of(root)]
+        assert children == [SPAN_PARSE, SPAN_USER, SPAN_RECENCY, SPAN_STATS]
+        assert report.telemetry is root
+        # Span attributes carry the headline numbers.
+        by_name = {s.name: s for s in tel.tracer.finished_spans()}
+        assert by_name[SPAN_USER].attributes["rows"] == len(report.result.rows)
+        assert by_name[SPAN_RECENCY].attributes["relevant"] == len(
+            report.relevant_source_ids
+        )
+
+    def test_naive_report_has_no_parse_span(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        reporter = RecencyReporter(
+            paper_memory_backend, telemetry=tel, create_temp_tables=False
+        )
+        reporter.report(IDLE_SQL, method="naive")
+        names = {s.name for s in tel.tracer.finished_spans()}
+        assert SPAN_PARSE not in names
+        assert {SPAN_USER, SPAN_RECENCY, SPAN_STATS, SPAN_REPORT} <= names
+
+    def test_report_metrics_recorded(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        reporter = RecencyReporter(
+            paper_memory_backend, telemetry=tel, create_temp_tables=False
+        )
+        reporter.report(IDLE_SQL)
+        reporter.report(IDLE_SQL, method="naive")
+        counter = tel.metrics.counter(instrument.REPORTS, {"method": "focused"})
+        assert counter.value == 1
+        hist = tel.metrics.histogram(instrument.REPORT_SECONDS, {"method": "focused"})
+        assert hist.count == 1
+        assert hist.sum > 0.0
+
+    def test_disabled_reporter_still_times_phases(self, paper_memory_backend):
+        reporter = RecencyReporter(paper_memory_backend, create_temp_tables=False)
+        report = reporter.report(IDLE_SQL)
+        assert report.telemetry is None
+        timings = report.timings
+        assert timings.total > 0.0
+        assert timings.user_query > 0.0
+        assert timings.total >= timings.user_query
+
+
+class TestBackendMetrics:
+    def test_memory_backend_counters(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        paper_memory_backend.telemetry = tel
+        reporter = RecencyReporter(
+            paper_memory_backend, telemetry=tel, create_temp_tables=False
+        )
+        report = reporter.report(IDLE_SQL)
+        labels = {"backend": "memory"}
+        queries = tel.metrics.counter(instrument.BACKEND_QUERIES, labels)
+        assert queries.value >= 2  # user query + at least one recency subquery
+        returned = tel.metrics.counter(instrument.BACKEND_ROWS_RETURNED, labels)
+        assert returned.value >= len(report.result.rows)
+        scanned = tel.metrics.counter(instrument.BACKEND_ROWS_SCANNED, labels)
+        assert scanned.value >= paper_memory_backend.row_count("activity")
+
+    def test_snapshot_metrics_balance(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        paper_memory_backend.telemetry = tel
+        reporter = RecencyReporter(
+            paper_memory_backend, telemetry=tel, create_temp_tables=False
+        )
+        reporter.report(IDLE_SQL)
+        reporter.run_plain(IDLE_SQL)
+        labels = {"backend": "memory"}
+        opened = tel.metrics.counter(instrument.SNAPSHOTS_OPENED, labels)
+        closed = tel.metrics.counter(instrument.SNAPSHOTS_CLOSED, labels)
+        assert opened.value == closed.value == 2
+        held = tel.metrics.histogram(instrument.SNAPSHOT_SECONDS, labels)
+        assert held.count == 2
+
+    def test_sqlite_backend_counters(self, paper_sqlite_backend):
+        tel = obs.Telemetry()
+        paper_sqlite_backend.telemetry = tel
+        reporter = RecencyReporter(
+            paper_sqlite_backend, telemetry=tel, create_temp_tables=False
+        )
+        reporter.report(IDLE_SQL)
+        labels = {"backend": "sqlite"}
+        assert tel.metrics.counter(instrument.BACKEND_QUERIES, labels).value >= 2
+        assert (
+            tel.metrics.counter(instrument.SNAPSHOTS_OPENED, labels).value
+            == tel.metrics.counter(instrument.SNAPSHOTS_CLOSED, labels).value
+            == 1
+        )
+
+    def test_disabled_backend_records_nothing(self, paper_memory_backend):
+        reporter = RecencyReporter(paper_memory_backend, create_temp_tables=False)
+        reporter.report(IDLE_SQL)
+        assert len(obs.get_default().metrics) == 0
+
+
+class TestPlanCacheMetric:
+    def test_cache_hit_counted(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        reporter = RecencyReporter(
+            paper_memory_backend,
+            telemetry=tel,
+            create_temp_tables=False,
+            plan_cache_size=4,
+        )
+        reporter.plan_for(IDLE_SQL)
+        reporter.plan_for(IDLE_SQL)
+        assert tel.metrics.counter(instrument.PLAN_CACHE_HITS).value == 1
+        assert reporter.plan_cache_hits == 1
+
+
+class TestDnfMetrics:
+    def test_conversion_counted_through_global_default(self, paper_memory_backend):
+        tel = obs.enable()
+        reporter = RecencyReporter(paper_memory_backend, create_temp_tables=False)
+        reporter.report("SELECT mach_id FROM activity WHERE value = 'idle' OR value = 'busy'")
+        conversions = tel.metrics.counter(instrument.DNF_CONVERSIONS)
+        assert conversions.value >= 1
+        conjuncts = tel.metrics.histogram(
+            instrument.DNF_CONJUNCTS, buckets=instrument.COUNT_BUCKETS
+        )
+        assert conjuncts.count >= 1
+        expansion = tel.metrics.histogram(
+            instrument.DNF_EXPANSION, buckets=instrument.COUNT_BUCKETS
+        )
+        assert expansion.count >= 1
+        assert expansion.sum > 0.0
+
+
+class TestSnifferMetrics:
+    def _setup(self):
+        tel = obs.Telemetry()
+        backend = MemoryBackend(monitoring_catalog(["m1"]))
+        backend.telemetry = tel
+        machine = Machine("m1")
+        sniffer = Sniffer(machine, backend, SnifferConfig(lag=2.0))
+        return tel, machine, sniffer
+
+    def test_batch_events_and_lag(self):
+        tel, machine, sniffer = self._setup()
+        machine.set_activity(1.0, "busy")
+        machine.set_activity(3.0, "idle")
+        sniffer.poll(10.0)
+        labels = {"machine": "m1"}
+        assert tel.metrics.counter(instrument.SNIFFER_BATCHES, labels).value == 1
+        assert tel.metrics.counter(instrument.SNIFFER_EVENTS, labels).value == 2
+        lag = tel.metrics.histogram(
+            instrument.SNIFFER_LAG, labels, buckets=instrument.LAG_BUCKETS
+        )
+        assert lag.count == 2
+        assert lag.sum == pytest.approx((10.0 - 1.0) + (10.0 - 3.0))
+
+    def test_backlog_gauge_tracks_unloaded_records(self):
+        tel, machine, sniffer = self._setup()
+        machine.set_activity(1.0, "busy")
+        machine.set_activity(9.5, "idle")  # behind the horizon at t=10, lag=2
+        sniffer.poll(10.0)
+        labels = {"machine": "m1"}
+        assert tel.metrics.gauge(instrument.SNIFFER_BACKLOG, labels).value == 1
+        sniffer.poll(20.0)
+        assert tel.metrics.gauge(instrument.SNIFFER_BACKLOG, labels).value == 0
+
+    def test_empty_poll_records_no_batch(self):
+        tel, machine, sniffer = self._setup()
+        sniffer.poll(10.0)
+        assert tel.metrics.counter(instrument.SNIFFER_BATCHES, {"machine": "m1"}).value == 0
+
+
+class TestMonitorMetrics:
+    def test_rule_latency_and_trips(self, paper_memory_backend):
+        tel = obs.Telemetry()
+        monitor = RecencyMonitor(
+            paper_memory_backend,
+            clock=lambda: 1_142_431_205.0 + 86_400.0,
+            telemetry=tel,
+        )
+        monitor.add_rule(
+            WatchRule("idle", IDLE_SQL, max_staleness=1.0, forbid_exceptional=True)
+        )
+        alerts = monitor.check()
+        assert alerts  # a day of staleness against a 1s limit must trip
+        labels = {"rule": "idle"}
+        latency = tel.metrics.histogram(instrument.MONITOR_RULE_SECONDS, labels)
+        assert latency.count == 1
+        trips = tel.metrics.counter(instrument.MONITOR_TRIPS, labels)
+        assert trips.value == len(alerts)
+        rule_spans = [
+            s for s in tel.tracer.finished_spans() if s.name == "monitor.rule"
+        ]
+        assert len(rule_spans) == 1
+        assert rule_spans[0].attributes["rule"] == "idle"
+        assert rule_spans[0].attributes["trips"] == len(alerts)
+        # The report ran inside the rule span.
+        report_roots = [s for s in tel.tracer.roots() if s.name == SPAN_REPORT]
+        assert report_roots == []
+        monitor.close()

@@ -1,0 +1,33 @@
+"""Tier-1 guard: the disabled-telemetry overhead bound must stay under 5%.
+
+Runs ``tools/check_telemetry_overhead.py`` as a subprocess (tools/ is not a
+package) with a reduced run count to keep the suite fast. Deselect with
+``-m "not overhead"`` when iterating.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_telemetry_overhead.py")
+
+
+@pytest.mark.overhead
+def test_disabled_overhead_bound_within_budget():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, TOOL, "--runs", "5", "--threshold", "5.0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+    assert "disabled-path overhead bound" in completed.stdout

@@ -126,3 +126,80 @@ class TestBench:
         code = main(["bench", "fpr", "--fpr-sources", "30"])
         assert code == 0
         assert "False positive rates" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_prints_summary(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(["stats", "--db", db, "SELECT mach_id FROM activity"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters and gauges:" in out
+        assert "trac_reports_total" in out
+        assert "trac_backend_queries_total" in out
+        assert "spans (by name):" in out
+        assert "trac.report" in out
+        assert "most recent spans" in out
+
+    def test_stats_repeat_and_multiple_queries(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(
+            [
+                "stats",
+                "--db",
+                db,
+                "--repeat",
+                "3",
+                "SELECT mach_id FROM activity",
+                "SELECT mach_id FROM routing",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing" in out
+        # 2 queries x 3 repeats = 6 reports in the aggregates table.
+        report_line = next(
+            line for line in out.splitlines() if line.strip().startswith("trac.report")
+        )
+        assert " 6 " in report_line
+
+    def test_stats_dump_files(self, grid_db, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text, spans_from_jsonl
+
+        db, _ = grid_db
+        spans_path = str(tmp_path / "spans.jsonl")
+        prom_path = str(tmp_path / "metrics.prom")
+        code = main(
+            [
+                "stats",
+                "--db",
+                db,
+                "--spans-jsonl",
+                spans_path,
+                "--prometheus",
+                prom_path,
+                "SELECT mach_id FROM activity",
+            ]
+        )
+        assert code == 0
+        with open(spans_path) as handle:
+            spans = spans_from_jsonl(handle.read())
+        assert any(s["name"] == "trac.report" for s in spans)
+        with open(prom_path) as handle:
+            samples = parse_prometheus_text(handle.read())
+        assert samples[("trac_reports_total", (("method", "focused"),))] == 1
+
+    def test_stats_disables_telemetry_afterwards(self, grid_db, capsys):
+        from repro import obs
+
+        db, _ = grid_db
+        main(["stats", "--db", db, "SELECT mach_id FROM activity"])
+        assert not obs.get_default().enabled
+
+    def test_stats_naive_method(self, grid_db, capsys):
+        db, _ = grid_db
+        code = main(
+            ["stats", "--db", db, "--method", "naive", "SELECT mach_id FROM activity"]
+        )
+        assert code == 0
+        assert "method=naive" in capsys.readouterr().out

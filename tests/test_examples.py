@@ -60,6 +60,16 @@ class TestExamples:
         assert "[exceptional]" in out
         assert "Alert history" in out
 
+    def test_telemetry_tour(self):
+        out = run_example("telemetry_tour.py")
+        assert "trac.report" in out and "report.user_query" in out
+        assert "ReportTimings is a thin view over those spans" in out
+        assert "sniff->DB lag" in out
+        assert "trac_monitor_trips_total{rule=idle-pool} = 1" in out
+        assert 'trac_reports_total{method="focused"} 2' in out
+        assert "counters and gauges:" in out
+        assert "trac_sniff_lag_seconds" in out
+
     def test_sensor_network(self):
         out = run_example("sensor_network.py")
         assert "cold room" in out

@@ -177,3 +177,38 @@ class TestRunShellStream:
 
         run_shell(paper_sqlite_backend, io.StringIO(""))
         assert "TRAC interactive shell" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_before_any_report(self, shell):
+        sh, output = shell
+        sh.handle(".stats")
+        assert "nothing has been recorded" in text_of(output)
+
+    def test_stats_after_report_shows_spans_and_counters(self, shell):
+        sh, output = shell
+        sh.handle(IDLE)
+        del output[:]
+        sh.handle(".stats")
+        text = text_of(output)
+        assert "trac_reports_total" in text
+        assert "trac_backend_queries_total" in text
+        assert "trac.report" in text
+        assert "report.user_query" in text
+
+    def test_stats_isolated_per_session(self, paper_memory_backend):
+        first_out, second_out = [], []
+        first = Shell(paper_memory_backend, first_out.append)
+        first.handle(IDLE)
+        first.close()
+        second = Shell(paper_memory_backend, second_out.append)
+        second.handle(".stats")
+        assert "nothing has been recorded" in text_of(second_out)
+        second.close()
+
+    def test_close_restores_backend_telemetry(self, paper_memory_backend):
+        saved = paper_memory_backend.telemetry
+        sh = Shell(paper_memory_backend, [].append)
+        assert paper_memory_backend.telemetry is sh.telemetry
+        sh.close()
+        assert paper_memory_backend.telemetry is saved

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Guard: disabled telemetry must cost (nearly) nothing on the report path.
+
+The instrumented hot paths (``RecencyReporter.report``, the backends, the
+mini engine) all follow the same pattern when telemetry is off: one
+attribute/default lookup, one ``tel.enabled`` branch, and no-op
+``PhaseTimer``/``NullSpan`` context managers. This script bounds the cost
+those primitives add to one figure-1-style report and fails when the bound
+exceeds the budget (default 5%).
+
+Method — we cannot re-run the pre-instrumentation code, so the check is a
+first-principles bound instead of a before/after diff:
+
+1. time one disabled-telemetry report on a small paper workload
+   (``t_report``, warm-up discarded, mean of the rest);
+2. microbenchmark the two disabled-path primitives in isolation:
+   a full no-op ``PhaseTimer`` cycle (construct + enter + exit) and a
+   ``resolve()`` + ``enabled`` branch;
+3. overhead_bound = (timers_per_report * t_timer
+                     + checks_per_report * t_check) / t_report
+
+The per-report primitive counts are deliberate over-estimates, so the
+reported percentage is an upper bound. Enabled-telemetry timing is printed
+for information only — it is *expected* to cost more.
+
+Run:  python tools/check_telemetry_overhead.py [--runs N] [--threshold PCT]
+Exit status 0 when within budget, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro import obs
+from repro.core.report import RecencyReporter
+from repro.backends.memory import MemoryBackend
+from repro.obs.instrument import NULL_TELEMETRY, PhaseTimer
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+)
+from repro.workload.queries import paper_queries, query_machine_indexes
+
+#: Over-estimates of disabled-path primitive invocations per report.
+#: report() opens 5 PhaseTimers; backend/engine/monitor paths add a handful
+#: of ``enabled`` branches per query (3 queries per report).
+TIMERS_PER_REPORT = 8
+CHECKS_PER_REPORT = 64
+
+MICRO_LOOPS = 200_000
+
+
+def _mean_seconds(fn: Callable[[], object], runs: int) -> float:
+    samples = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    if len(samples) > 1:
+        samples = samples[1:]  # discard warm-up, paper protocol
+    return sum(samples) / len(samples)
+
+
+def time_phase_timer_cycle() -> float:
+    """Seconds per disabled PhaseTimer construct+enter+exit cycle."""
+    tel = NULL_TELEMETRY
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        with PhaseTimer(tel, "overhead.probe"):
+            pass
+    return (time.perf_counter() - start) / MICRO_LOOPS
+
+
+def time_enabled_check() -> float:
+    """Seconds per resolve-default + ``enabled`` branch."""
+    start = time.perf_counter()
+    acc = 0
+    for _ in range(MICRO_LOOPS):
+        tel = obs.resolve(None)
+        if tel.enabled:
+            acc += 1
+    assert acc == 0, "telemetry unexpectedly enabled during microbench"
+    return (time.perf_counter() - start) / MICRO_LOOPS
+
+
+def build_reporter(num_sources: int, data_ratio: int) -> RecencyReporter:
+    catalog = workload_catalog(num_sources)
+    backend = MemoryBackend(catalog)
+    data = generate_workload(
+        WorkloadConfig(num_sources=num_sources, data_ratio=data_ratio),
+        query_machine_indexes(num_sources),
+    )
+    load_workload(backend, data)
+    return RecencyReporter(backend, create_temp_tables=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=11)
+    parser.add_argument("--threshold", type=float, default=5.0, help="max overhead %%")
+    parser.add_argument("--num-sources", type=int, default=20)
+    parser.add_argument("--data-ratio", type=int, default=25)
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    reporter = build_reporter(args.num_sources, args.data_ratio)
+    sql = paper_queries(args.num_sources)["Q1"]
+
+    t_report = _mean_seconds(lambda: reporter.report(sql, method="focused"), args.runs)
+    t_timer = time_phase_timer_cycle()
+    t_check = time_enabled_check()
+
+    bound = TIMERS_PER_REPORT * t_timer + CHECKS_PER_REPORT * t_check
+    overhead_pct = 100.0 * bound / t_report
+
+    # Informational: the *enabled* path is allowed to be slower.
+    tel = obs.Telemetry()
+    reporter.telemetry = tel
+    t_enabled = _mean_seconds(lambda: reporter.report(sql, method="focused"), args.runs)
+    reporter.telemetry = None
+    reporter.close()
+
+    print("telemetry overhead guard")
+    print(f"  disabled report time        : {t_report * 1e3:9.3f} ms")
+    print(f"  no-op PhaseTimer cycle      : {t_timer * 1e9:9.1f} ns")
+    print(f"  resolve+enabled branch      : {t_check * 1e9:9.1f} ns")
+    print(
+        f"  bound ({TIMERS_PER_REPORT} timers + {CHECKS_PER_REPORT} checks)"
+        f" : {bound * 1e6:9.2f} us/report"
+    )
+    print(f"  disabled-path overhead bound: {overhead_pct:9.3f} %  (budget {args.threshold}%)")
+    print(f"  enabled report time (info)  : {t_enabled * 1e3:9.3f} ms")
+
+    if overhead_pct >= args.threshold:
+        print("FAIL: disabled-telemetry overhead bound exceeds budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
