@@ -4,18 +4,20 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.backends.base import Backend, Snapshot
 from repro.catalog import HEARTBEAT_TABLE, Catalog
 from repro.engine import Database, execute_sql
 from repro.engine.evaluate import QueryResult
-from repro.errors import BackendError
+from repro.errors import BackendError, LexerError
 from repro.obs import instrument as obs
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.tokens import TokenType
 
 
 class _MemorySnapshot(Snapshot):
-    """A frozen copy of the database's row lists."""
+    """A frozen view of the database's row lists (copy-on-write)."""
 
     def __init__(self, backend: "MemoryBackend", frozen: Database) -> None:
         self._backend = backend
@@ -36,15 +38,27 @@ class MemoryBackend(Backend):
     Session temp tables are kept in a side dictionary and consulted during
     query execution, mirroring how real engines resolve temp names before
     permanent ones.
+
+    ``cow_snapshots`` (default True) opens snapshots as O(#tables)
+    copy-on-write views; ``False`` restores the pre-fast-path O(#rows)
+    deep copy and exists for baseline measurements
+    (``tools/check_fastpath_speedup.py``).
     """
 
     kind = "memory"
 
-    def __init__(self, catalog: Catalog, telemetry: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        telemetry: Optional[object] = None,
+        cow_snapshots: bool = True,
+    ) -> None:
         super().__init__(catalog, telemetry)
         self.db = Database(catalog)
         self._temp: Dict[str, Tuple[List[str], List[Tuple[object, ...]]]] = {}
+        self._cow_snapshots = cow_snapshots
         self._heartbeat_index: Dict[str, int] = {}
+        self._heartbeat_index_valid = True
 
     # -- schema / data -------------------------------------------------------
 
@@ -55,6 +69,8 @@ class MemoryBackend(Backend):
 
     def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> None:
         self.db.insert_many(table, rows)
+        if table.lower() == HEARTBEAT_TABLE:
+            self._heartbeat_index_valid = False
 
     def upsert_rows(
         self,
@@ -69,6 +85,8 @@ class MemoryBackend(Backend):
             key = tuple(row[i] for i in key_indexes)
             relation.delete_where(lambda r, key=key: tuple(r[i] for i in key_indexes) == key)
             relation.insert(row)
+        if table.lower() == HEARTBEAT_TABLE:
+            self._heartbeat_index_valid = False
 
     def delete_rows(
         self,
@@ -80,21 +98,31 @@ class MemoryBackend(Backend):
         key_indexes = [relation.schema.column_index(k) for k in key_columns]
         wanted = {tuple(k) for k in keys}
         relation.delete_where(lambda r: tuple(r[i] for i in key_indexes) in wanted)
+        if table.lower() == HEARTBEAT_TABLE:
+            # Deleting shifts positions; the index is rebuilt lazily on the
+            # next upsert_heartbeat (previously it silently went stale).
+            self._heartbeat_index_valid = False
 
     def delete_all(self, table: str) -> None:
         relation = self.db.relation(table)
-        relation.rows.clear()
+        relation.clear()
         if table.lower() == HEARTBEAT_TABLE:
             self._heartbeat_index.clear()
+            self._heartbeat_index_valid = True
 
     def upsert_heartbeat(self, source_id: str, recency: float) -> None:
         relation = self.db.relation(HEARTBEAT_TABLE)
+        if not self._heartbeat_index_valid:
+            self._heartbeat_index = {
+                str(row[0]): position for position, row in enumerate(relation.rows)
+            }
+            self._heartbeat_index_valid = True
         position = self._heartbeat_index.get(source_id)
         if position is None:
             self._heartbeat_index[source_id] = len(relation.rows)
             relation.insert((source_id, recency))
         else:
-            relation.rows[position] = (source_id, recency)
+            relation.replace_row(position, (source_id, recency))
 
     # -- querying ---------------------------------------------------------------
 
@@ -103,20 +131,38 @@ class MemoryBackend(Backend):
 
     def _execute_on(self, db: Database, sql: str) -> QueryResult:
         tel = self._tel()
-        lowered = sql.lower()
-        for temp_name in self._temp:
-            if temp_name.lower() in lowered:
-                result = self._execute_with_temp(db, sql)
-                break
+        if self._references_temp_table(sql):
+            result = self._execute_with_temp(db, sql)
         else:
             result = execute_sql(db, sql, telemetry=tel if tel.enabled else None)
         if tel.enabled:
             obs.record_backend_query(tel, self.kind, len(result.rows))
         return result
 
+    def _references_temp_table(self, sql: str) -> bool:
+        """Whether ``sql`` names a session temp table as an identifier.
+
+        Matching on lexer tokens (not raw substrings) keeps a temp name
+        like ``rep_norm_1`` from misfiring on ``rep_norm_10`` or on string
+        literals that happen to contain it.
+        """
+        if not self._temp:
+            return False
+        try:
+            tokens = tokenize(sql)
+        except LexerError:
+            return False  # let the normal path raise the real parse error
+        identifiers: Set[str] = {
+            token.value.lower()
+            for token in tokens
+            if token.type is TokenType.IDENTIFIER and isinstance(token.value, str)
+        }
+        return any(name.lower() in identifiers for name in self._temp)
+
     def _execute_with_temp(self, db: Database, sql: str) -> QueryResult:
         # Queries over temp tables are rare (a user inspecting a recency
         # report); support the simple form SELECT ... FROM <temp_table>.
+        # Base tables are attached as CoW shares, not copied.
         from repro.catalog import Column, TableSchema
         from repro.catalog.catalog import Catalog as _Catalog
 
@@ -125,26 +171,37 @@ class MemoryBackend(Backend):
             if schema.name.lower() != HEARTBEAT_TABLE:
                 extended.add(schema)
         shadow = Database(extended)
+        shared: List[Tuple[object, object]] = []
         for name in shadow.tables():
             if db.has(name):
-                shadow.relation(name).insert_many(db.relation(name).rows)
+                source = db.relation(name)
+                view = source.share()
+                shadow.attach(name, view)
+                shared.append((source, view))
         for name, (columns, rows) in self._temp.items():
             schema = TableSchema(name, [Column(c, "TEXT") for c in columns])
             shadow.add_table(schema, rows)
-        return execute_sql(shadow, sql)
+        try:
+            return execute_sql(shadow, sql, cache=False)
+        finally:
+            for source, view in shared:
+                source.release_share(view)
 
     @contextlib.contextmanager
     def snapshot(self) -> Iterator[Snapshot]:
         tel = self._tel()
-        if tel.enabled:
+        enabled = tel.enabled
+        if enabled:
             obs.record_snapshot_open(tel, self.kind)
             opened = time.perf_counter()
-            try:
-                yield _MemorySnapshot(self, self.db.copy())
-            finally:
+        frozen = self.db.snapshot_view() if self._cow_snapshots else self.db.copy()
+        try:
+            yield _MemorySnapshot(self, frozen)
+        finally:
+            if self._cow_snapshots:
+                self.db.release_view(frozen)
+            if enabled:
                 obs.record_snapshot_close(tel, self.kind, time.perf_counter() - opened)
-        else:
-            yield _MemorySnapshot(self, self.db.copy())
 
     # -- temp tables ---------------------------------------------------------------
 

@@ -90,6 +90,8 @@ def figure1_series(
                 }
                 for phase, seconds in sorted(m.phases.items()):
                     record[f"phase_{phase.split('.', 1)[-1]}_s"] = seconds
+                for cache, count in sorted(m.caches.items()):
+                    record[f"cache_{cache}"] = count
                 records.append(record)
         backend.close()
     return records
@@ -188,6 +190,9 @@ _FIG1_HEADERS = [
     "phase_user_query_s",
     "phase_recency_query_s",
     "phase_statistics_s",
+    "cache_query_hits",
+    "cache_query_misses",
+    "cache_plan_hits",
 ]
 _FIG2_HEADERS = ["query", "data_ratio", "num_sources", "without_report_s", "with_report_s"]
 _FPR_HEADERS = [

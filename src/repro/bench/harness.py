@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 from repro.bench.metrics import overhead
 from repro.core.report import SPAN_REPORT, RecencyReporter
 from repro.core.relevance import RelevancePlan
+from repro.engine.cache import get_cache
 from repro.obs import Telemetry, phase_durations
 
 #: Paper protocol: 11 runs, first discarded.
@@ -45,9 +46,13 @@ class MethodMeasurement:
     ``phases`` maps phase span names (``report.user_query``, ...) to mean
     durations in seconds, captured from an instrumented run outside the
     timed region — the per-phase breakdown benchmark JSON carries.
+
+    ``caches`` carries the fast-path cache activity observed during the
+    timed report loop: resolved-query cache hits/misses (the process-wide
+    LRU in :mod:`repro.engine.cache`) and relevance plan-cache hits.
     """
 
-    __slots__ = ("method", "t_plain", "t_report", "relevant_count", "phases")
+    __slots__ = ("method", "t_plain", "t_report", "relevant_count", "phases", "caches")
 
     def __init__(
         self,
@@ -56,12 +61,14 @@ class MethodMeasurement:
         t_report: float,
         relevant_count: int,
         phases: Optional[Dict[str, float]] = None,
+        caches: Optional[Dict[str, int]] = None,
     ) -> None:
         self.method = method
         self.t_plain = t_plain
         self.t_report = t_report
         self.relevant_count = relevant_count
         self.phases = phases or {}
+        self.caches = caches or {}
 
     @property
     def overhead(self) -> float:
@@ -78,6 +85,8 @@ class MethodMeasurement:
         }
         for name, seconds in sorted(self.phases.items()):
             out[f"phase_{name.split('.', 1)[-1]}_s"] = seconds
+        for name, count in sorted(self.caches.items()):
+            out[f"cache_{name}"] = count
         return out
 
     def __repr__(self) -> str:
@@ -119,12 +128,23 @@ def measure_methods(
         def run(method=method, kwargs=kwargs):
             report_holder["r"] = reporter.report(sql, method=method, **kwargs)
 
+        query_cache = get_cache()
+        before = query_cache.stats()
+        plan_hits_before = reporter.plan_cache_hits
         t_report = time_call(run, runs)
+        after = query_cache.stats()
+        caches = {
+            "query_hits": after["hits"] - before["hits"],
+            "query_misses": after["misses"] - before["misses"],
+            "plan_hits": reporter.plan_cache_hits - plan_hits_before,
+        }
         relevant = len(report_holder["r"].relevant_source_ids)
         phases: Dict[str, float] = {}
         if collect_phases:
             phases = _capture_phases(reporter, sql, method, kwargs)
-        out[method] = MethodMeasurement(method, t_plain, t_report, relevant, phases)
+        out[method] = MethodMeasurement(
+            method, t_plain, t_report, relevant, phases, caches
+        )
     return out
 
 

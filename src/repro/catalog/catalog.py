@@ -7,10 +7,17 @@ catalog. Every catalog automatically contains the system Heartbeat table.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Iterator, List
 
 from repro.catalog.schema import HEARTBEAT_TABLE, TableSchema, heartbeat_schema
 from repro.errors import CatalogError
+
+#: Process-wide ticket source for catalog generations. Every mutation of any
+#: catalog draws a fresh ticket, so a catalog's current ``generation`` is
+#: globally unique — two catalogs (or two states of one catalog) never share
+#: it. Resolved-query caches key on it to invalidate on schema change.
+_GENERATION_TICKETS = itertools.count(1)
 
 
 class Catalog:
@@ -25,9 +32,13 @@ class Catalog:
 
     def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
         self._tables: Dict[str, TableSchema] = {}
+        self.generation = 0
         self.add(heartbeat_schema())
         for table in tables:
             self.add(table)
+
+    def _bump_generation(self) -> None:
+        self.generation = next(_GENERATION_TICKETS)
 
     def add(self, table: TableSchema) -> None:
         """Register a table schema.
@@ -41,10 +52,12 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already in catalog")
         self._tables[key] = table
+        self._bump_generation()
 
     def replace(self, table: TableSchema) -> None:
         """Register a table schema, overwriting any existing definition."""
         self._tables[table.name.lower()] = table
+        self._bump_generation()
 
     def get(self, name: str) -> TableSchema:
         """Look up a table by (case-insensitive) name.

@@ -297,6 +297,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             )
         print()
         print(obs.render_summary(tel, max_spans=1))
+        from repro.engine.cache import get_cache
+
+        cache_stats = get_cache().stats()
+        print(
+            f"\nresolved-query cache: {cache_stats['hits']} hit(s), "
+            f"{cache_stats['misses']} miss(es), "
+            f"{cache_stats['size']}/{cache_stats['maxsize']} entries"
+        )
+        if reporter.plan_cache_size > 0:
+            print(f"plan cache: {reporter.plan_cache_hits} hit(s)")
         if args.spans_jsonl:
             with open(args.spans_jsonl, "w") as handle:
                 handle.write(obs.spans_to_jsonl(tel.tracer.finished_spans()) + "\n")

@@ -34,12 +34,11 @@ from repro.core.statistics import (
     format_timestamp,
     zscore_split,
 )
+from repro.engine.cache import resolve_cached
 from repro.engine.evaluate import QueryResult
 from repro.errors import TracError
 from repro.obs import instrument as obs
 from repro.obs.instrument import PhaseTimer
-from repro.sqlparser.parser import parse_query
-from repro.sqlparser.resolver import resolve
 
 _METHODS = ("focused", "focused_hardcoded", "naive")
 
@@ -260,7 +259,10 @@ class RecencyReporter:
                 if tel.enabled:
                     obs.record_plan_cache_hit(tel)
                 return cached
-        resolved = resolve(parse_query(sql), self.backend.catalog)
+        tel = self._tel()
+        resolved = resolve_cached(
+            sql, self.backend.catalog, tel if tel.enabled else None
+        )
         plan = build_relevance_plan(
             resolved,
             max_conjuncts=self.max_conjuncts,

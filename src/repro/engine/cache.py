@@ -1,0 +1,149 @@
+"""The resolved-query cache: parse + resolve once per (SQL, catalog state).
+
+Every recency report re-executes the same generated subquery and guard SQL
+strings (and ``trac stats`` / the bench sweeps repeat user queries
+verbatim), and each execution used to pay a full lex + parse + resolve.
+This module keeps a process-wide LRU of :class:`ResolvedQuery` objects
+keyed by ``(catalog.generation, sql)``.
+
+Keying on the catalog *generation* (a globally unique ticket drawn on
+every catalog mutation — see :class:`repro.catalog.Catalog`) gives two
+properties for free:
+
+* a schema change (``add_table`` on a live database) moves the catalog to
+  a fresh generation, so stale resolutions can never be served;
+* two different catalogs never collide, even when they contain tables with
+  the same names, because generations are never reused.
+
+Cached :class:`ResolvedQuery` objects are shared, which is safe because
+resolution annotates the tree once and everything downstream (executor,
+relevance planner, constraints) treats resolved trees as read-only.
+
+Hits and misses are counted on the cache itself (always, cheaply) and
+additionally recorded as telemetry counters when a live
+:class:`~repro.obs.Telemetry` is passed. Size is configurable through
+``TRAC_QUERY_CACHE_SIZE`` (default 256; ``0`` disables caching).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.catalog import Catalog
+from repro.sqlparser.parser import parse_query
+from repro.sqlparser.resolver import ResolvedQuery, resolve
+
+DEFAULT_MAXSIZE = 256
+
+
+class ResolvedQueryCache:
+    """A thread-safe LRU of resolved queries keyed by (generation, SQL)."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, str], ResolvedQuery]" = OrderedDict()
+
+    def resolve(
+        self, sql: str, catalog: Catalog, telemetry: Optional[object] = None
+    ) -> ResolvedQuery:
+        """Parse + resolve ``sql`` against ``catalog``, through the cache."""
+        if self.maxsize == 0:
+            return resolve(parse_query(sql), catalog)
+        key = (catalog.generation, sql)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if cached is not None:
+            self._record(telemetry, hit=True)
+            return cached
+        resolved = resolve(parse_query(sql), catalog)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = resolved
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        self._record(telemetry, hit=False)
+        return resolved
+
+    @staticmethod
+    def _record(telemetry: Optional[object], hit: bool) -> None:
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            from repro.obs import instrument as obs
+
+            obs.record_query_cache(telemetry, hit)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResolvedQueryCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def _env_maxsize() -> int:
+    raw = os.environ.get("TRAC_QUERY_CACHE_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_MAXSIZE
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MAXSIZE
+
+
+_global_cache = ResolvedQueryCache(_env_maxsize())
+
+
+def get_cache() -> ResolvedQueryCache:
+    """The process-wide resolved-query cache."""
+    return _global_cache
+
+
+def configure(maxsize: int) -> ResolvedQueryCache:
+    """Replace the process-wide cache with a fresh one of ``maxsize``
+    entries (``0`` disables caching); returns the new cache."""
+    global _global_cache
+    _global_cache = ResolvedQueryCache(maxsize)
+    return _global_cache
+
+
+def resolve_cached(
+    sql: str, catalog: Catalog, telemetry: Optional[object] = None
+) -> ResolvedQuery:
+    """Module-level convenience over :meth:`ResolvedQueryCache.resolve`."""
+    return _global_cache.resolve(sql, catalog, telemetry)
+
+
+__all__ = [
+    "ResolvedQueryCache",
+    "DEFAULT_MAXSIZE",
+    "get_cache",
+    "configure",
+    "resolve_cached",
+]

@@ -6,6 +6,19 @@ ordering, hash joins on equality join terms — while arbitrary boolean
 WHERE clauses fall back to an (incrementally built) cross product with the
 predicate applied at the end. Both paths produce identical results; the
 planner only changes the work done to get there.
+
+Two execution modes exist for predicates and projections: the *compiled*
+mode (default) lowers each expression once per query to closed-over
+lambdas via :mod:`repro.engine.compile`, and the *interpreted* mode walks
+the AST per row via :mod:`repro.predicates.evaluate`. The interpreted mode
+is the semantic oracle; ``tools/fuzz_engine.py`` differentially checks the
+two (and SQLite). Select per call with ``execute_query(..., compiled=...)``
+or globally with :func:`repro.engine.compile.set_compiled_default` /
+``TRAC_INTERPRETED=1``.
+
+``execute_sql`` additionally fronts parse+resolve with the process-wide
+resolved-query cache (:mod:`repro.engine.cache`), so repeated SQL strings
+— recency subqueries, guards, benchmark loops — skip the parser entirely.
 """
 
 from __future__ import annotations
@@ -13,6 +26,8 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.engine import compile as compile_mod
+from repro.engine.cache import resolve_cached
 from repro.engine.relation import Database, Relation, Row
 from repro.errors import EngineError, UnsupportedQueryError
 from repro.predicates.dnf import basic_terms_of
@@ -56,15 +71,29 @@ class QueryResult:
         return f"QueryResult(columns={self.columns!r}, rows={len(self.rows)})"
 
 
-def execute_sql(db: Database, sql: str, telemetry=None) -> QueryResult:
+def execute_sql(
+    db: Database,
+    sql: str,
+    telemetry=None,
+    compiled: Optional[bool] = None,
+    cache: bool = True,
+) -> QueryResult:
     """Parse, resolve and execute a SQL string against ``db``.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`, enabled) additionally
     records the scan upper bound — the total base-table rows the executor
     may read for this query — without re-parsing; the memory backend
     threads its telemetry through here.
+
+    ``cache`` (default True) routes parse+resolve through the process-wide
+    resolved-query cache; pass False for throwaway catalogs (e.g. the
+    temp-table shadow database) whose generations would only pollute it.
+    ``compiled`` overrides the compiled/interpreted default for this call.
     """
-    resolved = resolve(parse_query(sql), db.catalog)
+    if cache:
+        resolved = resolve_cached(sql, db.catalog, telemetry)
+    else:
+        resolved = resolve(parse_query(sql), db.catalog)
     if telemetry is not None and telemetry.enabled:
         from repro.obs import instrument as obs
 
@@ -74,7 +103,7 @@ def execute_sql(db: Database, sql: str, telemetry=None) -> QueryResult:
             if db.has(b.schema.name)
         )
         obs.record_backend_scan(telemetry, "memory", scanned)
-    return execute_query(db, resolved)
+    return execute_query(db, resolved, compiled=compiled)
 
 
 def execute_query(
@@ -82,6 +111,7 @@ def execute_query(
     resolved: ResolvedQuery,
     relation_override: Optional[Dict[str, Relation]] = None,
     trace: Optional[List[str]] = None,
+    compiled: Optional[bool] = None,
 ) -> QueryResult:
     """Execute a resolved query.
 
@@ -99,7 +129,13 @@ def execute_query(
         Optional list that receives plan-decision messages as execution
         proceeds (push-downs, join order, join methods) — the engine's
         EXPLAIN ANALYZE.
+    compiled:
+        ``True`` forces the compiled predicate/projection path, ``False``
+        the interpreted oracle; ``None`` (default) follows
+        :func:`repro.engine.compile.compiled_default`.
     """
+    if compiled is None:
+        compiled = compile_mod.compiled_default()
     query = resolved.query
     relations: Dict[str, Relation] = {}
     for binding in resolved.bindings:
@@ -109,15 +145,33 @@ def execute_query(
         )
 
     index_of = _build_index_map(resolved)
-    envs = _join(resolved, relations, index_of, trace)
+    envs = _join(resolved, relations, index_of, trace, compiled)
     if query.order_by and not (query.has_aggregates or query.group_by or query.distinct):
-        envs = _sort_envs(query.order_by, envs, index_of)
-    result = _project(resolved, envs, index_of)
+        envs = _sort_envs(query.order_by, envs, index_of, compiled)
+    result = _project(resolved, envs, index_of, compiled)
     if query.order_by and (query.has_aggregates or query.group_by or query.distinct):
         _sort_rows(query, result)
     if query.limit is not None:
         result.rows = result.rows[: query.limit]
     return result
+
+
+def _env_predicate(
+    expr: ast.Expr, index_of: Dict[Tuple[str, str], int], compiled: bool
+) -> Callable[[_Env], bool]:
+    """A reusable env -> bool predicate, compiled or interpreted."""
+    if compiled:
+        return compile_mod.compile_predicate(expr, index_of)
+    return lambda env: evaluate_predicate(expr, _make_lookup(env, index_of))
+
+
+def _env_scalar(
+    expr: ast.Expr, index_of: Dict[Tuple[str, str], int], compiled: bool
+) -> Callable[[_Env], object]:
+    """A reusable env -> value getter, compiled or interpreted."""
+    if compiled:
+        return compile_mod.compile_scalar(expr, index_of)
+    return lambda env: _scalar_value(expr, _make_lookup(env, index_of))
 
 
 class _SortKey:
@@ -152,12 +206,15 @@ def _sort_envs(
     order_by,
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
+    compiled: bool = False,
 ) -> List[_Env]:
     # Stable sorts applied minor-key-first honor mixed ASC/DESC directions.
     out = list(envs)
     for item in reversed(order_by):
-        def key(env, item=item):
-            return _SortKey(_make_lookup(env, index_of)(item.expr))
+        getter = _env_scalar(item.expr, index_of, compiled)
+
+        def key(env, getter=getter):
+            return _SortKey(getter(env))
 
         out.sort(key=key, reverse=item.descending)
     return out
@@ -218,6 +275,7 @@ def _join(
     relations: Dict[str, Relation],
     index_of: Dict[Tuple[str, str], int],
     trace: Optional[List[str]] = None,
+    compiled: bool = False,
 ) -> List[_Env]:
     where = resolved.query.where
     conjunctive_terms: Optional[List[ast.Expr]] = None
@@ -232,10 +290,12 @@ def _join(
     if conjunctive_terms is not None:
         if trace is not None:
             trace.append("plan: conjunctive (push-down + ordered joins)")
-        return _join_conjunctive(resolved, relations, index_of, conjunctive_terms, trace)
+        return _join_conjunctive(
+            resolved, relations, index_of, conjunctive_terms, trace, compiled
+        )
     if trace is not None:
         trace.append("plan: general boolean (filtered cross product)")
-    return _join_general(resolved, relations, index_of, where)
+    return _join_general(resolved, relations, index_of, where, compiled)
 
 
 def _join_general(
@@ -243,12 +303,14 @@ def _join_general(
     relations: Dict[str, Relation],
     index_of: Dict[Tuple[str, str], int],
     where: Optional[ast.Expr],
+    compiled: bool = False,
 ) -> List[_Env]:
     keys = [b.key for b in resolved.bindings]
+    predicate = None if where is None else _env_predicate(where, index_of, compiled)
     out: List[_Env] = []
     for combo in itertools.product(*(relations[k].rows for k in keys)):
         env = dict(zip(keys, combo))
-        if where is None or evaluate_predicate(where, _make_lookup(env, index_of)):
+        if predicate is None or predicate(env):
             out.append(env)
     return out
 
@@ -259,6 +321,7 @@ def _join_conjunctive(
     index_of: Dict[Tuple[str, str], int],
     terms: List[ast.Expr],
     trace: Optional[List[str]] = None,
+    compiled: bool = False,
 ) -> List[_Env]:
     keys = [b.key for b in resolved.bindings]
 
@@ -277,7 +340,7 @@ def _join_conjunctive(
 
     # A constant contradiction empties the result outright.
     for term in constant_terms:
-        if not evaluate_predicate(term, _make_lookup({}, index_of)):
+        if not _env_predicate(term, index_of, compiled)({}):
             return []
 
     filtered: Dict[str, List[Row]] = {}
@@ -286,11 +349,17 @@ def _join_conjunctive(
         preds = selection[key]
         if preds:
             conj = ast.And(preds) if len(preds) > 1 else preds[0]
-            kept: List[Row] = []
-            for row in rows:
-                env = {key: row}
-                if evaluate_predicate(conj, _make_lookup(env, index_of)):
-                    kept.append(row)
+            if compiled:
+                # Compiled push-down takes the row tuple directly: column
+                # indexes are resolved once and no per-row env is built.
+                row_pred = compile_mod.compile_row_predicate(conj, key, index_of)
+                kept = [row for row in rows if row_pred(row)]
+            else:
+                kept = []
+                for row in rows:
+                    env = {key: row}
+                    if evaluate_predicate(conj, _make_lookup(env, index_of)):
+                        kept.append(row)
             filtered[key] = kept
             if trace is not None:
                 trace.append(
@@ -327,15 +396,15 @@ def _join_conjunctive(
         if applicable:
             pending = [t for t in pending if t not in applicable]
             conj = ast.And(applicable) if len(applicable) > 1 else applicable[0]
-            envs = [
-                env for env in envs if evaluate_predicate(conj, _make_lookup(env, index_of))
-            ]
+            residual = _env_predicate(conj, index_of, compiled)
+            envs = [env for env in envs if residual(env)]
         if not envs:
             return []
 
     if pending:
         conj = ast.And(pending) if len(pending) > 1 else pending[0]
-        envs = [env for env in envs if evaluate_predicate(conj, _make_lookup(env, index_of))]
+        residual = _env_predicate(conj, index_of, compiled)
+        envs = [env for env in envs if residual(env)]
     return envs
 
 
@@ -407,10 +476,15 @@ def _join_step(
             continue  # NULL never joins
         table.setdefault(hash_key, []).append(row)
 
+    # Probe-side (binding key, column index) pairs are resolved once, not
+    # per intermediate tuple.
+    old_indexes = [
+        (ref.binding_key, index_of[(ref.binding_key, ref.name.lower())])
+        for ref in old_side
+    ]
     out: List[_Env] = []
     for env in envs:
-        lookup = _make_lookup(env, index_of)
-        probe = tuple(lookup(ref) for ref in old_side)
+        probe = tuple(env[k][i] for k, i in old_indexes)
         if any(v is None for v in probe):
             continue
         for row in table.get(probe, ()):  # type: ignore[arg-type]
@@ -429,6 +503,7 @@ def _project(
     resolved: ResolvedQuery,
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
+    compiled: bool = False,
 ) -> QueryResult:
     query = resolved.query
 
@@ -436,15 +511,21 @@ def _project(
         return _project_star(resolved, envs)
 
     if query.has_aggregates or query.group_by:
-        return _project_aggregates(resolved, envs, index_of)
+        return _project_aggregates(resolved, envs, index_of, compiled)
 
     columns = [_output_name(item) for item in query.select_items]
     rows: List[Tuple[object, ...]] = []
-    for env in envs:
-        lookup = _make_lookup(env, index_of)
-        rows.append(
-            tuple(_scalar_value(item.expr, lookup) for item in query.select_items)  # type: ignore[arg-type]
+    if compiled:
+        project_row = compile_mod.compile_projection(
+            [item.expr for item in query.select_items], index_of
         )
+        rows = [project_row(env) for env in envs]
+    else:
+        for env in envs:
+            lookup = _make_lookup(env, index_of)
+            rows.append(
+                tuple(_scalar_value(item.expr, lookup) for item in query.select_items)  # type: ignore[arg-type]
+            )
     if query.distinct:
         rows = _distinct(rows)
     return QueryResult(columns, rows)
@@ -478,6 +559,7 @@ def _project_aggregates(
     resolved: ResolvedQuery,
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
+    compiled: bool = False,
 ) -> QueryResult:
     query = resolved.query
     group_exprs = list(query.group_by)
@@ -494,11 +576,11 @@ def _project_aggregates(
                 "when aggregates are present"
             )
 
+    group_getters = [_env_scalar(e, index_of, compiled) for e in group_exprs]
     groups: Dict[Tuple[object, ...], List[_Env]] = {}
     order: List[Tuple[object, ...]] = []
     for env in envs:
-        lookup = _make_lookup(env, index_of)
-        group_key = tuple(lookup(e) for e in group_exprs)  # type: ignore[arg-type]
+        group_key = tuple(getter(env) for getter in group_getters)
         if group_key not in groups:
             groups[group_key] = []
             order.append(group_key)
@@ -517,7 +599,7 @@ def _project_aggregates(
         for item in query.select_items:
             expr = item.expr
             if isinstance(expr, ast.AggregateCall):
-                out_row.append(_aggregate(expr, member_envs, index_of))
+                out_row.append(_aggregate(expr, member_envs, index_of, compiled))
             elif isinstance(expr, ast.Literal):
                 out_row.append(expr.value)
             else:
@@ -532,13 +614,14 @@ def _aggregate(
     call: ast.AggregateCall,
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
+    compiled: bool = False,
 ) -> object:
     if call.argument is None:  # COUNT(*)
         return len(envs)
+    getter = _env_scalar(call.argument, index_of, compiled)
     values: List[object] = []
     for env in envs:
-        lookup = _make_lookup(env, index_of)
-        value = lookup(call.argument)  # type: ignore[arg-type]
+        value = getter(env)
         if value is not None:
             values.append(value)
     if call.distinct:

@@ -1,4 +1,12 @@
-"""In-memory relations and databases."""
+"""In-memory relations and databases.
+
+Relations support copy-on-write sharing: a snapshot *shares* a relation's
+row list instead of copying it (``share()``), and writers lazily copy the
+list only when a live share still references it. Opening a
+:class:`~repro.backends.memory.MemoryBackend` snapshot is therefore
+O(#tables) instead of O(#rows); an unmodified database pays nothing at
+all. CoW copies are recorded via :mod:`repro.obs` when telemetry is on.
+"""
 
 from __future__ import annotations
 
@@ -15,18 +23,67 @@ class Relation:
 
     Rows are tuples aligned with ``schema.columns``. The relation is a bag
     (duplicates allowed), matching SQL semantics without DISTINCT.
+
+    The row list may be *shared* with snapshot views (see :meth:`share`).
+    All mutation goes through the methods below, which copy the list first
+    when shares are live; never mutate the :attr:`rows` list directly.
     """
 
     def __init__(self, schema: TableSchema, rows: Iterable[Sequence[object]] = ()) -> None:
         self.schema = schema
         self._rows: List[Row] = []
         self._width = len(schema.columns)
+        self._share_count = 0
         for row in rows:
             self.insert(row)
 
     @property
     def rows(self) -> List[Row]:
+        """The backing row list. Treat as read-only; mutate via methods."""
         return self._rows
+
+    # -- copy-on-write sharing ------------------------------------------------
+
+    def share(self) -> "Relation":
+        """A snapshot view sharing this relation's row list (O(1)).
+
+        The view observes the rows as of this instant: any later write to
+        this relation copies the list first (:meth:`_materialize`), leaving
+        the view's list untouched. Call :meth:`release_share` with the view
+        when it is no longer needed so writers stop paying the copy.
+        """
+        view = Relation.__new__(Relation)
+        view.schema = self.schema
+        view._rows = self._rows
+        view._width = self._width
+        # The view also counts one (phantom) share so that an accidental
+        # write through it copies instead of corrupting the live relation.
+        view._share_count = 1
+        self._share_count += 1
+        return view
+
+    def release_share(self, view: "Relation") -> None:
+        """Drop one share previously handed out to ``view``.
+
+        A no-op when a write already diverged this relation from the view
+        (the lists differ), so releases stay correct with overlapping
+        snapshots interleaved with writes.
+        """
+        if view._rows is self._rows and self._share_count > 0:
+            self._share_count -= 1
+
+    def _materialize(self) -> None:
+        """Copy the shared row list so in-place mutation is safe (CoW)."""
+        copied = list(self._rows)
+        from repro.obs import instrument as obs
+
+        tel = obs.get_default()
+        if tel.enabled:
+            obs.record_cow_copy(tel, self.schema.name, len(copied))
+        self._rows = copied
+        self._share_count = 0
+
+    # -- mutation -------------------------------------------------------------
 
     def insert(self, row: Sequence[object]) -> None:
         """Append one row (validated for arity)."""
@@ -35,11 +92,33 @@ class Relation:
                 f"row arity {len(row)} does not match table "
                 f"{self.schema.name!r} with {self._width} columns"
             )
+        if self._share_count:
+            self._materialize()
         self._rows.append(tuple(row))
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
         for row in rows:
             self.insert(row)
+
+    def replace_row(self, position: int, row: Sequence[object]) -> None:
+        """Overwrite the row at ``position`` in place (CoW-safe)."""
+        if len(row) != self._width:
+            raise EngineError(
+                f"row arity {len(row)} does not match table "
+                f"{self.schema.name!r} with {self._width} columns"
+            )
+        if self._share_count:
+            self._materialize()
+        self._rows[position] = tuple(row)
+
+    def clear(self) -> None:
+        """Remove every row (CoW-safe)."""
+        if self._share_count:
+            # Live shares keep the old list; just point at a fresh one.
+            self._rows = []
+            self._share_count = 0
+        else:
+            self._rows.clear()
 
     def delete_where(self, predicate) -> int:
         """Delete rows for which ``predicate(row_tuple)`` is true.
@@ -47,7 +126,9 @@ class Relation:
         Returns the number of rows removed.
         """
         before = len(self._rows)
+        # Rebinding to a fresh list never disturbs snapshot shares.
         self._rows = [row for row in self._rows if not predicate(row)]
+        self._share_count = 0
         return before - len(self._rows)
 
     def update_where(self, predicate, updater) -> int:
@@ -67,7 +148,10 @@ class Relation:
             else:
                 new_rows.append(row)
         self._rows = new_rows
+        self._share_count = 0
         return count
+
+    # -- reading --------------------------------------------------------------
 
     def column_values(self, name: str) -> List[object]:
         """All values of one column, in row order."""
@@ -115,6 +199,11 @@ class Database:
         self._relations[schema.name.lower()] = relation
         return relation
 
+    def attach(self, name: str, relation: Relation) -> None:
+        """Install ``relation`` under ``name`` (e.g. a shared snapshot view
+        of another database's relation). The catalog is not consulted."""
+        self._relations[name.lower()] = relation
+
     def insert(self, table: str, row: Sequence[object]) -> None:
         self.relation(table).insert(row)
 
@@ -122,11 +211,34 @@ class Database:
         self.relation(table).insert_many(rows)
 
     def copy(self) -> "Database":
-        """Deep-enough copy: relations are copied, the catalog is shared."""
+        """Deep-enough copy: relations are copied, the catalog is shared.
+
+        O(#rows). Retained as the pre-CoW baseline (see
+        ``MemoryBackend(cow_snapshots=False)``); live code paths use
+        :meth:`snapshot_view` instead.
+        """
         clone = Database.__new__(Database)
         clone.catalog = self.catalog
         clone._relations = {name: rel.copy() for name, rel in self._relations.items()}
         return clone
+
+    def snapshot_view(self) -> "Database":
+        """A copy-on-write snapshot of the whole database, O(#tables).
+
+        Pair with :meth:`release_view` when the snapshot closes so writers
+        stop copying for it.
+        """
+        view = Database.__new__(Database)
+        view.catalog = self.catalog
+        view._relations = {name: rel.share() for name, rel in self._relations.items()}
+        return view
+
+    def release_view(self, view: "Database") -> None:
+        """Release every share a :meth:`snapshot_view` result still holds."""
+        for name, relation in self._relations.items():
+            shared = view._relations.get(name)
+            if shared is not None:
+                relation.release_share(shared)
 
     def tables(self) -> List[str]:
         return sorted(self._relations)

@@ -46,9 +46,13 @@ BACKEND_ROWS_SCANNED = "trac_backend_rows_scanned_total"
 SNAPSHOTS_OPENED = "trac_backend_snapshots_opened_total"
 SNAPSHOTS_CLOSED = "trac_backend_snapshots_closed_total"
 SNAPSHOT_SECONDS = "trac_backend_snapshot_seconds"
+COW_COPIES = "trac_cow_copies_total"
+COW_ROWS_COPIED = "trac_cow_rows_copied_total"
 REPORTS = "trac_reports_total"
 REPORT_SECONDS = "trac_report_seconds"
 PLAN_CACHE_HITS = "trac_plan_cache_hits_total"
+QUERY_CACHE_HITS = "trac_query_cache_hits_total"
+QUERY_CACHE_MISSES = "trac_query_cache_misses_total"
 DNF_CONVERSIONS = "trac_dnf_conversions_total"
 DNF_CONJUNCTS = "trac_dnf_conjuncts"
 DNF_EXPANSION = "trac_dnf_expansion_factor"
@@ -204,6 +208,27 @@ def record_plan_cache_hit(tel) -> None:
     tel.metrics.counter(
         PLAN_CACHE_HITS, help="Relevance-plan LRU cache hits"
     ).inc()
+
+
+def record_query_cache(tel, hit: bool) -> None:
+    if hit:
+        tel.metrics.counter(
+            QUERY_CACHE_HITS, help="Resolved-query cache hits (parse skipped)"
+        ).inc()
+    else:
+        tel.metrics.counter(
+            QUERY_CACHE_MISSES, help="Resolved-query cache misses (full parse+resolve)"
+        ).inc()
+
+
+def record_cow_copy(tel, table: str, rows: int) -> None:
+    labels = {"table": table}
+    tel.metrics.counter(
+        COW_COPIES, labels, help="Copy-on-write row-list copies taken by writers"
+    ).inc()
+    tel.metrics.counter(
+        COW_ROWS_COPIED, labels, help="Rows duplicated by copy-on-write copies"
+    ).inc(rows)
 
 
 def record_dnf(tel, input_terms: int, conjuncts: int) -> None:

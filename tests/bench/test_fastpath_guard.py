@@ -1,0 +1,36 @@
+"""Tier-1 guard: the fast path must keep focused reports >= 2x the
+interpreted + deep-copy baseline.
+
+Runs ``tools/check_fastpath_speedup.py`` as a subprocess (tools/ is not a
+package) with a reduced run count to keep the suite fast. Deselect with
+``-m "not fastpath"`` when iterating.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_fastpath_speedup.py")
+
+
+@pytest.mark.fastpath
+def test_fastpath_speedup_at_least_2x():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env.pop("TRAC_INTERPRETED", None)
+    env.pop("TRAC_QUERY_CACHE_SIZE", None)
+    completed = subprocess.run(
+        [sys.executable, TOOL, "--runs", "5", "--threshold", "2.0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+    assert "speedup" in completed.stdout

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.report import RecencyReporter
+from repro.obs.instrument import PLAN_CACHE_HITS, Telemetry
 
 Q = "SELECT mach_id FROM activity WHERE mach_id IN ('m1', 'm2') AND value = 'idle'"
 
@@ -70,3 +71,46 @@ class TestPlanCache:
         # assert the mechanism (hit counted), not wall-clock.
         assert reporter.plan_cache_hits == 1
         assert warm.timings.parse_generate >= 0.0
+
+    def test_hits_recorded_in_telemetry(self, paper_memory_backend):
+        tel = Telemetry()
+        reporter = RecencyReporter(
+            paper_memory_backend,
+            create_temp_tables=False,
+            plan_cache_size=8,
+            telemetry=tel,
+        )
+        reporter.report(Q)
+        assert tel.metrics.counter(PLAN_CACHE_HITS).value == 0
+        reporter.report(Q)
+        reporter.report(Q)
+        assert tel.metrics.counter(PLAN_CACHE_HITS).value == 2
+        assert reporter.plan_cache_hits == 2
+
+    def test_no_telemetry_counter_when_disabled(self, paper_memory_backend):
+        reporter = RecencyReporter(
+            paper_memory_backend, create_temp_tables=False, plan_cache_size=8
+        )
+        reporter.report(Q)
+        reporter.report(Q)
+        # The internal counter works even with telemetry off.
+        assert reporter.plan_cache_hits == 1
+
+    def test_eviction_refreshes_on_hit(self, paper_memory_backend):
+        # A hit must move the entry to the MRU end: after hitting q1, adding
+        # a third query evicts q2 (the LRU), not q1.
+        reporter = RecencyReporter(
+            paper_memory_backend, create_temp_tables=False, plan_cache_size=2
+        )
+        q1, q2, q3 = (
+            f"SELECT mach_id FROM activity WHERE mach_id = 'm{i}'" for i in (1, 2, 3)
+        )
+        reporter.plan_for(q1)
+        reporter.plan_for(q2)
+        reporter.plan_for(q1)  # refresh q1
+        reporter.plan_for(q3)  # evicts q2
+        hits = reporter.plan_cache_hits
+        reporter.plan_for(q1)
+        assert reporter.plan_cache_hits == hits + 1  # q1 survived
+        reporter.plan_for(q2)  # q2 was evicted: a miss
+        assert reporter.plan_cache_hits == hits + 1

@@ -1,0 +1,34 @@
+"""Tier-1 wrapper: compiled vs interpreted vs SQLite fuzz differential.
+
+Runs ``tools/fuzz_engine.py`` as a subprocess (tools/ is not a package)
+with a reduced example count to keep the suite fast. Deselect with
+``-m "not differential"`` when iterating; run the tool directly with a
+large count for deep fuzzing.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "fuzz_engine.py")
+
+
+@pytest.mark.differential
+def test_compiled_interpreted_and_sqlite_agree():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env.pop("TRAC_INTERPRETED", None)  # the compiled default must be on
+    completed = subprocess.run(
+        [sys.executable, TOOL, "200"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Guard: the fast path must keep focused reports >= 2x the baseline.
+
+The fast path is three optimizations working together (see
+``docs/PERFORMANCE.md``):
+
+* copy-on-write snapshots — ``MemoryBackend.snapshot()`` shares row lists
+  instead of deep-copying every table;
+* compiled predicates/projections — expressions are lowered once per query
+  instead of AST-walked per row;
+* the resolved-query cache — repeated SQL strings skip parse+resolve.
+
+This script measures focused-report throughput twice on the same paper
+workload — once with every fast-path feature disabled
+(``MemoryBackend(cow_snapshots=False)``, interpreted expressions, query
+cache off) and once with the defaults — and fails when the measured
+speedup falls below the threshold (default 2x). It is the perf analogue of
+``tools/check_telemetry_overhead.py``: a regression here means someone
+quietly re-introduced per-row interpretation or per-snapshot copying.
+
+Run:  python tools/check_fastpath_speedup.py [--runs N] [--threshold X]
+Exit status 0 when the speedup holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import obs
+from repro.backends.memory import MemoryBackend
+from repro.core.report import RecencyReporter
+from repro.engine import cache as query_cache
+from repro.engine.compile import set_compiled_default
+from repro.workload.generator import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    workload_catalog,
+)
+from repro.workload.queries import paper_queries, query_machine_indexes
+
+
+def build_reporter(num_sources: int, data_ratio: int, fast: bool) -> RecencyReporter:
+    catalog = workload_catalog(num_sources)
+    backend = MemoryBackend(catalog, cow_snapshots=fast)
+    data = generate_workload(
+        WorkloadConfig(num_sources=num_sources, data_ratio=data_ratio),
+        query_machine_indexes(num_sources),
+    )
+    load_workload(backend, data)
+    return RecencyReporter(backend, create_temp_tables=False)
+
+
+def measure(reporter: RecencyReporter, sql: str, runs: int) -> float:
+    """Mean seconds per focused report (first run discarded as warm-up)."""
+    samples = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        reporter.report(sql, method="focused")
+        samples.append(time.perf_counter() - start)
+    if len(samples) > 1:
+        samples = samples[1:]
+    return sum(samples) / len(samples)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=11)
+    parser.add_argument("--threshold", type=float, default=2.0, help="min speedup")
+    parser.add_argument("--num-sources", type=int, default=40)
+    parser.add_argument("--data-ratio", type=int, default=200)
+    args = parser.parse_args(argv)
+
+    obs.disable()
+    sql = paper_queries(args.num_sources)["Q1"]
+
+    # Baseline: deep-copy snapshots, interpreted expressions, no query cache.
+    baseline = build_reporter(args.num_sources, args.data_ratio, fast=False)
+    saved_default = set_compiled_default(False)
+    saved_cache = query_cache.get_cache()
+    query_cache.configure(0)
+    try:
+        t_baseline = measure(baseline, sql, args.runs)
+    finally:
+        set_compiled_default(saved_default)
+        query_cache.configure(saved_cache.maxsize)
+        baseline.close()
+
+    # Fast path: the shipped defaults.
+    fast = build_reporter(args.num_sources, args.data_ratio, fast=True)
+    try:
+        t_fast = measure(fast, sql, args.runs)
+    finally:
+        fast.close()
+
+    speedup = t_baseline / t_fast if t_fast > 0 else float("inf")
+
+    print("fast-path speedup guard")
+    print(f"  baseline report time (interpreted + deep copy): {t_baseline * 1e3:9.3f} ms")
+    print(f"  fast-path report time (CoW + compiled + cache) : {t_fast * 1e3:9.3f} ms")
+    print(f"  speedup                                        : {speedup:9.2f} x"
+          f"  (threshold {args.threshold}x)")
+
+    if speedup < args.threshold:
+        print("FAIL: fast-path speedup fell below the threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,16 @@
 #!/usr/bin/env python
-"""Long-running differential fuzz: mini engine vs SQLite.
+"""Long-running differential fuzz: mini engine (both paths) vs SQLite.
 
 Generates random data and random queries over a two-table schema and
-asserts both executors return the same multiset of rows — including ORDER
-BY prefixes, aggregates and NULL semantics. Usage::
+asserts three executions return the same multiset of rows — including
+ORDER BY prefixes, aggregates and NULL semantics:
+
+* the mini engine's *compiled* path (lowered lambdas, the default);
+* the mini engine's *interpreted* path (per-row AST walk, the oracle);
+* SQLite.
+
+The compiled/interpreted comparison pins the fast path to the oracle's
+semantics; the SQLite comparison pins both to real-world SQL. Usage::
 
     python tools/fuzz_engine.py [examples]
 """
@@ -116,18 +123,30 @@ def make_property(max_examples: int):
         db = Database(catalog())
         db.insert_many("t1", rows1)
         db.insert_many("t2", rows2)
-        ours = Counter(tuple(r) for r in execute_sql(db, sql).rows)
+        compiled = Counter(
+            tuple(r) for r in execute_sql(db, sql, compiled=True).rows
+        )
+        interpreted = Counter(
+            tuple(r) for r in execute_sql(db, sql, compiled=False).rows
+        )
+        assert compiled == interpreted, (
+            f"COMPILED/INTERPRETED DISAGREEMENT on {sql!r}: "
+            f"{compiled} vs {interpreted}"
+        )
         theirs = _run_sqlite(rows1, rows2, sql)
-        assert ours == theirs, f"DISAGREEMENT on {sql!r}: {ours} vs {theirs}"
+        assert compiled == theirs, f"DISAGREEMENT on {sql!r}: {compiled} vs {theirs}"
 
     return engines_agree
 
 
 def main() -> int:
     examples = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    print(f"differential-fuzzing the engine against SQLite with {examples} examples ...")
+    print(
+        "differential-fuzzing compiled vs interpreted vs SQLite "
+        f"with {examples} examples ..."
+    )
     make_property(examples)()
-    print("OK: the mini engine agreed with SQLite on every example")
+    print("OK: compiled, interpreted and SQLite agreed on every example")
     return 0
 
 
