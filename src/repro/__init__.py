@@ -67,7 +67,9 @@ from repro.core import (
     recency_report,
     zscore_split,
 )
-from repro.errors import TracError
+from repro.core import SourceHealth
+from repro.errors import SimulationError, TracError
+from repro.faults import FaultPlan, InjectedFault
 
 __version__ = "1.0.0"
 
@@ -103,6 +105,10 @@ __all__ = [
     "describe",
     "recency_report",
     "zscore_split",
+    "SourceHealth",
+    "FaultPlan",
+    "InjectedFault",
     "TracError",
+    "SimulationError",
     "__version__",
 ]

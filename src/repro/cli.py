@@ -5,6 +5,8 @@ Subcommands::
     trac simulate --db grid.sqlite --machines 12 --duration 600
         Run the grid simulator and leave behind a monitoring database
         (optionally also a directory of text log files via --archive).
+        With --faults plan.json the sniffers run under supervisors against
+        an injected fault plan and a supervision summary is printed.
 
     trac report --db grid.sqlite "SELECT ... " [--method naive] [--show-plan]
         Run a query with recency and consistency reporting, printing the
@@ -65,6 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--job-probability", type=float, default=0.1)
     simulate.add_argument("--failure-probability", type=float, default=0.0)
     simulate.add_argument("--archive", help="also write text log files to this directory")
+    simulate.add_argument(
+        "--faults",
+        help="JSON fault plan (repro.faults.plan_from_json format); sniffers "
+        "then run under supervisors and a fault summary is printed",
+    )
+    simulate.add_argument(
+        "--silence-timeout",
+        type=float,
+        default=None,
+        help="supervisor watchdog: degrade a source after this many seconds "
+        "without progress (requires --faults or implies supervision)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     report = sub.add_parser("report", help="query with a recency report")
@@ -124,6 +138,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.grid.simulator import GridSimulator, SimulationConfig
+    from repro.grid.supervisor import SupervisorPolicy
 
     config = SimulationConfig(
         num_machines=args.machines,
@@ -132,7 +147,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         job_submit_probability=args.job_probability,
         machine_failure_probability=args.failure_probability,
     )
-    sim = GridSimulator(config, backend_factory=lambda catalog: SQLiteBackend(catalog, args.db))
+    fault_plan = None
+    supervisor_policy = None
+    if args.faults:
+        from repro.faults import plan_from_json
+
+        try:
+            with open(args.faults) as handle:
+                plan_text = handle.read()
+        except OSError as exc:
+            raise TracError(f"cannot read fault plan {args.faults!r}: {exc}") from exc
+        fault_plan = plan_from_json(plan_text)
+    if args.silence_timeout is not None or fault_plan is not None:
+        supervisor_policy = SupervisorPolicy(silence_timeout=args.silence_timeout)
+    sim = GridSimulator(
+        config,
+        backend_factory=lambda catalog: SQLiteBackend(catalog, args.db),
+        fault_plan=fault_plan,
+        supervisor_policy=supervisor_policy,
+    )
     print(f"simulating {args.machines} machines for {args.duration:.0f}s (seed {args.seed})...")
     sim.run(args.duration)
 
@@ -143,6 +176,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     jobs = sim.all_jobs
     completed = sum(1 for job in jobs if not job.is_active)
     print(f"  jobs: {len(jobs)} submitted, {completed} completed")
+    if sim.supervisors:
+        print("supervision:")
+        for mid in sim.machine_ids:
+            stats = sim.supervisors[mid].stats()
+            line = (
+                f"  {mid:<6} {stats['state']:<12} retries={stats['retries']} "
+                f"restarts={stats['restarts']} breaker={stats['breaker']}"
+            )
+            if stats["degraded_reason"]:
+                line += f"  ({stats['degraded_reason']})"
+            print(line)
+        if fault_plan is not None and fault_plan.injected:
+            injected = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(fault_plan.injected.items())
+            )
+            print(f"  faults injected: {injected}")
+        degraded = sim.health.degraded_sources() if sim.health is not None else []
+        if degraded:
+            print(f"  degraded sources: {', '.join(degraded)}")
     if args.archive:
         from repro.grid.persist import archive_simulation
 

@@ -37,6 +37,14 @@ from repro.core.session import Session
 from repro.core.constraints import augmented_where, all_constraint_exprs
 from repro.core.explain import explain, explain_sql
 from repro.core.monitor import Alert, RecencyMonitor, WatchRule
+from repro.core.health import (
+    BACKING_OFF,
+    DEGRADED,
+    HEALTHY,
+    RESTARTING,
+    SourceHealth,
+    SourceStatus,
+)
 
 __all__ = [
     "RelevancePlan",
@@ -60,4 +68,10 @@ __all__ = [
     "Alert",
     "RecencyMonitor",
     "WatchRule",
+    "SourceHealth",
+    "SourceStatus",
+    "HEALTHY",
+    "BACKING_OFF",
+    "RESTARTING",
+    "DEGRADED",
 ]

@@ -1,0 +1,111 @@
+"""Per-source health: what the supervision layer knows that the data don't say.
+
+The recency report infers staleness from the Heartbeat table alone — a
+source that stops reporting simply freezes. But the *deployment* often knows
+more: a sniffer supervisor that exhausted its restart budget, or watched a
+source go silent, has positive evidence that the source is down rather than
+merely quiet. :class:`SourceHealth` is the registry where that evidence
+lives: supervisors write status transitions into it, and a
+:class:`~repro.core.report.RecencyReporter` given the registry annotates its
+reports with the degraded sources so the paper's "exceptional source"
+statistics can be cross-checked against known outages (see
+docs/ROBUSTNESS.md).
+
+The registry is deliberately tiny and dependency-free: sources are opaque
+string ids, statuses are the four constants below, and everything is
+guarded by one lock so supervisors and reporters may live on different
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+#: A source whose sniffer is polling normally.
+HEALTHY = "healthy"
+#: Transient poll failures: the supervisor is retrying with backoff.
+BACKING_OFF = "backing_off"
+#: The sniffer crashed and was restarted; the next poll is a probe.
+RESTARTING = "restarting"
+#: Permanent failure, exhausted restart budget, or silent source: the
+#: supervisor gave up and quarantined the source.
+DEGRADED = "degraded"
+
+STATUSES = (HEALTHY, BACKING_OFF, RESTARTING, DEGRADED)
+
+
+class SourceStatus:
+    """One source's current status, with the why and the when."""
+
+    __slots__ = ("source_id", "status", "reason", "since")
+
+    def __init__(
+        self,
+        source_id: str,
+        status: str,
+        reason: Optional[str] = None,
+        since: Optional[float] = None,
+    ) -> None:
+        self.source_id = source_id
+        self.status = status
+        self.reason = reason
+        self.since = since
+
+    def __repr__(self) -> str:
+        extra = f", reason={self.reason!r}" if self.reason else ""
+        return f"SourceStatus({self.source_id!r}, {self.status}{extra})"
+
+
+class SourceHealth:
+    """Thread-safe registry of per-source supervision statuses."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._statuses: Dict[str, SourceStatus] = {}
+
+    def mark(
+        self,
+        source_id: str,
+        status: str,
+        reason: Optional[str] = None,
+        at: Optional[float] = None,
+    ) -> None:
+        """Record ``source_id``'s new status (overwrites the previous one)."""
+        if status not in STATUSES:
+            raise ValueError(f"unknown source status {status!r}; expected one of {STATUSES}")
+        with self._lock:
+            self._statuses[source_id] = SourceStatus(source_id, status, reason, at)
+
+    def status_of(self, source_id: str) -> Optional[str]:
+        """The source's status string, or ``None`` if never marked."""
+        with self._lock:
+            entry = self._statuses.get(source_id)
+        return entry.status if entry is not None else None
+
+    def entry_of(self, source_id: str) -> Optional[SourceStatus]:
+        with self._lock:
+            return self._statuses.get(source_id)
+
+    def is_degraded(self, source_id: str) -> bool:
+        return self.status_of(source_id) == DEGRADED
+
+    def degraded_sources(self) -> List[str]:
+        """Sorted ids of every source currently marked degraded."""
+        with self._lock:
+            return sorted(
+                sid for sid, entry in self._statuses.items() if entry.status == DEGRADED
+            )
+
+    def snapshot(self) -> Dict[str, SourceStatus]:
+        """A point-in-time copy of every entry (for display / assertions)."""
+        with self._lock:
+            return dict(self._statuses)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._statuses)
+
+    def __repr__(self) -> str:
+        degraded = self.degraded_sources()
+        return f"SourceHealth({len(self)} sources, {len(degraded)} degraded)"

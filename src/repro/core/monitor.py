@@ -59,6 +59,9 @@ class WatchRule:
         Trip when any z-score-exceptional source is relevant.
     require_minimal:
         Trip when the plan cannot guarantee the minimal relevant set.
+    forbid_degraded:
+        Trip when the supervision layer has quarantined any source (needs
+        the monitor to be constructed with a ``source_health`` registry).
     """
 
     def __init__(
@@ -69,6 +72,7 @@ class WatchRule:
         max_staleness: Optional[float] = None,
         forbid_exceptional: bool = False,
         require_minimal: bool = False,
+        forbid_degraded: bool = False,
     ) -> None:
         if not name:
             raise TracError("a watch rule needs a name")
@@ -77,6 +81,7 @@ class WatchRule:
             and max_staleness is None
             and not forbid_exceptional
             and not require_minimal
+            and not forbid_degraded
         ):
             raise TracError(f"rule {name!r} has no condition to check")
         self.name = name
@@ -85,6 +90,7 @@ class WatchRule:
         self.max_staleness = max_staleness
         self.forbid_exceptional = forbid_exceptional
         self.require_minimal = require_minimal
+        self.forbid_degraded = forbid_degraded
 
     def __repr__(self) -> str:
         return f"WatchRule({self.name!r})"
@@ -115,6 +121,7 @@ class RecencyMonitor:
         clock: Optional[Callable[[], float]] = None,
         z_threshold: float = 3.0,
         telemetry: Optional[object] = None,
+        source_health: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.clock = clock or time.time
@@ -124,6 +131,7 @@ class RecencyMonitor:
             z_threshold=z_threshold,
             create_temp_tables=False,
             telemetry=telemetry,
+            source_health=source_health,
         )
         self._rules: Dict[str, WatchRule] = {}
         self.history: List[Alert] = []
@@ -205,6 +213,18 @@ class RecencyMonitor:
                 )
             )
 
+        if rule.forbid_degraded and report.degraded_sources:
+            names = ", ".join(report.degraded_sources)
+            alerts.append(
+                Alert(
+                    rule,
+                    "degraded",
+                    f"{rule.name}: supervisor-degraded sources: {names}",
+                    report,
+                    at,
+                )
+            )
+
         if rule.require_minimal and not report.minimal:
             alerts.append(
                 Alert(
@@ -251,6 +271,7 @@ def rules_from_json(text: str) -> List[WatchRule]:
         "max_staleness",
         "forbid_exceptional",
         "require_minimal",
+        "forbid_degraded",
     }
     for index, item in enumerate(data):
         if not isinstance(item, dict):
@@ -268,6 +289,7 @@ def rules_from_json(text: str) -> List[WatchRule]:
                 max_staleness=item.get("max_staleness"),
                 forbid_exceptional=bool(item.get("forbid_exceptional", False)),
                 require_minimal=bool(item.get("require_minimal", False)),
+                forbid_degraded=bool(item.get("forbid_degraded", False)),
             )
         )
     return rules

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Set
 
 from repro.backends.base import Backend, Snapshot
+from repro.core.health import SourceHealth
 from repro.core.recency_query import build_all_sources_query, subquery_sql
 from repro.core.relevance import RelevancePlan, build_naive_plan, build_relevance_plan
 from repro.core.session import Session, TempTablePair
@@ -105,6 +106,15 @@ class RecencyReport:
     else ``None``. Its children are the four phase spans; walk them via
     the reporter's ``telemetry.tracer`` or export them with
     :func:`repro.obs.spans_to_jsonl`.
+
+    ``degraded_sources`` carries the supervision layer's known outages
+    (sources a :class:`~repro.grid.supervisor.SnifferSupervisor` quarantined)
+    when the producing reporter was given a
+    :class:`~repro.core.health.SourceHealth` registry; empty otherwise.
+    Unlike ``exceptional_sources`` — which the z-score *infers* from the
+    Heartbeat data — degraded sources are positively known to be down, so
+    a source can be degraded yet absent from the heartbeat-derived split
+    (e.g. it died before ever reporting).
     """
 
     def __init__(
@@ -118,6 +128,7 @@ class RecencyReport:
         temp_tables: Optional[TempTablePair],
         timings: ReportTimings,
         telemetry: Optional[object] = None,
+        degraded_sources: Optional[List[str]] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -128,6 +139,7 @@ class RecencyReport:
         self.temp_tables = temp_tables
         self.timings = timings
         self.telemetry = telemetry
+        self.degraded_sources = list(degraded_sources or [])
 
     @property
     def normal_sources(self) -> List[SourceRecency]:
@@ -149,6 +161,15 @@ class RecencyReport:
         """Whether the relevant set is provably the minimum (Theorems 3/4)."""
         return self.plan.minimal
 
+    @property
+    def suspect_sources(self) -> Set[str]:
+        """Sources the report says not to trust: the z-score-exceptional
+        ones plus the supervisor-degraded ones."""
+        return {s.source_id for s in self.split.exceptional} | set(self.degraded_sources)
+
+    def is_degraded(self, source_id: str) -> bool:
+        return source_id in self.degraded_sources
+
     def notices(self) -> List[str]:
         """The NOTICE lines of the prototype's interactive session."""
         lines: List[str] = []
@@ -156,6 +177,11 @@ class RecencyReport:
             lines.append(
                 "NOTICE: Exceptional relevant data sources and timestamps "
                 f"are in the temporary table: {self.temp_tables.exceptional}"
+            )
+        if self.degraded_sources:
+            lines.append(
+                "NOTICE: Degraded data sources (supervisor-quarantined, not "
+                f"merely stale): {', '.join(self.degraded_sources)}"
             )
         stats = self.statistics
         if stats.least_recent is not None and stats.most_recent is not None:
@@ -212,6 +238,12 @@ class RecencyReporter:
         SQL text. Repeated queries then pay parse/generation only once —
         the paper's "hardcoded" method, automated. Safe because plans
         depend only on the catalog (fixed per reporter), never on data.
+    source_health:
+        An optional :class:`~repro.core.health.SourceHealth` registry (the
+        one the sniffer supervisors write into). When given, every report
+        carries the currently degraded sources and flags them in its
+        NOTICE lines — the deployment's known outages, cross-checkable
+        against the z-score's inferred exceptional sources.
     telemetry:
         An explicit :class:`~repro.obs.Telemetry` for this reporter's spans
         and counters. ``None`` (default) follows the process-wide default,
@@ -229,6 +261,7 @@ class RecencyReporter:
         use_constraints: bool = True,
         plan_cache_size: int = 0,
         telemetry: Optional[object] = None,
+        source_health: Optional[SourceHealth] = None,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -238,6 +271,7 @@ class RecencyReporter:
         self.use_constraints = use_constraints
         self.plan_cache_size = plan_cache_size
         self.telemetry = telemetry
+        self.source_health = source_health
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         self.plan_cache_hits = 0
         self.session = Session(backend)
@@ -332,8 +366,20 @@ class RecencyReporter:
         if tel.enabled:
             obs.record_report(tel, method, root.duration)
         root_span = root.span if tel.enabled else None
+        degraded: List[str] = []
+        if self.source_health is not None:
+            degraded = self.source_health.degraded_sources()
         return RecencyReport(
-            sql, method, result, split, stats, plan, temp_tables, timings, root_span
+            sql,
+            method,
+            result,
+            split,
+            stats,
+            plan,
+            temp_tables,
+            timings,
+            root_span,
+            degraded_sources=degraded,
         )
 
     def run_plain(self, sql: str) -> QueryResult:

@@ -1,0 +1,34 @@
+"""``repro.faults`` — deterministic fault injection for the grid pipeline.
+
+TRAC exists because distributed sources fail: they lag, crash, republish and
+fall silent, and the recency report is how a user *sees* that. This package
+injects exactly those failures into the simulated grid→backend pipeline so
+the report's exceptional/degraded classifications can be validated against
+*known* outages instead of hoped-for ones.
+
+Three pieces:
+
+* :class:`FaultPlan` — a seeded, deterministic schedule of faults: transient
+  or permanent sniffer poll errors, dropped or duplicated log records,
+  silenced (stalled) sources and failing backend ``apply`` /
+  ``upsert_heartbeat`` calls, each by probability or at scripted times;
+* :class:`FaultyBackend` — a delegating backend wrapper that raises
+  :class:`InjectedFault` from write calls when the plan says so;
+* :class:`FaultyLog` — a log-file proxy that drops/duplicates records on
+  *read* (the log itself stays durable; delivery is what's lossy).
+
+The :class:`~repro.grid.supervisor.SnifferSupervisor` consumes all three;
+see docs/ROBUSTNESS.md for the full fault model.
+"""
+
+from repro.faults.plan import FaultPlan, InjectedFault, plan_from_json
+from repro.faults.backend import FaultyBackend
+from repro.faults.log import FaultyLog
+
+__all__ = [
+    "FaultPlan",
+    "FaultyBackend",
+    "FaultyLog",
+    "InjectedFault",
+    "plan_from_json",
+]

@@ -29,6 +29,7 @@ from repro.grid.job import Job, JobState
 from repro.grid.machine import Machine
 from repro.grid.scheduler import Scheduler
 from repro.grid.sniffer import Sniffer, SnifferConfig
+from repro.grid.supervisor import CircuitBreaker, SnifferSupervisor, SupervisorPolicy
 from repro.grid.simulator import GridSimulator, SimulationConfig, monitoring_catalog
 from repro.grid.logformat import format_line, parse_line, format_log, parse_log
 from repro.grid.persist import (
@@ -50,6 +51,9 @@ __all__ = [
     "Scheduler",
     "Sniffer",
     "SnifferConfig",
+    "SnifferSupervisor",
+    "SupervisorPolicy",
+    "CircuitBreaker",
     "GridSimulator",
     "SimulationConfig",
     "monitoring_catalog",

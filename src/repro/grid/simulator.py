@@ -17,17 +17,42 @@ The monitoring schema (``monitoring_catalog``):
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.backends.base import Backend
 from repro.backends.memory import MemoryBackend
 from repro.catalog import Catalog, Column, FiniteDomain, TableSchema, TextDomain, TimestampDomain
+from repro.core.health import SourceHealth
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 from repro.grid.job import Job, JobState
 from repro.grid.machine import Machine
 from repro.grid.scheduler import Scheduler
 from repro.grid.sniffer import Sniffer, SnifferConfig
+from repro.grid.supervisor import SnifferSupervisor, SupervisorPolicy
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        raise SimulationError(f"{name} must be a finite number, got {value!r}")
+
+
+def _require_probability(name: str, value: float) -> None:
+    _require_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _require_positive_range(name: str, value: Tuple[float, float]) -> None:
+    low, high = value
+    _require_finite(f"{name}[0]", low)
+    _require_finite(f"{name}[1]", high)
+    if low <= 0:
+        raise SimulationError(f"{name} must have a positive lower bound, got {low!r}")
+    if high < low:
+        raise SimulationError(f"{name} must be ordered (low <= high), got {value!r}")
 
 
 def monitoring_catalog(machine_ids: Sequence[str]) -> Catalog:
@@ -101,6 +126,30 @@ class SimulationConfig:
             raise SimulationError("need at least one machine")
         if num_schedulers < 1 or num_schedulers > num_machines:
             raise SimulationError("num_schedulers must be in [1, num_machines]")
+        _require_finite("tick", tick)
+        if tick <= 0:
+            raise SimulationError(f"tick must be positive, got {tick!r}")
+        _require_finite("heartbeat_interval", heartbeat_interval)
+        if heartbeat_interval <= 0:
+            raise SimulationError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval!r}"
+            )
+        _require_finite("transfer_delay", transfer_delay)
+        if transfer_delay < 0:
+            raise SimulationError(f"transfer_delay cannot be negative, got {transfer_delay!r}")
+        _require_probability("activity_flip_probability", activity_flip_probability)
+        _require_probability("job_submit_probability", job_submit_probability)
+        _require_probability("machine_failure_probability", machine_failure_probability)
+        _require_probability("machine_recover_probability", machine_recover_probability)
+        _require_positive_range("job_duration_range", job_duration_range)
+        _require_positive_range("sniffer_poll_interval_range", sniffer_poll_interval_range)
+        lag_low, lag_high = sniffer_lag_range
+        _require_finite("sniffer_lag_range[0]", lag_low)
+        _require_finite("sniffer_lag_range[1]", lag_high)
+        if lag_low < 0 or lag_high < lag_low:
+            raise SimulationError(
+                f"sniffer_lag_range must be ordered and non-negative, got {sniffer_lag_range!r}"
+            )
         self.num_machines = num_machines
         self.seed = seed
         self.tick = tick
@@ -133,12 +182,29 @@ class GridSimulator:
     backend_factory:
         Builds the monitoring backend from the catalog; defaults to
         :class:`~repro.backends.memory.MemoryBackend`.
+    fault_plan:
+        An optional :class:`~repro.faults.FaultPlan`. When given, every
+        sniffer runs under a :class:`~repro.grid.supervisor.SnifferSupervisor`
+        wired to the plan, and plan-scripted silences are applied to the
+        machines each tick.
+    supervisor_policy:
+        Supervision knobs; implies supervised sniffers even without a
+        fault plan (the supervisor then guards un-planned errors and runs
+        the silent-source watchdog).
+    health:
+        A shared :class:`~repro.core.health.SourceHealth` registry; one is
+        created when supervision is active and none is given. Pass it to a
+        :class:`~repro.core.report.RecencyReporter` to get degradation-aware
+        reports.
     """
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         backend_factory: Optional[Callable[[Catalog], Backend]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
+        health: Optional[SourceHealth] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
@@ -160,6 +226,22 @@ class GridSimulator:
                 lag=self.rng.uniform(*self.config.sniffer_lag_range),
             )
             self.sniffers[mid] = Sniffer(self.machines[mid], self.backend, sniffer_config)
+
+        self.fault_plan = fault_plan
+        self.supervisors: Dict[str, SnifferSupervisor] = {}
+        self.health: Optional[SourceHealth] = health
+        self._plan_silenced: Set[str] = set()
+        if fault_plan is not None or supervisor_policy is not None:
+            if self.health is None:
+                self.health = SourceHealth()
+            for mid in self.machine_ids:
+                self.supervisors[mid] = SnifferSupervisor(
+                    self.sniffers[mid],
+                    plan=fault_plan,
+                    policy=supervisor_policy,
+                    health=self.health,
+                    seed=self.config.seed,
+                )
 
         self._job_counter = 0
         self._pending_starts: List[Tuple[float, str, str]] = []  # (time, machine, job)
@@ -213,10 +295,16 @@ class GridSimulator:
     def step(self) -> None:
         """Advance the simulation by one tick."""
         self.now += self.config.tick
+        if self.fault_plan is not None:
+            self._apply_plan_silences()
         self._process_job_lifecycle()
         self._random_behaviour()
-        for sniffer in self.sniffers.values():
-            sniffer.maybe_poll(self.now)
+        if self.supervisors:
+            for supervisor in self.supervisors.values():
+                supervisor.tick(self.now)
+        else:
+            for sniffer in self.sniffers.values():
+                sniffer.maybe_poll(self.now)
 
     def run(self, duration: float) -> None:
         """Advance the clock by ``duration`` seconds."""
@@ -236,6 +324,18 @@ class GridSimulator:
             sniffer.config.lag = saved_lag
 
     # -- internals -----------------------------------------------------------
+
+    def _apply_plan_silences(self) -> None:
+        """Start/stop plan-scripted silences (the machine stops logging)."""
+        for mid in self.machine_ids:
+            silenced = self.fault_plan.is_silenced(mid, self.now)
+            machine = self.machines[mid]
+            if silenced and mid not in self._plan_silenced:
+                machine.fail()
+                self._plan_silenced.add(mid)
+            elif not silenced and mid in self._plan_silenced:
+                self._plan_silenced.discard(mid)
+                machine.recover(self.now)
 
     def _process_job_lifecycle(self) -> None:
         due_starts = [p for p in self._pending_starts if p[0] <= self.now]
@@ -269,6 +369,10 @@ class GridSimulator:
         for mid in self.machine_ids:
             machine = self.machines[mid]
             if machine.failed:
+                # Plan-scripted silences end on the plan's schedule, not by
+                # the random recovery coin-flip.
+                if mid in self._plan_silenced:
+                    continue
                 if self.rng.random() < self.config.machine_recover_probability:
                     machine.recover(self.now)
                 continue

@@ -15,6 +15,7 @@ inconsistent across sources in exactly the way the paper describes.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.backends.base import Backend
@@ -74,10 +75,16 @@ class SnifferConfig:
         batch_size: Optional[int] = None,
         recency_protocol: str = "last_event",
     ) -> None:
+        if not isinstance(poll_interval, (int, float)) or not math.isfinite(poll_interval):
+            raise SimulationError(
+                f"poll_interval must be a finite number, got {poll_interval!r}"
+            )
         if poll_interval <= 0:
-            raise SimulationError("poll_interval must be positive")
+            raise SimulationError(f"poll_interval must be positive, got {poll_interval!r}")
+        if not isinstance(lag, (int, float)) or not math.isfinite(lag):
+            raise SimulationError(f"lag must be a finite number, got {lag!r}")
         if lag < 0:
-            raise SimulationError("lag cannot be negative")
+            raise SimulationError(f"lag cannot be negative, got {lag!r}")
         if batch_size is not None and batch_size <= 0:
             raise SimulationError("batch_size must be positive when given")
         if recency_protocol not in self.PROTOCOLS:
@@ -157,8 +164,11 @@ class Sniffer:
             # Fully drained up to the horizon: everything at or before it
             # that will ever exist has been reported (see SnifferConfig).
             recency = horizon
-        elif events:
-            recency = events[-1].timestamp
+        elif self.last_loaded_timestamp is not None:
+            # The newest loaded event — this batch's, or an earlier batch's
+            # whose heartbeat upsert failed mid-poll: publication retries on
+            # every poll until the database acknowledges it.
+            recency = self.last_loaded_timestamp
         if recency is not None and recency > self._reported_recency:
             self.backend.upsert_heartbeat(self.machine.machine_id, recency)
             self._reported_recency = recency

@@ -1,0 +1,382 @@
+"""Sniffer supervision: retry, restart, circuit-break, degrade — don't die.
+
+A bare :class:`~repro.grid.sniffer.Sniffer` assumes every poll succeeds.
+Under an active :class:`~repro.faults.FaultPlan` (or any other source of
+:class:`~repro.errors.SimulationError`), that assumption breaks, and the
+paper's deployment reality (R-GMA registry outages, producer restarts,
+partial republishing) says it breaks *often*. The
+:class:`SnifferSupervisor` wraps one sniffer with the standard supervision
+ladder:
+
+1. **Retry with exponential backoff + jitter** — transient poll failures
+   are retried after ``base_backoff * multiplier^k`` seconds (capped at
+   ``max_backoff``), jittered by a seeded RNG so a fleet of supervisors
+   never retries in lockstep.
+2. **Crash/restart with a bounded budget** — after ``max_retries``
+   consecutive failures the sniffer is considered crashed and restarted
+   (its durable offset survives, so no records are lost); at most
+   ``max_restarts`` times.
+3. **Per-source circuit breaker** — ``breaker_threshold`` consecutive
+   failures open the breaker: polls stop entirely until ``breaker_reset``
+   seconds pass, then one half-open probe decides between closing it and
+   re-opening.
+4. **Degradation, not death** — a permanent fault, an exhausted restart
+   budget, or a silent source (no progress for ``silence_timeout``) marks
+   the source *degraded* in the shared
+   :class:`~repro.core.health.SourceHealth` registry and stops its sniffer.
+   The simulation keeps running; the recency report gains a known-outage
+   annotation instead of a mystery gap.
+
+Silence detection is only sound under the default ``last_event`` recency
+protocol: under ``"horizon"`` a dead machine's recency keeps advancing —
+precisely the risk Section 3.1's heartbeat discussion warns about — so the
+watchdog sees "progress" and cannot fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Optional
+
+from repro.core.health import BACKING_OFF, DEGRADED, HEALTHY, RESTARTING, SourceHealth
+from repro.errors import SimulationError
+from repro.faults.backend import FaultyBackend
+from repro.faults.log import FaultyLog
+from repro.faults.plan import FaultPlan, InjectedFault
+from repro.grid.sniffer import Sniffer
+from repro.obs import instrument as obs
+
+
+def _stable_seed(seed: int, source: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{source}:supervisor".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SupervisorPolicy:
+    """Tuning knobs for one supervisor. All times are simulation seconds."""
+
+    __slots__ = (
+        "max_retries",
+        "base_backoff",
+        "backoff_multiplier",
+        "max_backoff",
+        "jitter",
+        "max_restarts",
+        "breaker_threshold",
+        "breaker_reset",
+        "silence_timeout",
+    )
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_backoff: float = 1.0,
+        backoff_multiplier: float = 2.0,
+        max_backoff: float = 60.0,
+        jitter: float = 0.25,
+        max_restarts: int = 2,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 30.0,
+        silence_timeout: Optional[float] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise SimulationError("max_retries cannot be negative")
+        if base_backoff <= 0 or base_backoff != base_backoff:
+            raise SimulationError("base_backoff must be a positive number")
+        if backoff_multiplier < 1.0:
+            raise SimulationError("backoff_multiplier must be >= 1")
+        if max_backoff < base_backoff:
+            raise SimulationError("max_backoff must be >= base_backoff")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        if max_restarts < 0:
+            raise SimulationError("max_restarts cannot be negative")
+        if breaker_threshold < 1:
+            raise SimulationError("breaker_threshold must be >= 1")
+        if breaker_reset <= 0:
+            raise SimulationError("breaker_reset must be positive")
+        if silence_timeout is not None and silence_timeout <= 0:
+            raise SimulationError("silence_timeout must be positive when given")
+        self.max_retries = max_retries
+        self.base_backoff = base_backoff
+        self.backoff_multiplier = backoff_multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.max_restarts = max_restarts
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.silence_timeout = silence_timeout
+
+    def __repr__(self) -> str:
+        return (
+            f"SupervisorPolicy(retries={self.max_retries}, restarts={self.max_restarts}, "
+            f"breaker={self.breaker_threshold}@{self.breaker_reset}s)"
+        )
+
+
+class CircuitBreaker:
+    """The classic three-state breaker, driven by an external clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = ("threshold", "reset_timeout", "state", "consecutive_failures", "opened_at")
+
+    def __init__(self, threshold: int, reset_timeout: float) -> None:
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = float("-inf")
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at ``now`` (may move open→half-open)."""
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or self.consecutive_failures >= self.threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, failures={self.consecutive_failures})"
+
+
+class SnifferSupervisor:
+    """Supervises one sniffer; see the module docstring for the ladder.
+
+    Parameters
+    ----------
+    sniffer:
+        The sniffer to supervise. When ``plan`` is given, the sniffer's
+        backend and machine log are wrapped in their fault-injecting
+        proxies (:class:`~repro.faults.FaultyBackend` /
+        :class:`~repro.faults.FaultyLog`).
+    plan:
+        The active :class:`~repro.faults.FaultPlan`, or ``None`` to
+        supervise without injection (the supervisor still guards against
+        any :class:`SimulationError` a poll raises).
+    policy:
+        The :class:`SupervisorPolicy`; defaults apply otherwise.
+    health:
+        Shared :class:`~repro.core.health.SourceHealth` registry; a private
+        one is created when omitted.
+    seed:
+        Jitter RNG seed; combined with the machine id so supervisor fleets
+        are deterministic yet decorrelated.
+    telemetry:
+        Explicit telemetry override; defaults to the process-wide one.
+    """
+
+    def __init__(
+        self,
+        sniffer: Sniffer,
+        plan: Optional["FaultPlan"] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        health: Optional[SourceHealth] = None,
+        seed: int = 0,
+        telemetry: Optional[object] = None,
+    ) -> None:
+        self.sniffer = sniffer
+        self.machine_id = sniffer.machine.machine_id
+        self.plan = plan
+        self.policy = policy or SupervisorPolicy()
+        self.health = health if health is not None else SourceHealth()
+        self.telemetry = telemetry
+        self.rng = random.Random(_stable_seed(seed, self.machine_id))
+        self.breaker = CircuitBreaker(self.policy.breaker_threshold, self.policy.breaker_reset)
+
+        self.consecutive_failures = 0
+        self.retries_total = 0
+        self.restarts = 0
+        self.last_error: Optional[str] = None
+        self.degraded_reason: Optional[str] = None
+        self._pending_attempt = False
+        self._next_attempt = float("-inf")
+        self._last_progress: Optional[float] = None
+        self._faulty_backend: Optional["FaultyBackend"] = None
+        self._faulty_log: Optional["FaultyLog"] = None
+
+        if plan is not None:
+            self._faulty_backend = FaultyBackend(sniffer.backend, plan)
+            sniffer.backend = self._faulty_backend
+            self._faulty_log = FaultyLog(sniffer.machine.log, plan, self.machine_id)
+            sniffer.machine.log = self._faulty_log  # type: ignore[assignment]
+        self.health.mark(self.machine_id, HEALTHY)
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
+
+    @property
+    def degraded(self) -> bool:
+        return self.health.is_degraded(self.machine_id)
+
+    @property
+    def state(self) -> str:
+        return self.health.status_of(self.machine_id) or HEALTHY
+
+    # -- the tick -----------------------------------------------------------
+
+    def tick(self, now: float) -> int:
+        """Drive the supervised sniffer at time ``now``; returns records
+        applied (0 while backing off, degraded, or between polls)."""
+        if self.degraded:
+            return 0
+        if self._last_progress is None:
+            self._last_progress = now
+        policy = self.policy
+        if (
+            policy.silence_timeout is not None
+            and now - self._last_progress >= policy.silence_timeout
+        ):
+            self._degrade(
+                now,
+                f"silent source: no progress for {now - self._last_progress:g}s "
+                f"(limit {policy.silence_timeout:g}s)",
+            )
+            return 0
+
+        if self._pending_attempt:
+            due = now >= self._next_attempt
+        else:
+            due = now - self.sniffer.last_poll >= self.sniffer.config.poll_interval
+        if not due:
+            return 0
+        was_open = self.breaker.state == CircuitBreaker.OPEN
+        if not self.breaker.allow(now):
+            return 0
+        if was_open and self.breaker.state == CircuitBreaker.HALF_OPEN:
+            self._record_breaker(CircuitBreaker.HALF_OPEN)
+
+        if self._faulty_backend is not None:
+            self._faulty_backend.set_context(self.machine_id, now)
+        if self._faulty_log is not None:
+            self._faulty_log.now = now
+
+        previous_recency = self.sniffer._reported_recency
+        try:
+            if self.plan is not None:
+                self.plan.check_poll(self.machine_id, now)
+            applied = self.sniffer.poll(now)
+        except SimulationError as exc:
+            self._on_failure(now, exc)
+            return 0
+        self._on_success(now, applied, previous_recency)
+        return applied
+
+    # -- outcome handling ----------------------------------------------------
+
+    def _on_success(self, now: float, applied: int, previous_recency: float) -> None:
+        prior_state = self.breaker.state
+        self.breaker.record_success()
+        if prior_state != CircuitBreaker.CLOSED:
+            self._record_breaker(CircuitBreaker.CLOSED)
+        self.consecutive_failures = 0
+        self._pending_attempt = False
+        if applied > 0 or self.sniffer._reported_recency > previous_recency:
+            self._last_progress = now
+        if self.state != HEALTHY:
+            self.health.mark(self.machine_id, HEALTHY, at=now)
+
+    def _on_failure(self, now: float, error: SimulationError) -> None:
+        self.last_error = str(error)
+        prior_state = self.breaker.state
+        self.breaker.record_failure(now)
+        if self.breaker.state == CircuitBreaker.OPEN and prior_state != CircuitBreaker.OPEN:
+            self._record_breaker(CircuitBreaker.OPEN)
+        if isinstance(error, InjectedFault) and not error.transient:
+            self._degrade(now, f"permanent fault: {error}")
+            return
+
+        self.consecutive_failures += 1
+        if self.consecutive_failures > self.policy.max_retries:
+            self._restart(now)
+            return
+
+        self.retries_total += 1
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_sniffer_retry(tel, self.machine_id)
+        self._pending_attempt = True
+        self._next_attempt = now + self._backoff(self.consecutive_failures)
+        self.health.mark(self.machine_id, BACKING_OFF, reason=self.last_error, at=now)
+
+    def _restart(self, now: float) -> None:
+        """Treat the sniffer as crashed; restart it if budget remains."""
+        if self.restarts >= self.policy.max_restarts:
+            self._degrade(
+                now,
+                f"restart budget exhausted ({self.policy.max_restarts}) "
+                f"after: {self.last_error}",
+            )
+            return
+        self.restarts += 1
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_sniffer_restart(tel, self.machine_id)
+        # The restart resumes from the durable offset: no records are lost.
+        self.sniffer.recover()
+        self.consecutive_failures = 0
+        self._pending_attempt = True
+        self._next_attempt = now + self._backoff(self.restarts + 1)
+        self.health.mark(
+            self.machine_id, RESTARTING, reason=f"restart #{self.restarts}", at=now
+        )
+
+    def _degrade(self, now: float, reason: str) -> None:
+        self.degraded_reason = reason
+        self.sniffer.fail()
+        self.health.mark(self.machine_id, DEGRADED, reason=reason, at=now)
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_sources_degraded(tel, len(self.health.degraded_sources()))
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(
+            self.policy.max_backoff,
+            self.policy.base_backoff * self.policy.backoff_multiplier ** (attempt - 1),
+        )
+        if self.policy.jitter:
+            delay *= 1.0 + self.policy.jitter * (2.0 * self.rng.random() - 1.0)
+        return delay
+
+    def _record_breaker(self, state: str) -> None:
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_breaker_transition(tel, self.machine_id, state)
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A summary dict for CLI / test display."""
+        return {
+            "machine": self.machine_id,
+            "state": self.state,
+            "retries": self.retries_total,
+            "restarts": self.restarts,
+            "breaker": self.breaker.state,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "degraded_reason": self.degraded_reason,
+            "records_loaded": self.sniffer.records_loaded,
+            "backlog": self.sniffer.backlog,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SnifferSupervisor({self.machine_id!r}, {self.state}, "
+            f"retries={self.retries_total}, restarts={self.restarts})"
+        )

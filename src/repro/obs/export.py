@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import TracError
 from repro.obs.metrics import Counter, Gauge, Histogram

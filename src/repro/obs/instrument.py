@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -60,6 +60,11 @@ SNIFFER_EVENTS = "trac_sniffer_events_total"
 SNIFFER_BATCHES = "trac_sniffer_batches_total"
 SNIFFER_LAG = "trac_sniff_lag_seconds"
 SNIFFER_BACKLOG = "trac_sniffer_backlog"
+SNIFFER_RETRIES = "trac_sniffer_retries_total"
+SNIFFER_RESTARTS = "trac_sniffer_restarts_total"
+SOURCES_DEGRADED = "trac_sources_degraded"
+FAULTS_INJECTED = "trac_faults_injected_total"
+BREAKER_TRANSITIONS = "trac_sniffer_breaker_transitions_total"
 MONITOR_RULE_SECONDS = "trac_monitor_rule_seconds"
 MONITOR_TRIPS = "trac_monitor_trips_total"
 
@@ -272,6 +277,44 @@ def record_sniffer_backlog(tel, machine: str, backlog: int) -> None:
     tel.metrics.gauge(
         SNIFFER_BACKLOG, {"machine": machine}, help="Log records written but not loaded"
     ).set(backlog)
+
+
+def record_sniffer_retry(tel, machine: str) -> None:
+    tel.metrics.counter(
+        SNIFFER_RETRIES,
+        {"machine": machine},
+        help="Sniffer poll failures retried with backoff",
+    ).inc()
+
+
+def record_sniffer_restart(tel, machine: str) -> None:
+    tel.metrics.counter(
+        SNIFFER_RESTARTS,
+        {"machine": machine},
+        help="Sniffer crash/restart cycles performed by the supervisor",
+    ).inc()
+
+
+def record_sources_degraded(tel, count: int) -> None:
+    tel.metrics.gauge(
+        SOURCES_DEGRADED, help="Sources currently marked degraded by supervisors"
+    ).set(count)
+
+
+def record_fault_injected(tel, kind: str, machine: str) -> None:
+    tel.metrics.counter(
+        FAULTS_INJECTED,
+        {"kind": kind, "machine": machine},
+        help="Faults injected by the active FaultPlan",
+    ).inc()
+
+
+def record_breaker_transition(tel, machine: str, state: str) -> None:
+    tel.metrics.counter(
+        BREAKER_TRANSITIONS,
+        {"machine": machine, "state": state},
+        help="Per-source circuit breaker state transitions",
+    ).inc()
 
 
 def record_rule_evaluation(tel, rule: str, seconds: float, trips: int) -> None:

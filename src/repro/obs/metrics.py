@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import TracError
 

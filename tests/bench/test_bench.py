@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import MemoryBackend
 from repro.bench.harness import MethodMeasurement, measure_methods, time_call
 from repro.bench.metrics import false_positive_rate, naive_fpr, overhead
 from repro.bench.reporting import ascii_table, format_cell, rows_from_dicts, write_csv

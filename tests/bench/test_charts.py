@@ -1,7 +1,5 @@
 """ASCII chart rendering tests."""
 
-import pytest
-
 from repro.bench.reporting import ascii_chart
 
 

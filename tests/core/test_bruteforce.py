@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
+from repro import Column, MemoryBackend, TableSchema
 from repro.core.bruteforce import (
     brute_force_relevant_sources,
     potential_relation,

@@ -1,7 +1,5 @@
 """Explanation-rendering tests."""
 
-import pytest
-
 from repro.core.explain import explain_sql
 
 Q2 = (

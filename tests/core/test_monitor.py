@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.monitor import Alert, RecencyMonitor, WatchRule
+from repro.core.monitor import RecencyMonitor, WatchRule
 from repro.errors import TracError
 from repro.grid import GridSimulator, SimulationConfig
 

@@ -1,7 +1,5 @@
 """Plan-cache tests: repeated queries skip parse/generation."""
 
-import pytest
-
 from repro.core.report import RecencyReporter
 from repro.obs.instrument import PLAN_CACHE_HITS, Telemetry
 

@@ -1,8 +1,6 @@
 """Unit tests for recency-subquery construction (rewrites, connected
 components, guards) — the machinery behind Theorems 3/4's SQL."""
 
-import pytest
-
 from repro.core.recency_query import (
     HEARTBEAT_ALIAS,
     build_all_sources_query,
@@ -12,7 +10,6 @@ from repro.core.recency_query import (
     subquery_sql,
 )
 from repro.predicates.dnf import basic_terms_of
-from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.printer import expr_to_sql, to_sql
 from repro.sqlparser.resolver import resolve

@@ -1,8 +1,6 @@
 """Relevance planning for multi-relation queries (Theorem 4, Corollaries
 4–6) — including the paper's Section 4.1.2 worked example."""
 
-import pytest
-
 from repro.core.relevance import build_relevance_plan
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.resolver import resolve

@@ -8,7 +8,6 @@
   the query answer.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

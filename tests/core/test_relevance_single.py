@@ -1,7 +1,5 @@
 """Relevance planning for single-relation queries (Theorem 3 and friends)."""
 
-import pytest
-
 from repro.core.relevance import build_naive_plan, build_relevance_plan
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.resolver import resolve

@@ -177,7 +177,6 @@ class TestConsistency:
         """Writes committed between the user query and the recency query
         must not be visible: both run in one snapshot."""
         from repro import SQLiteBackend
-        from repro.backends.base import Snapshot
 
         backend = SQLiteBackend(paper_catalog, str(tmp_path / "db.sqlite"))
         backend.insert_rows("activity", [("m1", "idle", 1.0)])

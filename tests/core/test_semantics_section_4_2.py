@@ -9,7 +9,6 @@ different relevant sets; the paper enumerates cases (a), (b), (c).
 import pytest
 
 from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
-from repro.catalog import TextDomain
 from repro.core.report import RecencyReporter
 
 MACHINES = ("myScheduler", "mRemote", "mOther", "mThird")

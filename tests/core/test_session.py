@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import MemoryBackend
 from repro.core.report import RecencyReporter
 from repro.core.session import Session
 from repro.core.statistics import SourceRecency

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.statistics import (
-    RecencySplit,
     SourceRecency,
     describe,
     format_interval,

@@ -1,7 +1,5 @@
 """Resolved-query cache tests: LRU behaviour and generation invalidation."""
 
-import pytest
-
 from repro.catalog import Catalog, Column, TableSchema
 from repro.engine import Database, execute_sql
 from repro.engine.cache import ResolvedQueryCache, configure, get_cache

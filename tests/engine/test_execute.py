@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.catalog import Catalog, Column, FiniteDomain, TableSchema
+from repro.catalog import Column, FiniteDomain, TableSchema
 from repro.engine import Database, execute_sql
 from repro.errors import EngineError
 

@@ -7,7 +7,6 @@ import pytest
 from repro.catalog import Catalog, Column, TableSchema
 from repro.engine import Database, execute_sql
 from repro.errors import EngineError
-from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.printer import to_sql
 

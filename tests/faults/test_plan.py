@@ -1,0 +1,212 @@
+"""Unit tests for the FaultPlan decision logic: determinism, scripted
+one-shots, record filtering and the JSON document form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, InjectedFault, plan_from_json
+from repro.grid.events import EventKind, LogEvent
+
+
+def _heartbeat(ts: float, source: str = "m1") -> LogEvent:
+    return LogEvent(ts, source, EventKind.HEARTBEAT, {})
+
+
+def _state(ts: float, source: str = "m1") -> LogEvent:
+    return LogEvent(ts, source, EventKind.MACHINE_STATE, {"value": "idle"})
+
+
+class TestBuilders:
+    def test_chaining_returns_self(self):
+        plan = FaultPlan(seed=1)
+        assert plan.poll_error("m1", probability=0.5) is plan
+        assert plan.silence("m2", start=10.0) is plan
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().poll_error("m1", probability=1.5)
+        with pytest.raises(SimulationError):
+            FaultPlan().drop_records("m1", probability=-0.1)
+
+    def test_rule_that_never_fires_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().poll_error("m1")  # no probability, no scripted times
+
+    def test_backend_error_op_validated(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().backend_error("m1", op="query", probability=0.5)
+
+    def test_silence_needs_concrete_source_and_ordered_window(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().silence("*", start=0.0)
+        with pytest.raises(SimulationError):
+            FaultPlan().silence("m1", start=10.0, end=5.0)
+        with pytest.raises(SimulationError):
+            FaultPlan().silence("m1", start=-1.0)
+
+
+class TestScriptedTriggers:
+    def test_scripted_poll_error_fires_once(self):
+        plan = FaultPlan(seed=0).poll_error("m1", at=[10.0])
+        plan.check_poll("m1", 5.0)  # before the scripted time: nothing
+        with pytest.raises(InjectedFault):
+            plan.check_poll("m1", 12.0)
+        plan.check_poll("m1", 13.0)  # one-shot: consumed
+        assert plan.injected == {"poll_error": 1}
+
+    def test_wildcard_scripted_rule_fires_once_per_source(self):
+        plan = FaultPlan(seed=0).backend_error("*", op="heartbeat", at=[20.0])
+        with pytest.raises(InjectedFault):
+            plan.check_backend("m1", 25.0, "heartbeat")
+        with pytest.raises(InjectedFault):
+            plan.check_backend("m2", 25.0, "heartbeat")
+        plan.check_backend("m1", 26.0, "heartbeat")  # consumed for m1
+
+    def test_permanent_flag_propagates(self):
+        plan = FaultPlan(seed=0).poll_error("m1", at=[1.0], transient=False)
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.check_poll("m1", 2.0)
+        assert excinfo.value.transient is False
+        assert excinfo.value.kind == "poll_error"
+        assert excinfo.value.source == "m1"
+
+
+class TestDeterminism:
+    def _decisions(self, plan: FaultPlan, source: str, n: int = 200):
+        out = []
+        for i in range(n):
+            try:
+                plan.check_poll(source, float(i))
+                out.append(False)
+            except InjectedFault:
+                out.append(True)
+        return out
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=42).poll_error("m1", probability=0.3)
+        b = FaultPlan(seed=42).poll_error("m1", probability=0.3)
+        assert self._decisions(a, "m1") == self._decisions(b, "m1")
+
+    def test_different_seed_different_decisions(self):
+        a = FaultPlan(seed=1).poll_error("m1", probability=0.3)
+        b = FaultPlan(seed=2).poll_error("m1", probability=0.3)
+        assert self._decisions(a, "m1") != self._decisions(b, "m1")
+
+    def test_sources_draw_independent_streams(self):
+        """m1's decisions must not depend on whether m2 is also consulted."""
+        alone = FaultPlan(seed=7).poll_error("*", probability=0.3)
+        m1_alone = self._decisions(alone, "m1")
+
+        interleaved = FaultPlan(seed=7).poll_error("*", probability=0.3)
+        m1_mixed = []
+        for i in range(200):
+            try:
+                interleaved.check_poll("m2", float(i))
+            except InjectedFault:
+                pass
+            try:
+                interleaved.check_poll("m1", float(i))
+                m1_mixed.append(False)
+            except InjectedFault:
+                m1_mixed.append(True)
+        assert m1_alone == m1_mixed
+
+
+class TestRecordFiltering:
+    def test_scripted_drop_discards_the_next_batch(self):
+        plan = FaultPlan(seed=0).drop_records("m1", at=[10.0])
+        events = [_state(8.0), _state(9.0)]
+        assert plan.filter_events("m1", 12.0, events) == []
+        # One-shot: the following batch passes through.
+        assert plan.filter_events("m1", 13.0, events) == events
+        assert plan.injected["drop_records"] == 2
+
+    def test_spare_heartbeats_keeps_liveness_signal(self):
+        plan = FaultPlan(seed=0).drop_records("m1", probability=1.0, spare_heartbeats=True)
+        events = [_state(1.0), _heartbeat(2.0), _state(3.0), _heartbeat(4.0)]
+        survivors = plan.filter_events("m1", 5.0, events)
+        assert [e.kind for e in survivors] == [EventKind.HEARTBEAT, EventKind.HEARTBEAT]
+
+    def test_duplicates_appear_in_order(self):
+        plan = FaultPlan(seed=0).duplicate_records("m1", at=[1.0])
+        events = [_state(0.5), _state(0.8)]
+        out = plan.filter_events("m1", 2.0, events)
+        # The scripted trigger duplicates the whole batch, preserving order.
+        assert out == [events[0], events[0], events[1], events[1]]
+
+    def test_empty_batch_passes_through(self):
+        plan = FaultPlan(seed=0).drop_records("m1", probability=1.0)
+        assert plan.filter_events("m1", 1.0, []) == []
+
+    def test_other_sources_unaffected(self):
+        plan = FaultPlan(seed=0).drop_records("m1", probability=1.0)
+        events = [_state(1.0, "m2")]
+        assert plan.filter_events("m2", 2.0, events) == events
+
+
+class TestSilence:
+    def test_window_semantics(self):
+        plan = FaultPlan().silence("m1", start=10.0, end=20.0)
+        assert not plan.is_silenced("m1", 9.0)
+        assert plan.is_silenced("m1", 10.0)
+        assert plan.is_silenced("m1", 19.9)
+        assert not plan.is_silenced("m1", 20.0)
+        assert not plan.is_silenced("m2", 15.0)
+
+    def test_open_ended_silence(self):
+        plan = FaultPlan().silence("m1", start=5.0)
+        assert plan.is_silenced("m1", 1e9)
+        assert plan.silenced_sources() == {"m1"}
+        assert plan.silenced_sources(1.0) == set()
+        assert plan.silenced_sources(6.0) == {"m1"}
+
+
+class TestJson:
+    def test_round_trip(self):
+        plan = (
+            FaultPlan(seed=9)
+            .silence("m3", start=120.0, end=240.0)
+            .poll_error("m2", probability=0.2)
+            .poll_error("m4", at=[30.0, 35.0], transient=False)
+            .drop_records("m5", probability=0.1, spare_heartbeats=True)
+            .duplicate_records("*", probability=0.05)
+            .backend_error("m6", op="heartbeat", at=[50.0])
+        )
+        clone = plan_from_json(plan.to_json())
+        assert clone.to_json() == plan.to_json()
+        assert clone.seed == 9
+        assert clone.silenced_sources() == {"m3"}
+
+    def test_loaded_plan_behaves_like_the_original(self):
+        text = '{"seed": 3, "faults": [{"kind": "poll_error", "source": "m1", "probability": 0.5}]}'
+        a, b = plan_from_json(text), plan_from_json(text)
+        decisions = []
+        for plan in (a, b):
+            row = []
+            for i in range(50):
+                try:
+                    plan.check_poll("m1", float(i))
+                    row.append(False)
+                except InjectedFault:
+                    row.append(True)
+            decisions.append(row)
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0])
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[]",
+            '{"seed": 0, "faults": [{"kind": "nope", "source": "m1"}]}',
+            '{"seed": 0, "faults": [{"kind": "silence", "source": "m1"}]}',
+            '{"seed": 0, "faults": [{"kind": "poll_error", "source": "m1", "bogus": 1}]}',
+            '{"seed": 0, "bogus": []}',
+            '{"seed": 0, "faults": [{"kind": "poll_error", "source": "m1", "at": 5}]}',
+        ],
+    )
+    def test_malformed_documents_rejected(self, text):
+        with pytest.raises(SimulationError):
+            plan_from_json(text)

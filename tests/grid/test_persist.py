@@ -1,7 +1,5 @@
 """File-backed log tests: archive a simulation, replay it, compare."""
 
-import os
-
 import pytest
 
 from repro import MemoryBackend

@@ -21,6 +21,38 @@ class TestConfigValidation:
         with pytest.raises(SimulationError):
             SimulationConfig(num_machines=3, num_schedulers=4)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tick": 0.0},
+            {"tick": float("nan")},
+            {"tick": float("inf")},
+            {"heartbeat_interval": 0.0},
+            {"heartbeat_interval": float("nan")},
+            {"transfer_delay": -1.0},
+            {"activity_flip_probability": 1.5},
+            {"activity_flip_probability": float("nan")},
+            {"job_submit_probability": -0.1},
+            {"machine_failure_probability": 2.0},
+            {"machine_recover_probability": float("inf")},
+            {"job_duration_range": (0.0, 10.0)},
+            {"job_duration_range": (20.0, 10.0)},
+            {"job_duration_range": (float("nan"), 10.0)},
+            {"sniffer_poll_interval_range": (5.0, 3.0)},
+            {"sniffer_poll_interval_range": (0.0, 3.0)},
+            {"sniffer_lag_range": (-1.0, 3.0)},
+            {"sniffer_lag_range": (5.0, 3.0)},
+            {"sniffer_lag_range": (1.0, float("inf"))},
+        ],
+    )
+    def test_bad_numeric_config_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+    def test_zero_lag_allowed(self):
+        config = SimulationConfig(sniffer_lag_range=(0.0, 0.0))
+        assert config.sniffer_lag_range == (0.0, 0.0)
+
 
 class TestDeterminism:
     def test_same_seed_same_trace(self):

@@ -36,6 +36,21 @@ class TestConfigValidation:
         with pytest.raises(SimulationError):
             SnifferConfig(batch_size=0)
 
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf"), "5"])
+    def test_non_finite_poll_interval_rejected(self, value):
+        # NaN notoriously slips past plain `<= 0` checks.
+        with pytest.raises(SimulationError):
+            SnifferConfig(poll_interval=value)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf"), "2"])
+    def test_non_finite_lag_rejected(self, value):
+        with pytest.raises(SimulationError):
+            SnifferConfig(lag=value)
+
+    def test_error_message_names_the_value(self):
+        with pytest.raises(SimulationError, match="nan"):
+            SnifferConfig(poll_interval=float("nan"))
+
 
 class TestLoading:
     def test_activity_upserted_not_appended(self, machine, backend):

@@ -1,7 +1,5 @@
 """Three-valued predicate evaluation tests."""
 
-import pytest
-
 from repro.predicates.evaluate import evaluate_predicate, evaluate_truth, like_match
 from repro.sqlparser.parser import parse_expression
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sqlparser import ast
 from repro.sqlparser.parser import parse_expression, parse_query
 from repro.sqlparser.printer import expr_to_sql, literal_to_sql, to_sql
 

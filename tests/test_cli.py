@@ -43,6 +43,44 @@ class TestSimulate:
         assert "activity" in out
         assert "heartbeat" in out
 
+    def test_faults_plan_prints_supervision_summary(self, tmp_path, capsys):
+        plan = tmp_path / "faults.json"
+        plan.write_text(
+            '{"seed": 11, "faults": ['
+            '{"kind": "silence", "source": "m3", "start": 100},'
+            '{"kind": "poll_error", "source": "m2", "probability": 0.2}]}'
+        )
+        db = str(tmp_path / "g.sqlite")
+        code = main(
+            [
+                "simulate",
+                "--db",
+                db,
+                "--machines",
+                "6",
+                "--duration",
+                "400",
+                "--seed",
+                "4",
+                "--faults",
+                str(plan),
+                "--silence-timeout",
+                "90",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out
+        assert "faults injected:" in out
+        assert "degraded sources: m3" in out
+
+    def test_missing_faults_file_reports_error(self, tmp_path, capsys):
+        db = str(tmp_path / "g.sqlite")
+        code = main(
+            ["simulate", "--db", db, "--duration", "10", "--faults", "/nonexistent.json"]
+        )
+        assert code != 0
+
 
 class TestReport:
     def test_report_prints_notices_and_rows(self, grid_db, capsys):

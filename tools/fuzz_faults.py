@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Long-running chaos fuzz of the fault-injection + supervision pipeline.
+
+Generates random fault plans against random grid configurations and checks
+the chaos invariants on every run:
+
+* every plan-silenced source ends up suspect (supervisor-degraded or
+  z-score exceptional) once its silence has lasted past the watchdog limit;
+* no source that the plan left untouched is ever degraded;
+* sources that only lose *data* records while heartbeats get through
+  (``drop_records(spare_heartbeats=True)``) are never flagged at all;
+* the same (sim seed, plan) pair reproduces the same degraded set.
+
+Only fault kinds that keep the no-false-positive invariant crisp are drawn
+here — silences, heartbeat-sparing drops and duplicates. Poll/backend
+errors are exercised by the unit suite instead, because with adversarial
+probabilities they can legitimately degrade a source, which would make
+"degraded but not silenced" indistinguishable from a bug.
+
+Intended for occasional deep verification (e.g. a nightly job)::
+
+    python tools/fuzz_faults.py [num-runs]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.core.report import RecencyReporter
+from repro.faults import FaultPlan
+from repro.grid.simulator import GridSimulator, SimulationConfig
+from repro.grid.supervisor import SupervisorPolicy
+
+DURATION = 400.0
+SILENCE_TIMEOUT = 90.0
+IDLE_SQL = "SELECT mach_id FROM activity WHERE value = 'idle'"
+
+
+def random_plan(rng: random.Random, machine_ids) -> FaultPlan:
+    plan = FaultPlan(seed=rng.randrange(2**16))
+    silenced = rng.sample(machine_ids, k=rng.randint(1, max(1, len(machine_ids) // 4)))
+    for mid in silenced:
+        # Leave enough runway for the watchdog to notice before the end.
+        plan.silence(mid, start=rng.uniform(50.0, DURATION - 2 * SILENCE_TIMEOUT))
+    lossy = [m for m in machine_ids if m not in silenced]
+    for mid in rng.sample(lossy, k=min(2, len(lossy))):
+        if rng.random() < 0.5:
+            plan.drop_records(mid, probability=rng.uniform(0.3, 1.0), spare_heartbeats=True)
+        else:
+            plan.duplicate_records(mid, probability=rng.uniform(0.1, 0.5))
+    return plan
+
+
+def run_once(rng: random.Random, run_index: int) -> None:
+    num_machines = rng.randint(8, 20)
+    sim_seed = rng.randrange(2**16)
+    config = SimulationConfig(num_machines=num_machines, seed=sim_seed)
+    probe = GridSimulator(config)  # only to learn the machine ids
+    plan = random_plan(rng, probe.machine_ids)
+
+    def simulate():
+        sim = GridSimulator(
+            SimulationConfig(num_machines=num_machines, seed=sim_seed),
+            fault_plan=plan_from_clone(),
+            supervisor_policy=SupervisorPolicy(silence_timeout=SILENCE_TIMEOUT),
+        )
+        sim.run(DURATION)
+        return sim
+
+    def plan_from_clone():
+        # A fresh plan per run: RNG streams and one-shot triggers are stateful.
+        from repro.faults import plan_from_json
+
+        return plan_from_json(plan.to_json())
+
+    sim = simulate()
+    silenced = plan.silenced_sources()
+    reporter = RecencyReporter(
+        sim.backend, create_temp_tables=False, source_health=sim.health
+    )
+    try:
+        report = reporter.report(IDLE_SQL, method="naive")
+    finally:
+        reporter.close()
+
+    suspect = report.suspect_sources
+    missing = silenced - suspect
+    if missing:
+        raise AssertionError(
+            f"run {run_index}: silenced sources not flagged: {sorted(missing)} "
+            f"(machines={num_machines}, sim_seed={sim_seed}, plan={plan.to_json()})"
+        )
+    degraded = set(sim.health.degraded_sources())
+    false_degraded = degraded - silenced
+    if false_degraded:
+        raise AssertionError(
+            f"run {run_index}: untouched sources degraded: {sorted(false_degraded)} "
+            f"(machines={num_machines}, sim_seed={sim_seed}, plan={plan.to_json()})"
+        )
+
+    repeat = simulate()
+    if set(repeat.health.degraded_sources()) != degraded:
+        raise AssertionError(
+            f"run {run_index}: non-deterministic degraded set "
+            f"(machines={num_machines}, sim_seed={sim_seed}, plan={plan.to_json()})"
+        )
+    print(
+        f"run {run_index}: ok machines={num_machines} silenced={sorted(silenced)} "
+        f"degraded={sorted(degraded)} injected={plan_totals(sim)}"
+    )
+
+
+def plan_totals(sim: GridSimulator) -> str:
+    counts = sim.fault_plan.injected
+    return ",".join(f"{k}={v}" for k, v in sorted(counts.items())) or "none"
+
+
+def main() -> int:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    rng = random.Random(20060912)  # VLDB 2006 started on Sept 12
+    for i in range(runs):
+        run_once(rng, i)
+    print(f"all {runs} chaos runs passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

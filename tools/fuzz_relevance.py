@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import sys
 
-from hypothesis import given, seed, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import Catalog, Column, FiniteDomain, IntegerDomain, MemoryBackend, TableSchema
+from repro import Catalog, Column, FiniteDomain, MemoryBackend, TableSchema
 from repro.core.bruteforce import brute_force_relevant_sources
 from repro.core.relevance import build_relevance_plan
 from repro.core.report import RecencyReporter
