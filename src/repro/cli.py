@@ -7,6 +7,17 @@ Subcommands::
         (optionally also a directory of text log files via --archive).
         With --faults plan.json the sniffers run under supervisors against
         an injected fault plan and a supervision summary is printed.
+        With --serve PORT a live observatory HTTP server (/metrics,
+        /healthz, /spans, /events, /status) runs for the duration of the
+        simulation; --flight-dir DIR arms the anomaly flight recorder;
+        --top renders the live dashboard while simulating.
+
+    trac serve --db grid.sqlite --port 9464
+        Expose an existing monitoring database through the observatory
+        endpoints (scrape /metrics, poll /status with trac top).
+
+    trac top --url http://127.0.0.1:9464
+        Live per-source dashboard polling an observatory server.
 
     trac report --db grid.sqlite "SELECT ... " [--method naive] [--show-plan]
         Run a query with recency and consistency reporting, printing the
@@ -79,6 +90,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="supervisor watchdog: degrade a source after this many seconds "
         "without progress (requires --faults or implies supervision)",
     )
+    simulate.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose the live observatory (/metrics, /healthz, /spans, "
+        "/events, /status) on this port while simulating (0 = ephemeral)",
+    )
+    simulate.add_argument(
+        "--serve-host", default="127.0.0.1", help="bind address for --serve"
+    )
+    simulate.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the anomaly flight recorder; dumps land in DIR "
+        "(default <db>.flight when any observatory flag is set)",
+    )
+    simulate.add_argument(
+        "--slo-target",
+        type=float,
+        default=60.0,
+        help="staleness SLO: p95 recency lag target in seconds",
+    )
+    simulate.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.05,
+        help="staleness SLO: tolerated fraction of samples over the target",
+    )
+    simulate.add_argument(
+        "--top",
+        action="store_true",
+        help="render the live trac-top dashboard while simulating",
+    )
+    simulate.add_argument(
+        "--top-interval",
+        type=float,
+        default=5.0,
+        help="simulated seconds between dashboard frames (with --top)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     report = sub.add_parser("report", help="query with a recency report")
@@ -125,6 +177,32 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prometheus", help="also write Prometheus text format here")
     stats.set_defaults(handler=_cmd_stats)
 
+    serve = sub.add_parser("serve", help="expose a monitoring DB via the observatory")
+    serve.add_argument("--db", required=True, help="monitoring SQLite file")
+    serve.add_argument("--port", type=int, default=9464, help="0 = ephemeral")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many wall seconds, then exit (default: forever)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    top = sub.add_parser("top", help="live dashboard polling an observatory server")
+    top.add_argument("--url", required=True, help="observatory base URL or /status URL")
+    top.add_argument("--interval", type=float, default=2.0, help="seconds between frames")
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames then exit (default: until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true", help="append frames instead of clearing"
+    )
+    top.set_defaults(handler=_cmd_top)
+
     bench = sub.add_parser("bench", help="regenerate the paper's figures")
     bench.add_argument("rest", nargs=argparse.REMAINDER)
     bench.set_defaults(handler=_cmd_bench)
@@ -160,14 +238,66 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         fault_plan = plan_from_json(plan_text)
     if args.silence_timeout is not None or fault_plan is not None:
         supervisor_policy = SupervisorPolicy(silence_timeout=args.silence_timeout)
+
+    observing = args.serve is not None or args.top or args.flight_dir is not None
+    telemetry = None
+    slo = None
+    recorder = None
+    server = None
+    if observing:
+        from repro import obs
+        from repro.core.slo import StalenessSLO
+
+        telemetry = obs.enable()
+        slo = StalenessSLO(target_p95=args.slo_target, budget=args.slo_budget)
+
     sim = GridSimulator(
         config,
         backend_factory=lambda catalog: SQLiteBackend(catalog, args.db),
         fault_plan=fault_plan,
         supervisor_policy=supervisor_policy,
+        slo=slo,
+        telemetry=telemetry,
     )
+
+    if observing:
+        from repro.obs.dashboard import status_from_simulator
+        from repro.obs.flight import FlightRecorder
+
+        flight_dir = args.flight_dir or f"{args.db}.flight"
+        recorder = FlightRecorder(
+            telemetry, flight_dir, slo=slo, health=sim.health
+        ).install()
+        if args.serve is not None:
+            from repro.obs.server import ObservatoryServer
+
+            server = ObservatoryServer(
+                telemetry,
+                host=args.serve_host,
+                port=args.serve,
+                health=sim.health,
+                breakers=lambda: {
+                    mid: sup.breaker.state for mid, sup in sim.supervisors.items()
+                },
+                status_provider=lambda: status_from_simulator(sim, slo),
+            ).start()
+            print(f"observatory serving on {server.url}")
+
     print(f"simulating {args.machines} machines for {args.duration:.0f}s (seed {args.seed})...")
-    sim.run(args.duration)
+    if args.top and observing:
+        from repro.obs.dashboard import render_top
+
+        frame_every = max(args.top_interval, config.tick)
+        next_frame = 0.0
+        target = sim.now + args.duration
+        while sim.now < target:
+            sim.step()
+            if sim.now >= next_frame:
+                sys.stdout.write(render_top(status_from_simulator(sim, slo)))
+                sys.stdout.write("\n")
+                next_frame = sim.now + frame_every
+    else:
+        sim.run(args.duration)
 
     backend = sim.backend
     print(f"done at t={sim.now:.0f}s:")
@@ -200,8 +330,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         paths = archive_simulation(sim, args.archive)
         print(f"  archived {len(paths)} log files to {args.archive}")
+    if slo is not None:
+        status = slo.status()
+        verdict = (
+            f"BREACHED ({', '.join(status.breached)})" if status.breached else "ok"
+        )
+        print(
+            f"staleness SLO (p95 < {status.target_p95:g}s, "
+            f"budget {status.budget:g}): {verdict}, "
+            f"worst burn {status.worst_burn:.2f}"
+        )
+    if recorder is not None:
+        recorder.uninstall()
+        if recorder.dumps:
+            print(f"flight recorder: {len(recorder.dumps)} dump(s)")
+            for path in recorder.dumps:
+                print(f"  {path}")
+        else:
+            print("flight recorder: no anomalies triggered")
+    if server is not None:
+        server.stop()
     print(f"monitoring database written to {args.db}")
     backend.close()
+    if observing:
+        from repro import obs
+
+        obs.disable()
     return 0
 
 
@@ -382,6 +536,71 @@ def _cmd_shell(args: argparse.Namespace) -> int:
         return 0
     finally:
         backend.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro import obs
+    from repro.obs.server import ObservatoryServer
+
+    backend = SQLiteBackend.open(args.db)
+    tel = obs.enable()
+    server = None
+    try:
+
+        def status() -> dict:
+            heartbeats = backend.heartbeat_rows()
+            sources = [SourceRecency(sid, rec) for sid, rec in heartbeats]
+            split = zscore_split(sources)
+            exceptional = {s.source_id for s in split.exceptional}
+            newest = max((rec for _, rec in heartbeats), default=0.0)
+            by_source = []
+            for source in sorted(sources, key=lambda s: s.source_id):
+                by_source.append(
+                    {
+                        "id": source.source_id,
+                        "state": "exceptional"
+                        if source.source_id in exceptional
+                        else "healthy",
+                        "recency": source.recency,
+                        "age": newest - source.recency,
+                        "z": 0.0,
+                        "lag_series": [],
+                    }
+                )
+            return {"now": newest, "sources": by_source}
+
+        server = ObservatoryServer(
+            tel, host=args.host, port=args.port, status_provider=status
+        ).start()
+        print(f"observatory serving {args.db} on {server.url} (ctrl-C to stop)")
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+        backend.close()
+        obs.disable()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import fetch_status, run_top
+
+    frames = run_top(
+        lambda: fetch_status(args.url),
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+    return 0 if frames > 0 else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

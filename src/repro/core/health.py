@@ -52,6 +52,15 @@ class SourceStatus:
         self.reason = reason
         self.since = since
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``/healthz`` endpoint embeds it)."""
+        return {
+            "source": self.source_id,
+            "status": self.status,
+            "reason": self.reason,
+            "since": self.since,
+        }
+
     def __repr__(self) -> str:
         extra = f", reason={self.reason!r}" if self.reason else ""
         return f"SourceStatus({self.source_id!r}, {self.status}{extra})"
@@ -101,6 +110,10 @@ class SourceHealth:
         """A point-in-time copy of every entry (for display / assertions)."""
         with self._lock:
             return dict(self._statuses)
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Every entry as JSON-serializable dicts, keyed by source id."""
+        return {sid: entry.to_dict() for sid, entry in sorted(self.snapshot().items())}
 
     def __len__(self) -> int:
         with self._lock:

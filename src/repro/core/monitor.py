@@ -37,6 +37,7 @@ from repro.core.report import RecencyReport, RecencyReporter
 from repro.core.statistics import format_interval
 from repro.errors import TracError
 from repro.obs import instrument as obs
+from repro.obs.events import EVT_MONITOR_ALERT
 from repro.obs.instrument import PhaseTimer
 
 
@@ -122,6 +123,7 @@ class RecencyMonitor:
         z_threshold: float = 3.0,
         telemetry: Optional[object] = None,
         source_health: Optional[object] = None,
+        slo: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.clock = clock or time.time
@@ -132,6 +134,7 @@ class RecencyMonitor:
             create_temp_tables=False,
             telemetry=telemetry,
             source_health=source_health,
+            slo=slo,
         )
         self._rules: Dict[str, WatchRule] = {}
         self.history: List[Alert] = []
@@ -164,6 +167,15 @@ class RecencyMonitor:
                 phase.set_attribute("trips", len(tripped))
             if tel.enabled:
                 obs.record_rule_evaluation(tel, rule.name, phase.duration, len(tripped))
+                for alert in tripped:
+                    tel.emit(
+                        EVT_MONITOR_ALERT,
+                        t=at,
+                        severity="warning",
+                        rule=rule.name,
+                        kind=alert.kind,
+                        message=alert.message,
+                    )
             alerts.extend(tripped)
         self.history.extend(alerts)
         return alerts

@@ -39,6 +39,7 @@ from repro.engine.cache import resolve_cached
 from repro.engine.evaluate import QueryResult
 from repro.errors import TracError
 from repro.obs import instrument as obs
+from repro.obs.events import EVT_REPORT_EXCEPTIONAL
 from repro.obs.instrument import PhaseTimer
 
 _METHODS = ("focused", "focused_hardcoded", "naive")
@@ -129,6 +130,7 @@ class RecencyReport:
         timings: ReportTimings,
         telemetry: Optional[object] = None,
         degraded_sources: Optional[List[str]] = None,
+        slo_status: Optional[object] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -140,6 +142,7 @@ class RecencyReport:
         self.timings = timings
         self.telemetry = telemetry
         self.degraded_sources = list(degraded_sources or [])
+        self.slo_status = slo_status
 
     @property
     def normal_sources(self) -> List[SourceRecency]:
@@ -182,6 +185,13 @@ class RecencyReport:
             lines.append(
                 "NOTICE: Degraded data sources (supervisor-quarantined, not "
                 f"merely stale): {', '.join(self.degraded_sources)}"
+            )
+        slo = self.slo_status
+        if slo is not None and getattr(slo, "breached", None):
+            lines.append(
+                "NOTICE: Staleness SLO breached "
+                f"(p95 lag target {slo.target_p95:g}s, budget {slo.budget:g}): "
+                f"{', '.join(slo.breached)}"
             )
         stats = self.statistics
         if stats.least_recent is not None and stats.most_recent is not None:
@@ -244,6 +254,11 @@ class RecencyReporter:
         carries the currently degraded sources and flags them in its
         NOTICE lines — the deployment's known outages, cross-checkable
         against the z-score's inferred exceptional sources.
+    slo:
+        An optional :class:`~repro.core.slo.StalenessSLO` tracker. When
+        given, every report carries its point-in-time
+        :class:`~repro.core.slo.SLOStatus` (``report.slo_status``) and a
+        breached SLO adds a NOTICE line.
     telemetry:
         An explicit :class:`~repro.obs.Telemetry` for this reporter's spans
         and counters. ``None`` (default) follows the process-wide default,
@@ -262,6 +277,7 @@ class RecencyReporter:
         plan_cache_size: int = 0,
         telemetry: Optional[object] = None,
         source_health: Optional[SourceHealth] = None,
+        slo: Optional[object] = None,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -272,6 +288,7 @@ class RecencyReporter:
         self.plan_cache_size = plan_cache_size
         self.telemetry = telemetry
         self.source_health = source_health
+        self.slo = slo
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         self.plan_cache_hits = 0
         self.session = Session(backend)
@@ -348,6 +365,15 @@ class RecencyReporter:
 
                 with PhaseTimer(tel, SPAN_STATS) as stats_phase:
                     split = zscore_split(sources, self.z_threshold)
+                    if tel.enabled and split.exceptional:
+                        for exc_source in split.exceptional:
+                            tel.emit(
+                                EVT_REPORT_EXCEPTIONAL,
+                                source=exc_source.source_id,
+                                severity="warning",
+                                recency=exc_source.recency,
+                                threshold=self.z_threshold,
+                            )
                     stats = describe(split.normal)
                     temp_tables: Optional[TempTablePair] = None
                     if self.create_temp_tables:
@@ -380,6 +406,7 @@ class RecencyReporter:
             timings,
             root_span,
             degraded_sources=degraded,
+            slo_status=self.slo.status() if self.slo is not None else None,
         )
 
     def run_plain(self, sql: str) -> QueryResult:

@@ -1,0 +1,295 @@
+"""Per-source staleness time-series and SLO tracking.
+
+The paper's report answers "how stale is this *answer*, right now". A
+production deployment also needs the time dimension: "how stale has source
+m3 been over the last half hour, and are we inside our staleness budget?"
+This module keeps a rolling window of **recency lag** samples per source
+(lag = clock − last reported recency, sampled by the simulator loop or any
+other driver) and evaluates a service-level objective over it:
+
+* the **target**: "p95 lag < ``target_p95`` seconds";
+* the **error budget**: at most a ``budget`` fraction of samples in the
+  window may exceed the target;
+* the **burn rate**: the observed violating fraction divided by the
+  budget. Burn ≥ 1 means the budget is spent — the source's SLO is
+  *breached* (the classic error-budget formulation of SRE practice).
+
+Everything is dependency-free and O(1) per sample: each window keeps a
+running count of violating samples, adjusted as the ring evicts. The
+:class:`~repro.grid.simulator.GridSimulator` feeds a tracker when given
+one; :class:`~repro.core.report.RecencyReporter` surfaces the tracker's
+status as a report NOTICE; the observatory server and ``trac top`` render
+it live.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.statistics import percentile
+from repro.errors import TracError
+
+#: Default SLO target: 95th-percentile recency lag below one minute.
+DEFAULT_TARGET_P95 = 60.0
+#: Default error budget: 5% of window samples may exceed the target.
+DEFAULT_BUDGET = 0.05
+#: Default rolling-window size, in samples.
+DEFAULT_WINDOW = 256
+
+
+class LagWindow:
+    """One source's rolling window of ``(t, lag)`` samples.
+
+    Not thread-safe on its own — the owning :class:`StalenessSLO` holds
+    the lock.
+    """
+
+    __slots__ = ("source_id", "threshold", "_samples", "_violations", "_total")
+
+    def __init__(self, source_id: str, threshold: float, capacity: int) -> None:
+        self.source_id = source_id
+        self.threshold = threshold
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        self._violations = 0
+        self._total = 0
+
+    def record(self, t: float, lag: float) -> None:
+        if len(self._samples) == self._samples.maxlen:
+            _, evicted = self._samples.popleft()
+            if evicted > self.threshold:
+                self._violations -= 1
+        self._samples.append((t, lag))
+        self._total += 1
+        if lag > self.threshold:
+            self._violations += 1
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self._samples[-1][1] if self._samples else None
+
+    @property
+    def violation_fraction(self) -> float:
+        return self._violations / len(self._samples) if self._samples else 0.0
+
+    def lags(self) -> List[float]:
+        return [lag for _, lag in self._samples]
+
+    def series(self, limit: Optional[int] = None) -> List[Tuple[float, float]]:
+        out = list(self._samples)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class SourceSLOStatus:
+    """One source's point-in-time SLO evaluation."""
+
+    __slots__ = (
+        "source_id",
+        "samples",
+        "latest",
+        "mean",
+        "p95",
+        "max_lag",
+        "violation_fraction",
+        "burn",
+        "breached",
+    )
+
+    def __init__(
+        self,
+        source_id: str,
+        samples: int,
+        latest: Optional[float],
+        mean: float,
+        p95: float,
+        max_lag: float,
+        violation_fraction: float,
+        burn: float,
+        breached: bool,
+    ) -> None:
+        self.source_id = source_id
+        self.samples = samples
+        self.latest = latest
+        self.mean = mean
+        self.p95 = p95
+        self.max_lag = max_lag
+        self.violation_fraction = violation_fraction
+        self.burn = burn
+        self.breached = breached
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "source": self.source_id,
+            "samples": self.samples,
+            "latest": self.latest,
+            "mean": self.mean,
+            "p95": self.p95,
+            "max": self.max_lag,
+            "violation_fraction": self.violation_fraction,
+            "burn": self.burn,
+            "breached": self.breached,
+        }
+
+    def __repr__(self) -> str:
+        state = "BREACHED" if self.breached else "ok"
+        return (
+            f"SourceSLOStatus({self.source_id!r}, p95={self.p95:.3f}s, "
+            f"burn={self.burn:.2f}, {state})"
+        )
+
+
+class SLOStatus:
+    """The whole tracker's point-in-time evaluation."""
+
+    __slots__ = ("target_p95", "budget", "sources", "breached", "worst_burn")
+
+    def __init__(
+        self,
+        target_p95: float,
+        budget: float,
+        sources: List[SourceSLOStatus],
+    ) -> None:
+        self.target_p95 = target_p95
+        self.budget = budget
+        self.sources = sources
+        self.breached = [s.source_id for s in sources if s.breached]
+        self.worst_burn = max((s.burn for s in sources), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return not self.breached
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target_p95": self.target_p95,
+            "budget": self.budget,
+            "breached": list(self.breached),
+            "worst_burn": self.worst_burn,
+            "sources": [s.to_dict() for s in self.sources],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOStatus(target_p95={self.target_p95:g}s, "
+            f"breached={len(self.breached)}/{len(self.sources)}, "
+            f"worst_burn={self.worst_burn:.2f})"
+        )
+
+
+class StalenessSLO:
+    """Thread-safe per-source staleness SLO tracker. See module docstring."""
+
+    def __init__(
+        self,
+        target_p95: float = DEFAULT_TARGET_P95,
+        budget: float = DEFAULT_BUDGET,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if not isinstance(target_p95, (int, float)) or not math.isfinite(target_p95):
+            raise TracError(f"SLO target must be a finite number, got {target_p95!r}")
+        if target_p95 <= 0:
+            raise TracError(f"SLO target must be positive, got {target_p95!r}")
+        if not 0.0 < budget < 1.0:
+            raise TracError(f"SLO budget must be in (0, 1), got {budget!r}")
+        if window < 1:
+            raise TracError(f"SLO window must be >= 1 sample, got {window!r}")
+        self.target_p95 = float(target_p95)
+        self.budget = float(budget)
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._windows: Dict[str, LagWindow] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, source_id: str, t: float, lag: float) -> None:
+        """Add one lag sample for ``source_id`` taken at time ``t``."""
+        with self._lock:
+            win = self._windows.get(source_id)
+            if win is None:
+                win = self._windows[source_id] = LagWindow(
+                    source_id, self.target_p95, self.window
+                )
+            win.record(t, float(lag))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _status_of_locked(self, win: LagWindow) -> SourceSLOStatus:
+        lags = win.lags()
+        if lags:
+            mean = sum(lags) / len(lags)
+            p95 = percentile(lags, 95.0)
+            max_lag = max(lags)
+        else:
+            mean = p95 = max_lag = 0.0
+        fraction = win.violation_fraction
+        burn = fraction / self.budget
+        return SourceSLOStatus(
+            win.source_id,
+            len(win),
+            win.latest,
+            mean,
+            p95,
+            max_lag,
+            fraction,
+            burn,
+            burn >= 1.0,
+        )
+
+    def status_of(self, source_id: str) -> Optional[SourceSLOStatus]:
+        """One source's evaluation, or ``None`` if it never reported."""
+        with self._lock:
+            win = self._windows.get(source_id)
+            if win is None:
+                return None
+            return self._status_of_locked(win)
+
+    def status(self) -> SLOStatus:
+        """Every source's evaluation plus the aggregate verdict."""
+        with self._lock:
+            statuses = [
+                self._status_of_locked(win)
+                for _, win in sorted(self._windows.items())
+            ]
+        return SLOStatus(self.target_p95, self.budget, statuses)
+
+    def breached_sources(self) -> List[str]:
+        """Sorted ids of sources currently burning past their budget.
+
+        O(sources) — the per-window violation count is maintained
+        incrementally, so this is safe to call every simulator tick.
+        """
+        with self._lock:
+            return sorted(
+                sid
+                for sid, win in self._windows.items()
+                if win.violation_fraction >= self.budget
+            )
+
+    def series(self, source_id: str, limit: Optional[int] = None) -> List[Tuple[float, float]]:
+        """The retained ``(t, lag)`` samples for one source (for the
+        flight recorder and dashboard sparklines)."""
+        with self._lock:
+            win = self._windows.get(source_id)
+            return win.series(limit) if win is not None else []
+
+    def sources(self) -> List[str]:
+        with self._lock:
+            return sorted(self._windows)
+
+    def lag_series(self, limit: Optional[int] = None) -> Dict[str, List[Tuple[float, float]]]:
+        """Every source's retained series (the flight-dump payload)."""
+        with self._lock:
+            return {sid: win.series(limit) for sid, win in sorted(self._windows.items())}
+
+    def __repr__(self) -> str:
+        return (
+            f"StalenessSLO(target_p95={self.target_p95:g}s, budget={self.budget:g}, "
+            f"window={self.window}, sources={len(self.sources())})"
+        )

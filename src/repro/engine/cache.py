@@ -65,12 +65,23 @@ class ResolvedQueryCache:
             self._record(telemetry, hit=True)
             return cached
         resolved = resolve(parse_query(sql), catalog)
+        evicted = []
         with self._lock:
             self.misses += 1
             self._entries[key] = resolved
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[0])
         self._record(telemetry, hit=False)
+        if evicted and telemetry is not None and getattr(telemetry, "enabled", False):
+            from repro.obs.events import EVT_CACHE_EVICTED
+
+            for generation, evicted_sql in evicted:
+                telemetry.emit(
+                    EVT_CACHE_EVICTED,
+                    severity="debug",
+                    generation=generation,
+                    sql=evicted_sql[:200],
+                )
         return resolved
 
     @staticmethod
@@ -83,9 +94,17 @@ class ResolvedQueryCache:
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+        from repro.obs import instrument as obs
+
+        tel = obs.get_default()
+        if tel.enabled:
+            from repro.obs.events import EVT_CACHE_CLEARED
+
+            tel.emit(EVT_CACHE_CLEARED, severity="debug", dropped=dropped)
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

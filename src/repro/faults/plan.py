@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import instrument as obs
+from repro.obs.events import EVT_FAULT_INJECTED
 
 if TYPE_CHECKING:  # grid imports stay type-only: faults must not import grid
     from repro.grid.events import LogEvent  # pragma: no cover
@@ -222,6 +223,13 @@ class FaultPlan:
         if tel.enabled:
             for _ in range(count):
                 obs.record_fault_injected(tel, kind, source)
+            tel.emit(
+                EVT_FAULT_INJECTED,
+                source=source,
+                severity="warning",
+                kind=kind,
+                count=count,
+            )
 
     def _error_due(self, kind: str, source: str, now: float) -> Optional[_Rule]:
         for rule in self._rules:

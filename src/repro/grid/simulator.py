@@ -32,6 +32,8 @@ from repro.grid.machine import Machine
 from repro.grid.scheduler import Scheduler
 from repro.grid.sniffer import Sniffer, SnifferConfig
 from repro.grid.supervisor import SnifferSupervisor, SupervisorPolicy
+from repro.obs import instrument as obs
+from repro.obs.events import EVT_SLO_BREACH
 
 
 def _require_finite(name: str, value: float) -> None:
@@ -196,6 +198,14 @@ class GridSimulator:
         created when supervision is active and none is given. Pass it to a
         :class:`~repro.core.report.RecencyReporter` to get degradation-aware
         reports.
+    slo:
+        An optional :class:`~repro.core.slo.StalenessSLO`. When given, every
+        tick samples each sniffer's recency lag into the tracker (and into
+        the ``trac_source_lag_seconds`` histogram when telemetry is on),
+        and newly breached sources emit an ``slo.breach`` event.
+    telemetry:
+        Explicit telemetry override for the simulator's own samples;
+        defaults to the process-wide one.
     """
 
     def __init__(
@@ -205,6 +215,8 @@ class GridSimulator:
         fault_plan: Optional[FaultPlan] = None,
         supervisor_policy: Optional[SupervisorPolicy] = None,
         health: Optional[SourceHealth] = None,
+        slo: Optional[object] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
@@ -230,6 +242,9 @@ class GridSimulator:
         self.fault_plan = fault_plan
         self.supervisors: Dict[str, SnifferSupervisor] = {}
         self.health: Optional[SourceHealth] = health
+        self.slo = slo
+        self.telemetry = telemetry
+        self._slo_breached: Set[str] = set()
         self._plan_silenced: Set[str] = set()
         if fault_plan is not None or supervisor_policy is not None:
             if self.health is None:
@@ -305,6 +320,7 @@ class GridSimulator:
         else:
             for sniffer in self.sniffers.values():
                 sniffer.maybe_poll(self.now)
+        self._observe(self.now)
 
     def run(self, duration: float) -> None:
         """Advance the clock by ``duration`` seconds."""
@@ -324,6 +340,40 @@ class GridSimulator:
             sniffer.config.lag = saved_lag
 
     # -- internals -----------------------------------------------------------
+
+    def _observe(self, now: float) -> None:
+        """Sample per-source recency lag into the SLO tracker + histogram."""
+        tel = self.telemetry if self.telemetry is not None else obs.get_default()
+        if self.slo is None and not tel.enabled:
+            return
+        for mid, sniffer in self.sniffers.items():
+            reported = sniffer._reported_recency
+            if reported == float("-inf"):
+                continue  # never reported; no lag to speak of yet
+            lag = max(0.0, now - reported)
+            if self.slo is not None:
+                self.slo.record(mid, now, lag)
+            if tel.enabled:
+                obs.record_source_lag(tel, mid, lag)
+        if self.slo is not None:
+            breached = set(self.slo.breached_sources())
+            if tel.enabled:
+                for mid in sorted(breached | self._slo_breached):
+                    status = self.slo.status_of(mid)
+                    if status is not None:
+                        obs.record_slo_burn(tel, mid, status.burn)
+                for mid in sorted(breached - self._slo_breached):
+                    status = self.slo.status_of(mid)
+                    tel.emit(
+                        EVT_SLO_BREACH,
+                        t=now,
+                        source=mid,
+                        severity="error",
+                        burn=status.burn if status is not None else None,
+                        p95=status.p95 if status is not None else None,
+                        target=self.slo.target_p95,
+                    )
+            self._slo_breached = breached
 
     def _apply_plan_silences(self) -> None:
         """Start/stop plan-scripted silences (the machine stops logging)."""

@@ -46,6 +46,13 @@ from repro.faults.log import FaultyLog
 from repro.faults.plan import FaultPlan, InjectedFault
 from repro.grid.sniffer import Sniffer
 from repro.obs import instrument as obs
+from repro.obs.events import (
+    EVT_BREAKER_TRANSITION,
+    EVT_SNIFFER_RESTART,
+    EVT_SNIFFER_RETRY,
+    EVT_SOURCE_DEGRADED,
+    EVT_WATCHDOG_SILENCE,
+)
 
 
 def _stable_seed(seed: int, source: str) -> int:
@@ -242,6 +249,16 @@ class SnifferSupervisor:
             policy.silence_timeout is not None
             and now - self._last_progress >= policy.silence_timeout
         ):
+            tel = self._tel()
+            if tel.enabled:
+                tel.emit(
+                    EVT_WATCHDOG_SILENCE,
+                    t=now,
+                    source=self.machine_id,
+                    severity="warning",
+                    silent_for=now - self._last_progress,
+                    limit=policy.silence_timeout,
+                )
             self._degrade(
                 now,
                 f"silent source: no progress for {now - self._last_progress:g}s "
@@ -259,7 +276,7 @@ class SnifferSupervisor:
         if not self.breaker.allow(now):
             return 0
         if was_open and self.breaker.state == CircuitBreaker.HALF_OPEN:
-            self._record_breaker(CircuitBreaker.HALF_OPEN)
+            self._record_breaker(CircuitBreaker.HALF_OPEN, now)
 
         if self._faulty_backend is not None:
             self._faulty_backend.set_context(self.machine_id, now)
@@ -267,14 +284,17 @@ class SnifferSupervisor:
             self._faulty_log.now = now
 
         previous_recency = self.sniffer._reported_recency
-        try:
-            if self.plan is not None:
-                self.plan.check_poll(self.machine_id, now)
-            applied = self.sniffer.poll(now)
-        except SimulationError as exc:
-            self._on_failure(now, exc)
-            return 0
-        self._on_success(now, applied, previous_recency)
+        # The span covers the poll *and* its outcome handling, so retry /
+        # restart / breaker events emitted there correlate to this span.
+        with obs.PhaseTimer(self._tel(), "sniffer.poll", machine=self.machine_id):
+            try:
+                if self.plan is not None:
+                    self.plan.check_poll(self.machine_id, now)
+                applied = self.sniffer.poll(now)
+            except SimulationError as exc:
+                self._on_failure(now, exc)
+                return 0
+            self._on_success(now, applied, previous_recency)
         return applied
 
     # -- outcome handling ----------------------------------------------------
@@ -283,7 +303,7 @@ class SnifferSupervisor:
         prior_state = self.breaker.state
         self.breaker.record_success()
         if prior_state != CircuitBreaker.CLOSED:
-            self._record_breaker(CircuitBreaker.CLOSED)
+            self._record_breaker(CircuitBreaker.CLOSED, now)
         self.consecutive_failures = 0
         self._pending_attempt = False
         if applied > 0 or self.sniffer._reported_recency > previous_recency:
@@ -296,7 +316,7 @@ class SnifferSupervisor:
         prior_state = self.breaker.state
         self.breaker.record_failure(now)
         if self.breaker.state == CircuitBreaker.OPEN and prior_state != CircuitBreaker.OPEN:
-            self._record_breaker(CircuitBreaker.OPEN)
+            self._record_breaker(CircuitBreaker.OPEN, now)
         if isinstance(error, InjectedFault) and not error.transient:
             self._degrade(now, f"permanent fault: {error}")
             return
@@ -310,6 +330,14 @@ class SnifferSupervisor:
         tel = self._tel()
         if tel.enabled:
             obs.record_sniffer_retry(tel, self.machine_id)
+            tel.emit(
+                EVT_SNIFFER_RETRY,
+                t=now,
+                source=self.machine_id,
+                severity="warning",
+                error=self.last_error,
+                attempt=self.consecutive_failures,
+            )
         self._pending_attempt = True
         self._next_attempt = now + self._backoff(self.consecutive_failures)
         self.health.mark(self.machine_id, BACKING_OFF, reason=self.last_error, at=now)
@@ -327,6 +355,14 @@ class SnifferSupervisor:
         tel = self._tel()
         if tel.enabled:
             obs.record_sniffer_restart(tel, self.machine_id)
+            tel.emit(
+                EVT_SNIFFER_RESTART,
+                t=now,
+                source=self.machine_id,
+                severity="warning",
+                restart=self.restarts,
+                error=self.last_error,
+            )
         # The restart resumes from the durable offset: no records are lost.
         self.sniffer.recover()
         self.consecutive_failures = 0
@@ -343,6 +379,13 @@ class SnifferSupervisor:
         tel = self._tel()
         if tel.enabled:
             obs.record_sources_degraded(tel, len(self.health.degraded_sources()))
+            tel.emit(
+                EVT_SOURCE_DEGRADED,
+                t=now,
+                source=self.machine_id,
+                severity="error",
+                reason=reason,
+            )
 
     def _backoff(self, attempt: int) -> float:
         delay = min(
@@ -353,10 +396,17 @@ class SnifferSupervisor:
             delay *= 1.0 + self.policy.jitter * (2.0 * self.rng.random() - 1.0)
         return delay
 
-    def _record_breaker(self, state: str) -> None:
+    def _record_breaker(self, state: str, now: Optional[float] = None) -> None:
         tel = self._tel()
         if tel.enabled:
             obs.record_breaker_transition(tel, self.machine_id, state)
+            tel.emit(
+                EVT_BREAKER_TRANSITION,
+                t=now,
+                source=self.machine_id,
+                severity="warning" if state != CircuitBreaker.CLOSED else "info",
+                state=state,
+            )
 
     # -- reporting ------------------------------------------------------------
 

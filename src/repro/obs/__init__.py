@@ -10,7 +10,16 @@ itself. Three layers, no third-party dependencies:
 * :mod:`repro.obs.metrics` — named counters, gauges and fixed-bucket
   histograms in a :class:`MetricsRegistry`;
 * :mod:`repro.obs.export` — JSON-lines span dumps, Prometheus text
-  exposition, and the human-readable :func:`render_summary` table.
+  exposition, and the human-readable :func:`render_summary` table;
+* :mod:`repro.obs.events` — the structured, trace-correlated event log
+  (ring-buffered, with listener fan-out);
+* :mod:`repro.obs.flight` — the anomaly flight recorder (timestamped
+  JSON dumps of recent events + spans + metrics on trigger events);
+* :mod:`repro.obs.server` — a dependency-free threaded HTTP server
+  exposing ``/metrics``, ``/healthz``, ``/spans``, ``/events`` and
+  ``/status`` (imported lazily via :func:`serve` to keep ``import
+  repro`` light);
+* :mod:`repro.obs.dashboard` — the ``trac top`` ANSI dashboard.
 
 :mod:`repro.obs.instrument` glues it together: a :class:`Telemetry`
 facade, a process-wide default (no-op unless enabled), and the
@@ -50,6 +59,7 @@ from repro.obs.instrument import (
     set_default,
 )
 from repro.obs.export import (
+    metrics_snapshot,
     parse_prometheus_text,
     phase_durations,
     prometheus_text,
@@ -57,7 +67,29 @@ from repro.obs.export import (
     span_name_aggregates,
     spans_from_jsonl,
     spans_to_jsonl,
+    write_spans_jsonl,
 )
+from repro.obs.events import (
+    Event,
+    EventLog,
+    NULL_EVENT_LOG,
+    NullEventLog,
+    events_from_jsonl,
+    events_to_jsonl,
+    write_events_jsonl,
+)
+
+
+def serve(*args, **kwargs):
+    """Start an :class:`~repro.obs.server.ObservatoryServer` and return it.
+
+    Lazy wrapper so ``import repro`` never pays for ``http.server``;
+    accepts the same arguments as :func:`repro.obs.server.serve`.
+    """
+    from repro.obs.server import serve as _serve
+
+    return _serve(*args, **kwargs)
+
 
 __all__ = [
     "Span",
@@ -85,5 +117,15 @@ __all__ = [
     "span_name_aggregates",
     "spans_to_jsonl",
     "spans_from_jsonl",
+    "write_spans_jsonl",
+    "metrics_snapshot",
     "phase_durations",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "write_events_jsonl",
+    "serve",
 ]

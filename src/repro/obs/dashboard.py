@@ -1,0 +1,238 @@
+"""The ``trac top`` dashboard: live per-source recency at a glance.
+
+A terminal dashboard in the spirit of ``top``: one row per source showing
+its health state, last reported recency, current lag, a unicode sparkline
+of the recent lag series, the z-score against the fleet, SLO burn, and
+the supervisor's retry/restart/breaker counters. It renders from a plain
+**status document** — the same JSON the observatory server serves at
+``/status`` — so the one renderer works both in-process (polling a
+:class:`~repro.grid.simulator.GridSimulator` directly via
+:func:`status_from_simulator`) and out-of-process (``trac top --url``
+fetching over HTTP via :func:`fetch_status`).
+
+The renderer is a pure function of the status document (easy to test,
+no terminal required); :func:`run_top` adds the poll/clear/redraw loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+from urllib.request import urlopen
+
+from repro.core.statistics import format_interval, mean_stddev
+from repro.errors import TracError
+
+#: Eight-level block characters, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI: clear screen and home the cursor.
+CLEAR = "\x1b[2J\x1b[H"
+
+_STATE_ORDER = {"degraded": 0, "restarting": 1, "backing_off": 2, "healthy": 3}
+
+
+def sparkline(values: Sequence[float], width: int = 16) -> str:
+    """Render ``values`` (most recent last) as a fixed-width sparkline.
+
+    The last ``width`` values are scaled to the min..max of that window;
+    a flat series renders as all-low, an empty one as spaces.
+    """
+    if width <= 0:
+        return ""
+    tail = list(values)[-width:]
+    if not tail:
+        return " " * width
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    chars: List[str] = []
+    for v in tail:
+        if span <= 0:
+            chars.append(SPARK_CHARS[0])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            chars.append(SPARK_CHARS[idx])
+    return "".join(chars).rjust(width)
+
+
+# -- status documents -------------------------------------------------------
+
+
+def status_from_simulator(sim, slo=None) -> dict:
+    """Build the dashboard status document from a live simulator.
+
+    Duck-typed against :class:`~repro.grid.simulator.GridSimulator`
+    (``now``, ``sniffers``, ``supervisors``, ``health``) so ``repro.obs``
+    never imports ``repro.grid``.
+    """
+    now = sim.now
+    recencies: Dict[str, float] = {}
+    for mid, sniffer in sim.sniffers.items():
+        reported = sniffer._reported_recency
+        if reported != float("-inf"):
+            recencies[mid] = reported
+    ages = {mid: max(0.0, now - r) for mid, r in recencies.items()}
+    mean, stddev = mean_stddev(list(ages.values())) if ages else (0.0, 0.0)
+
+    slo_status = slo.status() if slo is not None else None
+    slo_by_source = (
+        {s.source_id: s for s in slo_status.sources} if slo_status is not None else {}
+    )
+
+    sources: List[dict] = []
+    for mid in sorted(sim.sniffers):
+        supervisor = sim.supervisors.get(mid)
+        stats = supervisor.stats() if supervisor is not None else {}
+        entry = sim.health.entry_of(mid) if sim.health is not None else None
+        age = ages.get(mid)
+        z = (age - mean) / stddev if age is not None and stddev > 0 else 0.0
+        source_slo = slo_by_source.get(mid)
+        series = slo.series(mid) if slo is not None else []
+        sources.append(
+            {
+                "id": mid,
+                "state": entry.status if entry is not None else "healthy",
+                "reason": entry.reason if entry is not None else None,
+                "recency": recencies.get(mid),
+                "age": age,
+                "z": z,
+                "retries": stats.get("retries", 0),
+                "restarts": stats.get("restarts", 0),
+                "breaker": stats.get("breaker", "closed"),
+                "backlog": getattr(sim.sniffers[mid], "backlog", 0),
+                "lag": source_slo.latest if source_slo is not None else age,
+                "lag_p95": source_slo.p95 if source_slo is not None else None,
+                "burn": source_slo.burn if source_slo is not None else None,
+                "lag_series": [lag for _, lag in series],
+            }
+        )
+    doc: dict = {"now": now, "wall": time.time(), "sources": sources}
+    if slo_status is not None:
+        doc["slo"] = slo_status.to_dict()
+    return doc
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> dict:
+    """GET the ``/status`` document from an observatory server."""
+    target = url.rstrip("/")
+    if not target.endswith("/status"):
+        target += "/status"
+    try:
+        with urlopen(target, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+    except OSError as exc:
+        raise TracError(f"cannot reach observatory at {target}: {exc}") from exc
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise TracError(f"observatory at {target} returned non-JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise TracError(f"observatory at {target} returned a non-object document")
+    return doc
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def _fmt_age(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return format_interval(value)
+
+
+def render_top(status: dict, width: int = 16) -> str:
+    """Render one dashboard frame from a status document."""
+    lines: List[str] = []
+    now = status.get("now")
+    slo = status.get("slo")
+    header = "trac top"
+    if now is not None:
+        header += f" — t={now:g}s"
+    if slo:
+        breached = slo.get("breached") or []
+        verdict = (
+            f"SLO BREACHED ({', '.join(breached)})" if breached else "SLO ok"
+        )
+        header += (
+            f" — p95<{slo.get('target_p95'):g}s budget={slo.get('budget'):g} "
+            f"worst_burn={slo.get('worst_burn', 0.0):.2f} — {verdict}"
+        )
+    lines.append(header)
+
+    sources = status.get("sources") or []
+    if not sources:
+        lines.append("  (no sources reporting yet)")
+        return "\n".join(lines) + "\n"
+
+    headers = (
+        "source", "state", "recency", "age", "z", "burn",
+        "lag " + "·" * max(0, width - 4), "retry", "restart", "breaker",
+    )
+    rows: List[tuple] = []
+    ordered = sorted(
+        sources,
+        key=lambda s: (_STATE_ORDER.get(s.get("state", "healthy"), 9), s.get("id", "")),
+    )
+    for src in ordered:
+        burn = src.get("burn")
+        rows.append(
+            (
+                str(src.get("id", "?")),
+                str(src.get("state", "?")),
+                _fmt_age(src.get("recency")) if src.get("recency") is None
+                else f"{src['recency']:g}",
+                _fmt_age(src.get("age")),
+                f"{src.get('z', 0.0):+.2f}",
+                f"{burn:.2f}" if burn is not None else "-",
+                sparkline(src.get("lag_series") or [], width),
+                str(src.get("retries", 0)),
+                str(src.get("restarts", 0)),
+                str(src.get("breaker", "-")),
+            )
+        )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    fetch: Callable[[], dict],
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    write: Optional[Callable[[str], object]] = None,
+    clear: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """The poll/redraw loop behind ``trac top``.
+
+    ``fetch`` returns a status document each frame; ``iterations=None``
+    loops until interrupted. Returns the number of frames rendered.
+    """
+    if write is None:
+        write = sys.stdout.write
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                status = fetch()
+            except TracError as exc:
+                write(f"trac top: {exc}\n")
+                break
+            if clear:
+                write(CLEAR)
+            write(render_top(status))
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return frames

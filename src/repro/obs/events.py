@@ -1,0 +1,287 @@
+"""The structured event log: typed, trace-correlated, ring-buffered.
+
+Spans answer "how long did this take", metrics answer "how often / how
+much"; neither answers "what exactly happened, in order, around the time
+things went wrong". An :class:`Event` is one discrete, load-bearing
+occurrence — a sniffer retry, a breaker opening, a source degrading, a
+fault injection, a z-score outlier in a report — recorded with:
+
+* a dotted **name** from the canonical set below (free-form names are
+  allowed but the instrumented subsystems stick to the constants);
+* the **wall clock** and, when the emitter lives in simulated time, the
+  **domain time** ``t``;
+* the **source** (machine id) the event concerns, when there is one;
+* a **severity** (``debug`` / ``info`` / ``warning`` / ``error``);
+* the **span id** of the emitting thread's innermost open span, so events
+  interleave exactly into the trace timeline;
+* free-form JSON-serializable **attributes**.
+
+Events land in an :class:`EventLog` — a lock-protected ring buffer
+(:class:`collections.deque` with ``maxlen``) so a week-long simulation
+cannot grow without bound — and are fanned out to subscribed listeners
+(the :class:`~repro.obs.flight.FlightRecorder` is one). The
+:class:`NullEventLog` is the zero-cost stand-in while telemetry is
+disabled, mirroring ``NullTracer``/``NullRegistry``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, IO, Iterable, List, Optional
+
+from repro.errors import TracError
+
+# -- canonical event names --------------------------------------------------
+#
+# Instrumented subsystems emit these; the flight recorder's default trigger
+# set and the docs refer to them by constant.
+
+EVT_SNIFFER_RETRY = "sniffer.retry"
+EVT_SNIFFER_RESTART = "sniffer.restart"
+EVT_BREAKER_TRANSITION = "breaker.transition"
+EVT_SOURCE_DEGRADED = "source.degraded"
+EVT_WATCHDOG_SILENCE = "watchdog.silence"
+EVT_FAULT_INJECTED = "fault.injected"
+EVT_REPORT_EXCEPTIONAL = "report.exceptional"
+EVT_CACHE_EVICTED = "cache.evicted"
+EVT_CACHE_CLEARED = "cache.cleared"
+EVT_MONITOR_ALERT = "monitor.alert"
+EVT_SLO_BREACH = "slo.breach"
+EVT_FLIGHT_DUMPED = "flight.dumped"
+
+SEVERITIES = ("debug", "info", "warning", "error")
+
+#: Default ring capacity: enough for hours of chaos at typical event rates.
+DEFAULT_CAPACITY = 4096
+
+
+class Event:
+    """One recorded occurrence. Obtain via :meth:`EventLog.emit`."""
+
+    __slots__ = ("seq", "name", "wall", "t", "source", "severity", "span_id", "attributes")
+
+    def __init__(
+        self,
+        seq: int,
+        name: str,
+        wall: float,
+        t: Optional[float],
+        source: Optional[str],
+        severity: str,
+        span_id: Optional[int],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.name = name
+        self.wall = wall
+        self.t = t
+        self.source = source
+        self.severity = severity
+        self.span_id = span_id
+        self.attributes = attributes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (one JSONL line per event)."""
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "wall": self.wall,
+            "t": self.t,
+            "source": self.source,
+            "severity": self.severity,
+            "span_id": self.span_id,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        where = f" source={self.source}" if self.source else ""
+        when = f" t={self.t:g}" if self.t is not None else ""
+        return f"Event(#{self.seq} {self.name}{where}{when} [{self.severity}])"
+
+
+class EventLog:
+    """Thread-safe ring buffer of :class:`Event` objects with listeners.
+
+    Listeners are called synchronously from the emitting thread, outside
+    the buffer lock (a listener may itself read the log). A listener that
+    raises is dropped silently from that emission — observability must
+    never take down the observed system.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise TracError(f"event log capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._listeners: List[Callable[[Event], None]] = []
+
+    def emit(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        source: Optional[str] = None,
+        severity: str = "info",
+        span_id: Optional[int] = None,
+        **attributes: Any,
+    ) -> Event:
+        """Record one event; returns it after fanning out to listeners."""
+        if severity not in SEVERITIES:
+            raise TracError(
+                f"unknown event severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                self._seq, name, time.time(), t, source, severity, span_id, attributes
+            )
+            self._events.append(event)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(event)
+            except Exception:
+                pass
+        return event
+
+    # -- listeners ----------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[Event], None]) -> None:
+        """Register ``listener`` to receive every future event."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- inspection ---------------------------------------------------------
+
+    def snapshot(self) -> List[Event]:
+        """Every retained event, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, n: int) -> List[Event]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self._events)[-n:]
+
+    def counts_by_name(self) -> Dict[str, int]:
+        """Retained-event counts keyed by event name."""
+        out: Dict[str, int] = {}
+        for event in self.snapshot():
+            out[event.name] = out.get(event.name, 0) + 1
+        return out
+
+    @property
+    def total(self) -> int:
+        """Events ever emitted (including ones the ring has dropped)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        with self._lock:
+            return self._seq - len(self._events)
+
+    def clear(self) -> None:
+        """Discard retained events (the sequence counter keeps counting)."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self)}/{self.capacity} retained, total={self.total})"
+
+
+class NullEventLog:
+    """Inert event log for disabled telemetry: emits nothing, stores
+    nothing, notifies nobody. One shared instance suffices."""
+
+    __slots__ = ()
+
+    capacity = 0
+    total = 0
+    dropped = 0
+
+    def emit(self, name, t=None, source=None, severity="info", span_id=None, **attributes):
+        return None
+
+    def subscribe(self, listener) -> None:
+        pass
+
+    def unsubscribe(self, listener) -> None:
+        pass
+
+    def snapshot(self) -> List[Event]:
+        return []
+
+    def tail(self, n: int) -> List[Event]:
+        return []
+
+    def counts_by_name(self) -> Dict[str, int]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op event log used by disabled telemetry.
+NULL_EVENT_LOG = NullEventLog()
+
+
+# -- JSONL export -----------------------------------------------------------
+
+
+def write_events_jsonl(events: Iterable[Event], fp: IO[str]) -> int:
+    """Stream events to ``fp`` as newline-terminated JSON objects;
+    returns the number of lines written."""
+    count = 0
+    for event in events:
+        fp.write(json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":")))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def events_to_jsonl(events: Iterable[Event]) -> str:
+    """One compact JSON object per event, newline-separated (no trailing
+    newline, mirroring :func:`repro.obs.export.spans_to_jsonl`)."""
+    import io
+
+    buffer = io.StringIO()
+    write_events_jsonl(events, buffer)
+    return buffer.getvalue().removesuffix("\n")
+
+
+def events_from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse an event JSONL dump back into event dicts."""
+    out: List[Dict[str, object]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise TracError(f"malformed event JSONL at line {number}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TracError(f"event JSONL line {number} is not an object")
+        out.append(record)
+    return out

@@ -16,9 +16,10 @@ human-readable summary table.
 
 from __future__ import annotations
 
+import io
 import json
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, IO, Iterable, List, Sequence, Tuple
 
 from repro.errors import TracError
 from repro.obs.metrics import Counter, Gauge, Histogram
@@ -27,12 +28,27 @@ from repro.obs.trace import Span
 # -- JSON lines -------------------------------------------------------------
 
 
+def write_spans_jsonl(spans: Iterable[Span], fp: IO[str]) -> int:
+    """Stream spans to ``fp`` as newline-terminated JSON objects.
+
+    The streaming form exists so long simulations can dump hundreds of
+    thousands of spans without materializing one giant string; returns the
+    number of lines written.
+    """
+    count = 0
+    for span in spans:
+        fp.write(json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":")))
+        fp.write("\n")
+        count += 1
+    return count
+
+
 def spans_to_jsonl(spans: Iterable[Span]) -> str:
-    """One compact JSON object per span, newline-separated."""
-    return "\n".join(
-        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
-        for span in spans
-    )
+    """One compact JSON object per span, newline-separated (no trailing
+    newline). Delegates to :func:`write_spans_jsonl`."""
+    buffer = io.StringIO()
+    write_spans_jsonl(spans, buffer)
+    return buffer.getvalue().removesuffix("\n")
 
 
 def spans_from_jsonl(text: str) -> List[Dict[str, object]]:
@@ -161,6 +177,35 @@ def parse_prometheus_text(
             raise TracError(f"malformed Prometheus line {number}: {stripped!r}") from exc
         samples[(name, labels)] = value
     return samples
+
+
+# -- structured snapshot ----------------------------------------------------
+
+
+def metrics_snapshot(registry) -> List[Dict[str, object]]:
+    """Every instrument of ``registry`` as a JSON-serializable dict.
+
+    The flight recorder and ``/status`` endpoint embed this; unlike the
+    Prometheus text form it keeps histogram buckets structured.
+    """
+    out: List[Dict[str, object]] = []
+    for instrument in registry.collect():
+        entry: Dict[str, object] = {
+            "name": instrument.name,
+            "kind": instrument.kind,
+            "labels": dict(instrument.labels),
+        }
+        if isinstance(instrument, (Counter, Gauge)):
+            entry["value"] = instrument.value
+        elif isinstance(instrument, Histogram):
+            entry["count"] = instrument.count
+            entry["sum"] = instrument.sum
+            entry["buckets"] = [
+                [_format_value(bound), count]
+                for bound, count in instrument.bucket_counts()
+            ]
+        out.append(entry)
+    return out
 
 
 # -- human-readable summary -------------------------------------------------

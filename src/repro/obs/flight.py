@@ -1,0 +1,197 @@
+"""The anomaly flight recorder: post-hoc debuggable chaos runs.
+
+A chaos run (PR 3's fault plans) produces anomalies — a source degrades,
+the silence watchdog fires, a report marks a source exceptional — and by
+the time a human looks, the interesting context has scrolled out of every
+ring buffer. The :class:`FlightRecorder` subscribes to the telemetry
+event log and, whenever a **trigger** event fires, snapshots everything
+an investigation needs into one timestamped JSON file:
+
+* the triggering event itself plus the last ``max_events`` events before
+  it (ordered, span-correlated);
+* the most recent ``max_spans`` finished spans and every currently open
+  span (so you can see what the system was *in the middle of*);
+* every metric value (:func:`~repro.obs.export.metrics_snapshot`);
+* the health registry's view of each source, when wired;
+* the SLO tracker's status and each source's retained lag series, when
+  wired.
+
+Dumps are rate-limited by a wall-clock ``cooldown`` (one degraded source
+can emit many triggers in a burst), guarded against re-entrancy (the
+recorder emits :data:`~repro.obs.events.EVT_FLIGHT_DUMPED` after each
+dump, which must not re-trigger it), and named
+``flight-<timestamp>-<seq>-<trigger>.json`` under the recorder's
+directory. ``trac simulate --flight-dir`` installs one; the shell's
+``.flight`` command takes a manual snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.obs.events import EVT_FLIGHT_DUMPED, Event
+from repro.obs.export import metrics_snapshot
+
+#: Event names that trigger an automatic dump (per the observatory spec):
+#: a source degrading, the watchdog detecting silence, and a report
+#: marking a source exceptional. ``flight.dumped`` is deliberately NOT a
+#: trigger.
+DEFAULT_TRIGGERS = frozenset(
+    {"source.degraded", "watchdog.silence", "report.exceptional"}
+)
+
+#: Wall-clock seconds between automatic dumps.
+DEFAULT_COOLDOWN = 30.0
+
+
+class FlightRecorder:
+    """Dump telemetry context to disk when anomaly events fire.
+
+    Parameters
+    ----------
+    telemetry:
+        The :class:`~repro.obs.instrument.Telemetry` whose event log,
+        tracer and metrics to snapshot. Must be an enabled (non-null)
+        telemetry — a null telemetry's event log never notifies.
+    directory:
+        Where dump files land; created on first dump.
+    triggers:
+        Event names that fire an automatic dump.
+    cooldown:
+        Minimum wall-clock seconds between automatic dumps (manual
+        :meth:`dump` calls ignore it).
+    max_events / max_spans:
+        Retention caps for the dumped context.
+    slo / health:
+        Optional :class:`~repro.core.slo.StalenessSLO` and
+        :class:`~repro.core.health.SourceHealth` to embed.
+    clock:
+        Wall-clock callable, injectable for tests (default
+        :func:`time.time`).
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        directory: str,
+        triggers: frozenset = DEFAULT_TRIGGERS,
+        cooldown: float = DEFAULT_COOLDOWN,
+        max_events: int = 256,
+        max_spans: int = 256,
+        slo=None,
+        health=None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.telemetry = telemetry
+        self.directory = directory
+        self.triggers = frozenset(triggers)
+        self.cooldown = cooldown
+        self.max_events = max_events
+        self.max_spans = max_spans
+        self.slo = slo
+        self.health = health
+        self._clock = clock or time.time
+        self._lock = threading.Lock()
+        self._last_dump_wall: Optional[float] = None
+        self._dumping = False
+        self._installed = False
+        self._seq = 0
+        #: Paths of every dump written, in order.
+        self.dumps: List[str] = []
+
+    # -- subscription -------------------------------------------------------
+
+    def install(self) -> "FlightRecorder":
+        """Subscribe to the telemetry event log; returns self."""
+        if not self._installed:
+            self.telemetry.events.subscribe(self._on_event)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.telemetry.events.unsubscribe(self._on_event)
+            self._installed = False
+
+    def _on_event(self, event: Event) -> None:
+        if event.name not in self.triggers:
+            return
+        with self._lock:
+            if self._dumping:
+                return
+            now = self._clock()
+            if (
+                self._last_dump_wall is not None
+                and now - self._last_dump_wall < self.cooldown
+            ):
+                return
+        self.dump(reason=event.name, trigger=event)
+
+    # -- dumping ------------------------------------------------------------
+
+    def dump(self, reason: str = "manual", trigger: Optional[Event] = None) -> str:
+        """Write one flight dump now; returns its path."""
+        with self._lock:
+            if self._dumping:
+                raise RuntimeError("flight dump already in progress")
+            self._dumping = True
+            self._seq += 1
+            seq = self._seq
+            wall = self._clock()
+            self._last_dump_wall = wall
+        try:
+            payload = self._snapshot(reason, trigger, wall)
+            os.makedirs(self.directory, exist_ok=True)
+            slug = reason.replace(".", "-").replace("/", "-") or "manual"
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(wall))
+            path = os.path.join(self.directory, f"flight-{stamp}-{seq:04d}-{slug}.json")
+            with open(path, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, sort_keys=True, indent=2, default=str)
+                fp.write("\n")
+            self.dumps.append(path)
+        finally:
+            with self._lock:
+                self._dumping = False
+        self.telemetry.emit(EVT_FLIGHT_DUMPED, severity="info", reason=reason, path=path)
+        return path
+
+    def _snapshot(self, reason: str, trigger: Optional[Event], wall: float) -> dict:
+        tracer = self.telemetry.tracer
+        finished = tracer.finished_spans()[-self.max_spans :]
+        # The listener runs on the emitting thread, so that thread's span
+        # stack is exactly the work in flight around the anomaly.
+        stack = getattr(tracer, "_stack", None)
+        open_spans = [s.to_dict() for s in stack()] if callable(stack) else []
+        payload: dict = {
+            "format": "trac-flight-v1",
+            "reason": reason,
+            "wall": wall,
+            "trigger": trigger.to_dict() if trigger is not None else None,
+            "events": [
+                e.to_dict() for e in self.telemetry.events.tail(self.max_events)
+            ],
+            "events_dropped": self.telemetry.events.dropped,
+            "spans": [s.to_dict() for s in finished],
+            "open_spans": open_spans,
+            "metrics": metrics_snapshot(self.telemetry.metrics),
+        }
+        if self.health is not None:
+            payload["health"] = self.health.to_dict()
+        if self.slo is not None:
+            payload["slo"] = self.slo.status().to_dict()
+            payload["lag_series"] = {
+                source: [[t, lag] for t, lag in series]
+                for source, series in self.slo.lag_series().items()
+            }
+        return payload
+
+    def __repr__(self) -> str:
+        state = "installed" if self._installed else "detached"
+        return (
+            f"FlightRecorder({self.directory!r}, {state}, "
+            f"dumps={len(self.dumps)}, triggers={sorted(self.triggers)})"
+        )

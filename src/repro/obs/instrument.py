@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
+from repro.obs.events import NULL_EVENT_LOG, Event, EventLog
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -67,6 +68,9 @@ FAULTS_INJECTED = "trac_faults_injected_total"
 BREAKER_TRANSITIONS = "trac_sniffer_breaker_transitions_total"
 MONITOR_RULE_SECONDS = "trac_monitor_rule_seconds"
 MONITOR_TRIPS = "trac_monitor_trips_total"
+SOURCE_LAG = "trac_source_lag_seconds"
+SLO_BURN = "trac_slo_error_budget_burn"
+EVENTS_EMITTED = "trac_events_emitted_total"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -76,35 +80,71 @@ LAG_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0, 900.0, 3600.0)
 
 
 class Telemetry:
-    """A live tracer + metrics registry pair."""
+    """A live tracer + metrics registry + event log triple."""
 
-    __slots__ = ("tracer", "metrics", "enabled")
+    __slots__ = ("tracer", "metrics", "events", "enabled")
 
     def __init__(self) -> None:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.events = EventLog()
         self.enabled = True
 
+    def emit(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        source: Optional[str] = None,
+        severity: str = "info",
+        **attributes: Any,
+    ) -> Optional[Event]:
+        """Record a structured event, correlated with the emitting thread's
+        innermost open span (see :mod:`repro.obs.events`)."""
+        span = self.tracer.current_span()
+        self.metrics.counter(
+            EVENTS_EMITTED, {"event": name}, help="Structured events emitted"
+        ).inc()
+        return self.events.emit(
+            name,
+            t=t,
+            source=source,
+            severity=severity,
+            span_id=span.span_id if span is not None else None,
+            **attributes,
+        )
+
     def reset(self) -> None:
-        """Clear collected spans and every metric."""
+        """Clear collected spans, every metric, and retained events."""
         self.tracer.reset()
         self.metrics.reset()
+        self.events.clear()
 
     def __repr__(self) -> str:
         return (
             f"Telemetry(spans={len(self.tracer.finished_spans())}, "
-            f"metrics={len(self.metrics)})"
+            f"metrics={len(self.metrics)}, events={len(self.events)})"
         )
 
 
 class _NullTelemetry:
-    """The disabled telemetry: shared no-op tracer and registry."""
+    """The disabled telemetry: shared no-op tracer, registry and event log."""
 
     __slots__ = ()
 
     tracer = NULL_TRACER
     metrics = NULL_REGISTRY
+    events = NULL_EVENT_LOG
     enabled = False
+
+    def emit(
+        self,
+        name: str,
+        t: Optional[float] = None,
+        source: Optional[str] = None,
+        severity: str = "info",
+        **attributes: Any,
+    ) -> None:
+        return None
 
     def reset(self) -> None:
         pass
@@ -315,6 +355,23 @@ def record_breaker_transition(tel, machine: str, state: str) -> None:
         {"machine": machine, "state": state},
         help="Per-source circuit breaker state transitions",
     ).inc()
+
+
+def record_source_lag(tel, source: str, lag: float) -> None:
+    tel.metrics.histogram(
+        SOURCE_LAG,
+        {"source": source},
+        buckets=LAG_BUCKETS,
+        help="Per-source recency lag sampled by the simulator loop",
+    ).observe(lag)
+
+
+def record_slo_burn(tel, source: str, burn: float) -> None:
+    tel.metrics.gauge(
+        SLO_BURN,
+        {"source": source},
+        help="Staleness-SLO error-budget burn rate (>= 1 means breached)",
+    ).set(burn)
 
 
 def record_rule_evaluation(tel, rule: str, seconds: float, trips: int) -> None:

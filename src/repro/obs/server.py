@@ -1,0 +1,261 @@
+"""The observatory HTTP server: live, scrapeable telemetry endpoints.
+
+A dependency-free threaded HTTP server (stdlib ``http.server`` only)
+exposing one :class:`~repro.obs.instrument.Telemetry` instance:
+
+========== ==================================== ===========================
+path       content type                         body
+========== ==================================== ===========================
+/metrics   text/plain; version=0.0.4            Prometheus exposition of
+                                                every registered metric
+/healthz   application/json                     overall status, per-source
+                                                health entries, breaker
+                                                states, degraded list
+/spans     application/x-ndjson                 recent finished spans, one
+                                                JSON object per line
+                                                (``?limit=N``, default 500)
+/events    application/x-ndjson                 recent events, one JSON
+                                                object per line
+                                                (``?limit=N``, default 500)
+/status    application/json                     full dashboard payload
+                                                (what ``trac top`` polls)
+========== ==================================== ===========================
+
+Unknown paths return 404 with a JSON body listing the endpoints. The
+server runs on daemon threads (``ThreadingHTTPServer``) so it never
+blocks interpreter exit; ``port=0`` binds an ephemeral port, exposed via
+:attr:`ObservatoryServer.port`. Start one with ``obs.serve()``, ``trac
+serve``, or ``trac simulate --serve PORT``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.export import prometheus_text, write_spans_jsonl
+from repro.obs.events import write_events_jsonl
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
+
+_DEFAULT_TAIL = 500
+
+
+class _ObservatoryHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ObservatoryServer` via a
+    per-instance subclass (the stdlib API offers no cleaner hook)."""
+
+    observatory: "ObservatoryServer"  # set on the generated subclass
+    server_version = "TracObservatory/1.0"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapers poll every few seconds; stderr must stay quiet
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _limit(self, query: Dict[str, list]) -> int:
+        try:
+            return max(0, int(query.get("limit", [_DEFAULT_TAIL])[0]))
+        except (TypeError, ValueError):
+            return _DEFAULT_TAIL
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        obs = self.observatory
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        path = parsed.path.rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._send(
+                    200, PROMETHEUS_CONTENT_TYPE, prometheus_text(obs.telemetry.metrics)
+                )
+            elif path == "/healthz":
+                self._send(
+                    200, JSON_CONTENT_TYPE, json.dumps(obs.healthz(), sort_keys=True)
+                )
+            elif path == "/spans":
+                import io
+
+                buffer = io.StringIO()
+                spans = obs.telemetry.tracer.finished_spans()
+                limit = self._limit(query)
+                write_spans_jsonl(spans[-limit:] if limit else [], buffer)
+                self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
+            elif path == "/events":
+                import io
+
+                buffer = io.StringIO()
+                write_events_jsonl(
+                    obs.telemetry.events.tail(self._limit(query)), buffer
+                )
+                self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
+            elif path == "/status":
+                self._send(
+                    200, JSON_CONTENT_TYPE, json.dumps(obs.status(), sort_keys=True)
+                )
+            else:
+                body = json.dumps(
+                    {
+                        "error": f"unknown path {parsed.path!r}",
+                        "endpoints": ["/metrics", "/healthz", "/spans", "/events", "/status"],
+                    }
+                )
+                self._send(404, JSON_CONTENT_TYPE, body)
+        except BrokenPipeError:
+            pass  # scraper hung up mid-response
+        except Exception as exc:  # observability must not crash the host
+            try:
+                self._send(
+                    500,
+                    JSON_CONTENT_TYPE,
+                    json.dumps({"error": f"{type(exc).__name__}: {exc}"}),
+                )
+            except Exception:
+                pass
+
+
+class ObservatoryServer:
+    """Threaded HTTP server exposing one telemetry instance.
+
+    Parameters
+    ----------
+    telemetry:
+        The :class:`~repro.obs.instrument.Telemetry` to expose.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port.
+    health:
+        Optional :class:`~repro.core.health.SourceHealth` for ``/healthz``.
+    breakers:
+        Optional zero-argument callable returning ``{source: state}`` for
+        the supervisor's circuit breakers.
+    status_provider:
+        Optional zero-argument callable returning the ``/status`` payload
+        (the dashboard document); defaults to a minimal summary.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health=None,
+        breakers: Optional[Callable[[], Dict[str, str]]] = None,
+        status_provider: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.telemetry = telemetry
+        self.health = health
+        self.breakers = breakers
+        self.status_provider = status_provider
+        handler = type(
+            "BoundObservatoryHandler", (_ObservatoryHandler,), {"observatory": self}
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ObservatoryServer":
+        """Serve on a daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"trac-observatory-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObservatoryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- payloads -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` document."""
+        out: dict = {"status": "ok"}
+        if self.health is not None:
+            snapshot = self.health.to_dict()
+            out["sources"] = snapshot
+            degraded = sorted(
+                sid for sid, entry in snapshot.items() if entry["status"] == "degraded"
+            )
+            out["degraded"] = degraded
+            if degraded:
+                out["status"] = "degraded"
+        else:
+            out["sources"] = {}
+            out["degraded"] = []
+        if self.breakers is not None:
+            out["breakers"] = dict(self.breakers())
+        events = self.telemetry.events
+        out["events"] = {"retained": len(events), "total": events.total}
+        return out
+
+    def status(self) -> dict:
+        """The ``/status`` document (dashboard payload)."""
+        if self.status_provider is not None:
+            return self.status_provider()
+        return {"healthz": self.healthz()}
+
+    def __repr__(self) -> str:
+        running = "running" if self._thread is not None else "stopped"
+        return f"ObservatoryServer({self.url}, {running})"
+
+
+def serve(
+    telemetry=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    health=None,
+    breakers: Optional[Callable[[], Dict[str, str]]] = None,
+    status_provider: Optional[Callable[[], dict]] = None,
+) -> ObservatoryServer:
+    """Start an :class:`ObservatoryServer` for ``telemetry`` (the process
+    default when omitted) and return it already serving."""
+    if telemetry is None:
+        from repro.obs.instrument import get_default
+
+        telemetry = get_default()
+    server = ObservatoryServer(
+        telemetry,
+        host=host,
+        port=port,
+        health=health,
+        breakers=breakers,
+        status_provider=status_provider,
+    )
+    return server.start()

@@ -13,6 +13,9 @@ Dot-commands::
     .naive SQL         run one report with the Naive method
     .plain SQL         run the bare query, no recency report
     .stats             telemetry summary: spans, counters, histograms
+    .events [N]        the last N structured telemetry events (default 20)
+    .flight [DIR]      dump a manual flight-recorder snapshot to DIR
+                       (default ./trac-flight)
     .save TEMP NAME    copy a session temp table to a permanent table
     .help              this text
     .quit              leave (dropping session temp tables)
@@ -102,6 +105,10 @@ class Shell:
             self._sources()
         elif command == ".stats":
             self._say(obs.render_summary(self.telemetry, max_spans=3))
+        elif command == ".events":
+            self._events(rest)
+        elif command == ".flight":
+            self._flight(rest)
         elif command == ".plan":
             if not rest:
                 self._say("usage: .plan SELECT ...")
@@ -121,6 +128,37 @@ class Shell:
             self._say(f"saved {parts[0]} as {parts[1]}")
         else:
             self._say(f"unknown command {command!r}; try .help")
+
+    def _events(self, rest: str) -> None:
+        try:
+            limit = int(rest) if rest else 20
+        except ValueError:
+            self._say("usage: .events [N]")
+            return
+        events = self.telemetry.events.tail(limit)
+        if not events:
+            self._say("no events recorded in this session")
+            return
+        for event in events:
+            where = f" source={event.source}" if event.source else ""
+            when = f" t={event.t:g}" if event.t is not None else ""
+            attrs = (
+                " " + ", ".join(f"{k}={v}" for k, v in sorted(event.attributes.items()))
+                if event.attributes
+                else ""
+            )
+            self._say(f"  #{event.seq} [{event.severity}] {event.name}{where}{when}{attrs}")
+        dropped = self.telemetry.events.dropped
+        if dropped:
+            self._say(f"  ({dropped} older event(s) rotated out of the ring)")
+
+    def _flight(self, rest: str) -> None:
+        from repro.obs.flight import FlightRecorder
+
+        directory = rest or "trac-flight"
+        recorder = FlightRecorder(self.telemetry, directory)
+        path = recorder.dump(reason="manual")
+        self._say(f"flight dump written to {path}")
 
     def _sources(self) -> None:
         heartbeats = self.backend.heartbeat_rows()

@@ -1,5 +1,6 @@
 """Exporter tests: JSONL round-trip, Prometheus format + escaping, summary."""
 
+import io
 import math
 
 import pytest
@@ -10,6 +11,7 @@ from repro.obs import (
     MetricsRegistry,
     Telemetry,
     Tracer,
+    metrics_snapshot,
     parse_prometheus_text,
     phase_durations,
     prometheus_text,
@@ -17,6 +19,7 @@ from repro.obs import (
     span_name_aggregates,
     spans_from_jsonl,
     spans_to_jsonl,
+    write_spans_jsonl,
 )
 
 
@@ -50,6 +53,33 @@ class TestJsonl:
     def test_non_object_line_raises(self):
         with pytest.raises(TracError, match="not an object"):
             spans_from_jsonl("[1, 2, 3]")
+
+
+class TestWriteSpansJsonl:
+    def test_streams_newline_terminated_lines(self):
+        spans = make_spans()
+        buffer = io.StringIO()
+        assert write_spans_jsonl(spans, buffer) == len(spans)
+        text = buffer.getvalue()
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == len(spans)
+        assert spans_from_jsonl(text) == [s.to_dict() for s in spans]
+
+    def test_empty_iterable_writes_nothing(self):
+        buffer = io.StringIO()
+        assert write_spans_jsonl([], buffer) == 0
+        assert buffer.getvalue() == ""
+
+    def test_string_form_delegates(self):
+        """spans_to_jsonl is the streaming writer minus the trailing newline."""
+        spans = make_spans()
+        buffer = io.StringIO()
+        write_spans_jsonl(spans, buffer)
+        assert spans_to_jsonl(spans) == buffer.getvalue().removesuffix("\n")
+
+    def test_accepts_a_generator(self):
+        buffer = io.StringIO()
+        assert write_spans_jsonl(iter(make_spans()), buffer) == 2
 
 
 class TestPrometheusRender:
@@ -118,6 +148,65 @@ class TestPrometheusParse:
     def test_malformed_line_raises(self):
         with pytest.raises(TracError, match="line 1"):
             parse_prometheus_text("not a sample line at all")
+
+    @pytest.mark.parametrize(
+        "tricky",
+        [
+            "trailing backslash \\",
+            'all three: \\ " \n together',
+            'nested escapes \\" \\n \\\\',
+            "brace } and { inside",
+            'comma,separated="fake"',
+            "",
+        ],
+        ids=["backslash", "mixed", "pre-escaped", "braces", "comma-eq", "empty"],
+    )
+    def test_adversarial_label_values_round_trip(self, tricky):
+        registry = MetricsRegistry()
+        registry.counter("c", {"sql": tricky, "plain": "x"}).inc(2)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("c", (("plain", "x"), ("sql", tricky)))] == 2
+
+    def test_adversarial_labels_on_histograms(self):
+        registry = MetricsRegistry()
+        tricky = 'SELECT "a\\b"\nFROM t'
+        h = registry.histogram("lat", {"sql": tricky}, buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(5.0)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("lat_bucket", (("sql", tricky), ("le", "1")))] == 1
+        assert samples[("lat_bucket", (("sql", tricky), ("le", "+Inf")))] == 2
+        assert samples[("lat_count", (("sql", tricky),))] == 2
+
+    def test_infinite_gauge_values_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("up").set(math.inf)
+        registry.gauge("down").set(-math.inf)
+        text = prometheus_text(registry)
+        assert "\nup +Inf" in text and "\ndown -Inf" in text
+        samples = parse_prometheus_text(text)
+        assert samples[("up", ())] == math.inf
+        assert samples[("down", ())] == -math.inf
+
+
+class TestMetricsSnapshot:
+    def test_structured_buckets(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("hits", {"b": "x"}).inc(2)
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        snapshot = metrics_snapshot(registry)
+        json.dumps(snapshot)  # flight dumps embed this verbatim
+        by_name = {entry["name"]: entry for entry in snapshot}
+        assert by_name["hits"]["value"] == 2
+        assert by_name["hits"]["labels"] == {"b": "x"}
+        assert by_name["lat"]["buckets"] == [["1", 1], ["+Inf", 1]]
+        assert by_name["lat"]["count"] == 1
+
+    def test_empty_registry(self):
+        assert metrics_snapshot(MetricsRegistry()) == []
 
 
 class TestSpanAggregates:

@@ -1,0 +1,132 @@
+"""The observatory HTTP server, scraped over real sockets."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.health import DEGRADED, HEALTHY, SourceHealth
+from repro.obs import Telemetry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObservatoryServer, serve
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read().decode(
+            "utf-8"
+        )
+
+
+@pytest.fixture()
+def telemetry():
+    tel = Telemetry()
+    tel.metrics.counter("trac_probe_total", help="probe").inc(3)
+    with tel.tracer.span("work", machine="m1"):
+        pass
+    tel.emit("sniffer.retry", source="m1", severity="warning", attempt=1)
+    return tel
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus_text(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            status, ctype, body = get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "trac_probe_total 3" in body
+
+    def test_healthz_reports_degraded_sources(self, telemetry):
+        health = SourceHealth()
+        health.mark("m1", HEALTHY)
+        health.mark("m2", DEGRADED, reason="silent", at=40.0)
+        breakers = lambda: {"m1": "closed", "m2": "open"}  # noqa: E731
+        with ObservatoryServer(telemetry, health=health, breakers=breakers) as server:
+            _, ctype, body = get(server.url + "/healthz")
+        assert ctype.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["status"] == "degraded"
+        assert doc["degraded"] == ["m2"]
+        assert doc["sources"]["m2"]["reason"] == "silent"
+        assert doc["breakers"] == {"m1": "closed", "m2": "open"}
+        assert doc["events"]["total"] == 1
+
+    def test_healthz_without_health_registry_is_ok(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            doc = json.loads(get(server.url + "/healthz")[2])
+        assert doc["status"] == "ok"
+        assert doc["sources"] == {}
+
+    def test_spans_ndjson_with_limit(self, telemetry):
+        for i in range(5):
+            with telemetry.tracer.span(f"extra{i}"):
+                pass
+        with ObservatoryServer(telemetry) as server:
+            _, ctype, body = get(server.url + "/spans?limit=2")
+        assert ctype.startswith("application/x-ndjson")
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [s["name"] for s in lines] == ["extra3", "extra4"]
+
+    def test_events_ndjson(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            _, _, body = get(server.url + "/events")
+        records = [json.loads(line) for line in body.splitlines()]
+        assert [r["name"] for r in records] == ["sniffer.retry"]
+        assert records[0]["attributes"] == {"attempt": 1}
+
+    def test_status_uses_the_provider(self, telemetry):
+        provider = lambda: {"now": 42.0, "sources": []}  # noqa: E731
+        with ObservatoryServer(telemetry, status_provider=provider) as server:
+            doc = json.loads(get(server.url + "/status")[2])
+        assert doc == {"now": 42.0, "sources": []}
+
+    def test_status_defaults_to_healthz_wrapper(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            doc = json.loads(get(server.url + "/status")[2])
+        assert doc["healthz"]["status"] == "ok"
+
+    def test_unknown_path_is_404_with_endpoint_list(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/nope")
+            assert excinfo.value.code == 404
+            doc = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "/metrics" in doc["endpoints"]
+
+    def test_bad_limit_falls_back_to_default(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            status, _, _ = get(server.url + "/events?limit=bogus")
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, telemetry):
+        server = ObservatoryServer(telemetry, port=0)
+        assert server.port != 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+        server.stop()
+
+    def test_start_is_idempotent_and_stop_releases(self, telemetry):
+        server = ObservatoryServer(telemetry).start()
+        assert server.start() is server
+        port = server.port
+        server.stop()
+        # Port is free again: a new server can bind it.
+        rebound = ObservatoryServer(telemetry, port=port)
+        rebound.stop()
+
+    def test_serve_helper_returns_running_server(self, telemetry):
+        server = serve(telemetry)
+        try:
+            assert get(server.url + "/metrics")[0] == 200
+        finally:
+            server.stop()
+
+    def test_obs_namespace_serve_is_lazy(self, telemetry):
+        from repro import obs
+
+        server = obs.serve(telemetry)
+        try:
+            assert get(server.url + "/healthz")[0] == 200
+        finally:
+            server.stop()

@@ -241,3 +241,117 @@ class TestStats:
         )
         assert code == 0
         assert "method=naive" in capsys.readouterr().out
+
+
+class TestObservatory:
+    def test_simulate_with_serve_and_flight_dir(self, tmp_path, capsys):
+        plan = tmp_path / "faults.json"
+        plan.write_text(
+            '{"seed": 7, "faults": [{"kind": "silence", "source": "m2", "start": 5}]}'
+        )
+        flights = tmp_path / "flights"
+        code = main(
+            [
+                "simulate",
+                "--db", str(tmp_path / "g.sqlite"),
+                "--machines", "4",
+                "--duration", "400",
+                "--faults", str(plan),
+                "--silence-timeout", "30",
+                "--serve", "0",
+                "--flight-dir", str(flights),
+                "--slo-target", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "observatory serving on http://127.0.0.1:" in out
+        assert "staleness SLO" in out
+        assert "BREACHED" in out
+        assert "flight recorder:" in out
+        assert list(flights.glob("flight-*.json"))
+
+    def test_simulate_serve_disables_telemetry_afterwards(self, tmp_path, capsys):
+        from repro import obs
+
+        main(
+            [
+                "simulate",
+                "--db", str(tmp_path / "g.sqlite"),
+                "--machines", "3",
+                "--duration", "50",
+                "--serve", "0",
+            ]
+        )
+        assert not obs.get_default().enabled
+
+    def test_simulate_top_renders_frames(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--db", str(tmp_path / "g.sqlite"),
+                "--machines", "3",
+                "--duration", "120",
+                "--top",
+                "--top-interval", "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trac top" in out
+        assert "m1" in out
+
+    def test_serve_exposes_database_status(self, grid_db, capsys):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        db, _ = grid_db
+        result = {}
+
+        def run():
+            result["code"] = main(["serve", "--db", db, "--port", "0", "--duration", "3"])
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        url = None
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and url is None:
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if " on http://" in line:
+                    url = line.split(" on ", 1)[1].split()[0]
+            time.sleep(0.02)
+        assert url, "serve never announced its URL"
+        with urllib.request.urlopen(url + "/status", timeout=5.0) as response:
+            doc = json.loads(response.read().decode("utf-8"))
+        assert doc["sources"], "status document must list the DB's sources"
+        assert {"id", "state", "recency", "age"} <= set(doc["sources"][0])
+        thread.join(timeout=10.0)
+        assert result["code"] == 0
+
+    def test_top_polls_a_live_server(self, capsys):
+        from repro.obs import Telemetry
+        from repro.obs.server import ObservatoryServer
+
+        status = {"now": 9.0, "sources": [{"id": "m1", "state": "healthy"}]}
+        with ObservatoryServer(Telemetry(), status_provider=lambda: status) as server:
+            code = main(
+                [
+                    "top",
+                    "--url", server.url,
+                    "--iterations", "2",
+                    "--interval", "0.01",
+                    "--no-clear",
+                ]
+            )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("trac top") == 2
+        assert "m1" in out
+
+    def test_top_unreachable_server_fails(self, capsys):
+        code = main(["top", "--url", "http://127.0.0.1:9", "--iterations", "1"])
+        assert code == 1
+        assert "trac top:" in capsys.readouterr().out

@@ -75,3 +75,12 @@ class TestExamples:
         assert "ALERT [exceptional]" in out
         assert "sensor07" in out
         assert "minimal relevant set: {'sensor12'}" in out
+
+    def test_observatory_tour(self):
+        out = run_example("observatory_tour.py")
+        assert "observatory serving on http://" in out
+        assert "scraped /metrics" in out
+        assert "degraded=['m2']" in out
+        assert "trac top" in out
+        assert "flight dump: trigger=watchdog.silence source=m2" in out
+        assert "staleness SLO (p95 < 25s): BREACHED" in out

@@ -1,0 +1,115 @@
+"""Acceptance: `trac simulate --serve --faults` is scrapeable mid-run and
+an injected silence produces a complete flight dump.
+
+The child runs with ``--top`` writing dashboard frames to a pipe we do not
+drain until after scraping: pipe backpressure keeps the simulation alive
+(blocked mid-loop) while urllib hits the live observatory, so the mid-run
+scrape cannot race a fast run to completion.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+PLAN = {"seed": 7, "faults": [{"kind": "silence", "source": "m2", "start": 5}]}
+
+
+def scrape(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.headers.get("Content-Type"), response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def observatory_run(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps(PLAN))
+    flights = tmp_path / "flights"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.cli", "simulate",
+            "--db", str(tmp_path / "grid.sqlite"),
+            "--machines", "4",
+            "--duration", "5000",
+            "--faults", str(plan_path),
+            "--silence-timeout", "30",
+            "--serve", "0",
+            "--flight-dir", str(flights),
+            "--slo-target", "10",
+            "--top", "--top-interval", "5",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        yield process, flights
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=30)
+
+
+def test_live_scrape_and_flight_dump(observatory_run):
+    process, flights = observatory_run
+
+    # The URL line is printed before the simulation loop starts.
+    first = process.stdout.readline()
+    assert first.startswith("observatory serving on http://"), first
+    url = first.split()[-1]
+
+    # Mid-run (the undrained --top pipe keeps the child alive): /metrics
+    # must be live Prometheus text and grow the per-source lag histogram.
+    deadline = time.monotonic() + 30.0
+    lag_seen = False
+    while time.monotonic() < deadline:
+        ctype, body = scrape(url + "/metrics")
+        assert ctype.startswith("text/plain; version=0.0.4")
+        if "trac_source_lag_seconds" in body:
+            lag_seen = True
+            break
+        time.sleep(0.05)
+    assert lag_seen, "lag histogram never appeared in /metrics mid-run"
+    assert process.poll() is None, "child exited before the mid-run scrape finished"
+
+    # /healthz is live too, and eventually shows m2 degraded by the watchdog.
+    deadline = time.monotonic() + 30.0
+    healthz = {}
+    while time.monotonic() < deadline:
+        healthz = json.loads(scrape(url + "/healthz")[1])
+        if "m2" in healthz.get("degraded", []):
+            break
+        time.sleep(0.05)
+    assert healthz["status"] == "degraded"
+    assert healthz["sources"]["m2"]["status"] == "degraded"
+    assert "breakers" in healthz
+
+    # Drain the pipe so the run can finish, then wait for a clean exit.
+    stdout, stderr = process.communicate(timeout=120)
+    assert process.returncode == 0, stderr
+    assert "staleness SLO" in stdout
+    assert "flight recorder:" in stdout
+
+    # The injected silence produced a flight dump with the triggering
+    # event, correlated spans, and the degraded source's lag series.
+    dumps = sorted(flights.glob("flight-*.json"))
+    assert dumps, stdout
+    doc = json.loads(dumps[0].read_text())
+    assert doc["format"] == "trac-flight-v1"
+    assert doc["trigger"]["name"] == "watchdog.silence"
+    assert doc["trigger"]["source"] == "m2"
+    assert any(e["name"] == "watchdog.silence" and e["source"] == "m2" for e in doc["events"])
+    span_names = {s["name"] for s in doc["spans"]}
+    assert "sniffer.poll" in span_names
+    assert doc["lag_series"]["m2"], "degraded source must carry its lag series"
+    assert doc["slo"]["target_p95"] == 10.0
+    assert doc["health"], "health registry must be embedded"

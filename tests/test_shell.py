@@ -212,3 +212,51 @@ class TestStatsCommand:
         assert paper_memory_backend.telemetry is sh.telemetry
         sh.close()
         assert paper_memory_backend.telemetry is saved
+
+
+class TestEventsCommand:
+    def test_no_events_yet(self, shell):
+        sh, output = shell
+        sh.handle(".events")
+        assert "no events recorded" in text_of(output)
+
+    def test_lists_recent_events(self, shell):
+        sh, output = shell
+        sh.telemetry.emit("sniffer.retry", t=3.0, source="m2", severity="warning", attempt=1)
+        sh.telemetry.emit("source.degraded", source="m2", severity="error", reason="silent")
+        sh.handle(".events")
+        text = text_of(output)
+        assert "[warning] sniffer.retry source=m2 t=3 attempt=1" in text
+        assert "[error] source.degraded source=m2 reason=silent" in text
+
+    def test_limit_argument(self, shell):
+        sh, output = shell
+        for i in range(5):
+            sh.telemetry.emit("e", index=i)
+        sh.handle(".events 2")
+        text = text_of(output)
+        assert "index=4" in text and "index=3" in text
+        assert "index=2" not in text
+
+    def test_bad_limit_shows_usage(self, shell):
+        sh, output = shell
+        sh.handle(".events two")
+        assert "usage: .events" in text_of(output)
+
+
+class TestFlightCommand:
+    def test_manual_dump(self, shell, tmp_path):
+        import json
+
+        sh, output = shell
+        sh.telemetry.emit("probe", source="m1")
+        directory = str(tmp_path / "dumps")
+        sh.handle(f".flight {directory}")
+        text = text_of(output)
+        assert "flight dump written to" in text
+        path = text.split("flight dump written to", 1)[1].strip().splitlines()[0]
+        with open(path, encoding="utf-8") as fp:
+            doc = json.load(fp)
+        assert doc["format"] == "trac-flight-v1"
+        assert doc["reason"] == "manual"
+        assert any(e["name"] == "probe" for e in doc["events"])

@@ -13,11 +13,14 @@ first-principles bound instead of a before/after diff:
 
 1. time one disabled-telemetry report on a small paper workload
    (``t_report``, warm-up discarded, mean of the rest);
-2. microbenchmark the two disabled-path primitives in isolation:
-   a full no-op ``PhaseTimer`` cycle (construct + enter + exit) and a
-   ``resolve()`` + ``enabled`` branch;
+2. microbenchmark the disabled-path primitives in isolation:
+   a full no-op ``PhaseTimer`` cycle (construct + enter + exit), a
+   ``resolve()`` + ``enabled`` branch, and the event-emission guard
+   (the ``enabled`` branch in front of every ``tel.emit`` call — with
+   telemetry disabled the ``NullEventLog`` is never even reached);
 3. overhead_bound = (timers_per_report * t_timer
-                     + checks_per_report * t_check) / t_report
+                     + checks_per_report * t_check
+                     + events_per_report * t_event) / t_report
 
 The per-report primitive counts are deliberate over-estimates, so the
 reported percentage is an upper bound. Enabled-telemetry timing is printed
@@ -37,6 +40,7 @@ from typing import Callable
 from repro import obs
 from repro.core.report import RecencyReporter
 from repro.backends.memory import MemoryBackend
+from repro.obs.events import NULL_EVENT_LOG, NullEventLog
 from repro.obs.instrument import NULL_TELEMETRY, PhaseTimer
 from repro.workload.generator import (
     WorkloadConfig,
@@ -51,6 +55,9 @@ from repro.workload.queries import paper_queries, query_machine_indexes
 #: of ``enabled`` branches per query (3 queries per report).
 TIMERS_PER_REPORT = 8
 CHECKS_PER_REPORT = 64
+#: Event-emission guard sites a report-with-simulation tick could cross
+#: (sniffer retries, breaker transitions, exceptional sources, ...).
+EVENTS_PER_REPORT = 16
 
 MICRO_LOOPS = 200_000
 
@@ -88,6 +95,38 @@ def time_enabled_check() -> float:
     return (time.perf_counter() - start) / MICRO_LOOPS
 
 
+def time_event_guard() -> float:
+    """Seconds per disabled event-emission site.
+
+    Every instrumented emitter guards ``tel.emit(...)`` behind
+    ``tel.enabled`` — the NullEmitter pattern: with telemetry off the
+    branch is the whole cost and the event log is never touched. This
+    times exactly that guard (resolve + branch; the emit is never
+    reached, mirroring the real call sites).
+    """
+    start = time.perf_counter()
+    emitted = 0
+    for _ in range(MICRO_LOOPS):
+        tel = obs.resolve(None)
+        if tel.enabled:
+            tel.emit("overhead.probe", severity="debug")
+            emitted += 1
+    assert emitted == 0, "telemetry unexpectedly enabled during microbench"
+    return (time.perf_counter() - start) / MICRO_LOOPS
+
+
+def assert_null_event_log() -> None:
+    """Structural check: disabled telemetry shares the inert event log."""
+    assert isinstance(NULL_TELEMETRY.events, NullEventLog), (
+        "disabled telemetry must use the NullEventLog"
+    )
+    assert NULL_TELEMETRY.events is NULL_EVENT_LOG, (
+        "disabled telemetry must share the singleton NULL_EVENT_LOG"
+    )
+    assert NULL_TELEMETRY.events.emit("probe") is None
+    assert len(NULL_TELEMETRY.events) == 0, "NullEventLog must never retain events"
+
+
 def build_reporter(num_sources: int, data_ratio: int) -> RecencyReporter:
     catalog = workload_catalog(num_sources)
     backend = MemoryBackend(catalog)
@@ -111,11 +150,17 @@ def main(argv=None) -> int:
     reporter = build_reporter(args.num_sources, args.data_ratio)
     sql = paper_queries(args.num_sources)["Q1"]
 
+    assert_null_event_log()
     t_report = _mean_seconds(lambda: reporter.report(sql, method="focused"), args.runs)
     t_timer = time_phase_timer_cycle()
     t_check = time_enabled_check()
+    t_event = time_event_guard()
 
-    bound = TIMERS_PER_REPORT * t_timer + CHECKS_PER_REPORT * t_check
+    bound = (
+        TIMERS_PER_REPORT * t_timer
+        + CHECKS_PER_REPORT * t_check
+        + EVENTS_PER_REPORT * t_event
+    )
     overhead_pct = 100.0 * bound / t_report
 
     # Informational: the *enabled* path is allowed to be slower.
@@ -129,9 +174,10 @@ def main(argv=None) -> int:
     print(f"  disabled report time        : {t_report * 1e3:9.3f} ms")
     print(f"  no-op PhaseTimer cycle      : {t_timer * 1e9:9.1f} ns")
     print(f"  resolve+enabled branch      : {t_check * 1e9:9.1f} ns")
+    print(f"  disabled event-emit guard   : {t_event * 1e9:9.1f} ns")
     print(
-        f"  bound ({TIMERS_PER_REPORT} timers + {CHECKS_PER_REPORT} checks)"
-        f" : {bound * 1e6:9.2f} us/report"
+        f"  bound ({TIMERS_PER_REPORT} timers + {CHECKS_PER_REPORT} checks"
+        f" + {EVENTS_PER_REPORT} events) : {bound * 1e6:9.2f} us/report"
     )
     print(f"  disabled-path overhead bound: {overhead_pct:9.3f} %  (budget {args.threshold}%)")
     print(f"  enabled report time (info)  : {t_enabled * 1e3:9.3f} ms")
