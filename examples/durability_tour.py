@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Crash-safe durability end to end: journal, kill, recover, verify.
+
+The monitoring database the paper cares about is long-lived; the processes
+feeding it are not. This tour runs a durable grid simulation, "crashes" it
+mid-run (abandoning the process state, exactly what SIGKILL leaves behind),
+resumes from the write-ahead log and checkpoint, and shows that the
+survivor is byte-identical to a run that never crashed. It closes with the
+torn-tail contract: a journal cut mid-frame yields its valid prefix, never
+an exception.
+
+Run:  python examples/durability_tour.py
+"""
+
+import os
+import tempfile
+
+from repro.backends.memory import MemoryBackend
+from repro.durable import DurabilityManager, DurabilityPolicy, recover
+from repro.durable.wal import FrameWriter, scan_frames
+from repro.grid.simulator import GridSimulator, SimulationConfig, monitoring_catalog
+
+SEED = 2006
+MACHINES = 6
+CRASH_AT = 150.0
+TOTAL = 300.0
+
+
+def database_state(backend, catalog):
+    state = {
+        schema.name: sorted(backend.execute(f"SELECT * FROM {schema.name}").rows)
+        for schema in catalog.monitored_tables()
+    }
+    state["heartbeat"] = sorted(backend.heartbeat_rows())
+    return state
+
+
+def durable_policy():
+    # fsync="always" acknowledges every record; checkpoints every 60
+    # simulated seconds bound how much WAL a recovery has to replay.
+    return DurabilityPolicy(fsync="always", checkpoint_interval=60.0)
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="trac-durability-tour-")
+    config = SimulationConfig(num_machines=MACHINES, seed=SEED)
+
+    print(f"--- Part 1: a journaled run (data dir: {data_dir}) ---")
+    manager = DurabilityManager(data_dir, policy=durable_policy())
+    sim = GridSimulator(config, durability=manager)
+    sim.run(CRASH_AT)
+    stats = manager.stats()
+    print(f"  simulated {sim.now:.0f}s of grid activity")
+    print(
+        f"  journal: {stats['wal_records']} WAL records, "
+        f"{stats['checkpoints_written']} checkpoints (epoch {stats['epoch']})"
+    )
+    artifacts = sorted(
+        n for n in os.listdir(data_dir) if n.endswith((".wal", ".json"))
+    )
+    print(f"  on disk: {', '.join(artifacts)}")
+
+    print("\n--- Part 2: crash and resume ---")
+    # No close(), no final checkpoint: this is what SIGKILL leaves behind.
+    del sim, manager
+    resumed_manager = DurabilityManager(data_dir, policy=durable_policy(), resume=True)
+    resumed = GridSimulator(config, durability=resumed_manager)
+    summary = resumed_manager.recovered.summary()
+    print(
+        f"  recovered epoch {summary['epoch']} at t={resumed.now:.0f}s: "
+        f"{summary['replayed_events']} events and "
+        f"{summary['replayed_heartbeats']} heartbeats replayed from "
+        f"{summary['segments']} WAL segment(s)"
+    )
+    resumed.run(TOTAL - resumed.now)
+    resumed_manager.close(resumed.now)
+    print(f"  resumed run finished at t={resumed.now:.0f}s")
+
+    oracle = GridSimulator(config)
+    oracle.run(TOTAL)
+    match = database_state(resumed.backend, resumed.catalog) == database_state(
+        oracle.backend, oracle.catalog
+    )
+    print(f"  survivor equals a never-crashed oracle: {match}")
+
+    print("\n--- Part 3: offline recovery into a fresh database ---")
+    fresh = MemoryBackend(monitoring_catalog(resumed.machine_ids))
+    recovered = recover(data_dir, backend=fresh)
+    print(
+        f"  rebuilt {sum(1 for _ in fresh.heartbeat_rows())} heartbeat rows, "
+        f"{fresh.row_count('activity')} activity rows "
+        f"(epoch {recovered.epoch}, {len(recovered.segments)} segment(s))"
+    )
+    offline_match = database_state(fresh, resumed.catalog) == database_state(
+        resumed.backend, resumed.catalog
+    )
+    print(f"  offline recovery equals the live database: {offline_match}")
+
+    print("\n--- Part 4: the torn-tail contract ---")
+    torn_path = os.path.join(data_dir, "demo.wal")
+    with FrameWriter(torn_path, fsync="never") as writer:
+        writer.append(b"record-1")
+        writer.append(b"record-2")
+    with open(torn_path, "rb+") as fp:
+        fp.truncate(os.path.getsize(torn_path) - 3)  # SIGKILL mid-frame
+    scan = scan_frames(torn_path)
+    print("  cut the journal 3 bytes short of a frame boundary")
+    print(f"  scan yields {len(scan.payloads)} valid record(s); torn: {scan.torn!r}")
+    print("  recovery truncates the tail and the journal keeps accepting appends")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,14 @@ Subcommands::
         /healthz, /spans, /events, /status) runs for the duration of the
         simulation; --flight-dir DIR arms the anomaly flight recorder;
         --top renders the live dashboard while simulating.
+        With --data-dir DIR ingest becomes crash-safe: machine logs are
+        mirrored to disk, applied batches are journaled to a WAL, and
+        checkpoints rotate it; --resume continues a previous (possibly
+        killed) run from the journal instead of starting over.
+
+    trac recover --data-dir DIR [--db out.sqlite]
+        Inspect (and optionally rebuild a database from) a durability
+        directory: latest checkpoint + WAL tail replay, exactly-once.
 
     trac serve --db grid.sqlite --port 9464
         Expose an existing monitoring database through the observatory
@@ -131,7 +139,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="simulated seconds between dashboard frames (with --top)",
     )
+    simulate.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe ingest: mirror logs, journal applied batches to a "
+        "WAL and checkpoint into DIR",
+    )
+    simulate.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a previous run from --data-dir (config, clock and "
+        "ingest watermarks come from the journal); --duration is the "
+        "total simulated time including the part already run",
+    )
+    simulate.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="WAL fsync policy (with --data-dir)",
+    )
+    simulate.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=1.0,
+        help="wall seconds between WAL fsyncs (with --fsync interval)",
+    )
+    simulate.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=60.0,
+        help="simulated seconds between checkpoints (with --data-dir)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    recover_p = sub.add_parser("recover", help="inspect/rebuild from a durability dir")
+    recover_p.add_argument("--data-dir", required=True, help="durability directory")
+    recover_p.add_argument(
+        "--db",
+        default=None,
+        help="also rebuild a monitoring SQLite file from the journal",
+    )
+    recover_p.set_defaults(handler=_cmd_recover)
 
     report = sub.add_parser("report", help="query with a recency report")
     report.add_argument("--db", required=True, help="monitoring SQLite file")
@@ -218,13 +267,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.grid.simulator import GridSimulator, SimulationConfig
     from repro.grid.supervisor import SupervisorPolicy
 
-    config = SimulationConfig(
-        num_machines=args.machines,
-        seed=args.seed,
-        num_schedulers=args.schedulers,
-        job_submit_probability=args.job_probability,
-        machine_failure_probability=args.failure_probability,
-    )
+    if args.resume and not args.data_dir:
+        raise TracError("--resume requires --data-dir")
+
+    durability = None
+    if args.data_dir:
+        from repro.durable import DurabilityManager, DurabilityPolicy
+
+        durability = DurabilityManager(
+            args.data_dir,
+            policy=DurabilityPolicy(
+                fsync=args.fsync,
+                fsync_interval=args.fsync_interval,
+                checkpoint_interval=args.checkpoint_interval,
+            ),
+            resume=args.resume,
+        )
+
+    config = None
+    if args.resume:
+        saved = durability.saved_config()
+        if saved is not None:
+            config = SimulationConfig.from_dict(saved)
+            print(
+                f"resuming from {args.data_dir}: {config.num_machines} machines, "
+                f"seed {config.seed}"
+            )
+    if config is None:
+        config = SimulationConfig(
+            num_machines=args.machines,
+            seed=args.seed,
+            num_schedulers=args.schedulers,
+            job_submit_probability=args.job_probability,
+            machine_failure_probability=args.failure_probability,
+        )
     fault_plan = None
     supervisor_policy = None
     if args.faults:
@@ -258,7 +334,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         supervisor_policy=supervisor_policy,
         slo=slo,
         telemetry=telemetry,
+        durability=durability,
     )
+    remaining = args.duration
+    if durability is not None and args.resume:
+        remaining = max(0.0, args.duration - sim.now)
+        if durability.recovered is not None and not durability.recovered.empty:
+            summary = durability.recovered.summary()
+            print(
+                f"recovered epoch {summary['epoch']} at t={sim.now:.0f}s: "
+                f"{summary['replayed_events']} event(s) and "
+                f"{summary['replayed_heartbeats']} heartbeat(s) replayed from "
+                f"{summary['segments']} WAL segment(s), "
+                f"{summary['torn_segments']} torn"
+            )
 
     if observing:
         from repro.obs.dashboard import status_from_simulator
@@ -283,13 +372,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ).start()
             print(f"observatory serving on {server.url}")
 
-    print(f"simulating {args.machines} machines for {args.duration:.0f}s (seed {args.seed})...")
+    print(
+        f"simulating {config.num_machines} machines for {remaining:.0f}s "
+        f"(seed {config.seed})..."
+    )
     if args.top and observing:
         from repro.obs.dashboard import render_top
 
         frame_every = max(args.top_interval, config.tick)
         next_frame = 0.0
-        target = sim.now + args.duration
+        target = sim.now + remaining
         while sim.now < target:
             sim.step()
             if sim.now >= next_frame:
@@ -297,7 +389,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 sys.stdout.write("\n")
                 next_frame = sim.now + frame_every
     else:
-        sim.run(args.duration)
+        sim.run(remaining)
 
     backend = sim.backend
     print(f"done at t={sim.now:.0f}s:")
@@ -340,6 +432,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"budget {status.budget:g}): {verdict}, "
             f"worst burn {status.worst_burn:.2f}"
         )
+    if durability is not None:
+        durability.close(sim.now)
+        dstats = durability.stats()
+        print(
+            f"durability: epoch {dstats['epoch']}, "
+            f"{dstats['checkpoints_written']} checkpoint(s) "
+            f"({dstats['checkpoint_failures']} failed), "
+            f"{dstats['wal_records']} WAL record(s), "
+            f"{dstats['wal_syncs']} fsync(s)"
+        )
     if recorder is not None:
         recorder.uninstall()
         if recorder.dumps:
@@ -357,6 +459,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         obs.disable()
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.durable import recover
+
+    if not os.path.isdir(args.data_dir):
+        raise TracError(f"no durability directory at {args.data_dir!r}")
+
+    backend = None
+    if args.db:
+        from repro.grid.simulator import monitoring_catalog
+
+        # A dry scan first: the machine set comes from the journal itself.
+        dry = recover(args.data_dir)
+        if dry.empty:
+            raise TracError(f"nothing to recover in {args.data_dir!r}")
+        if dry.state is not None:
+            machine_ids = list(dry.state["machine_ids"])
+        else:
+            machine_ids = sorted(dry.offsets)
+        backend = SQLiteBackend(monitoring_catalog(machine_ids), args.db)
+
+    try:
+        recovered = recover(args.data_dir, backend=backend)
+        summary = recovered.summary()
+        print(f"durability directory: {args.data_dir}")
+        print(f"  epoch               : {summary['epoch']}")
+        print(f"  checkpoint          : {'yes' if summary['has_checkpoint'] else 'no'}")
+        print(f"  WAL segments        : {summary['segments']}")
+        print(f"  replayed events     : {summary['replayed_events']}")
+        print(f"  replayed heartbeats : {summary['replayed_heartbeats']}")
+        print(f"  skipped records     : {summary['skipped_records']}")
+        print(f"  torn segments       : {summary['torn_segments']}")
+        print(f"  invalid checkpoints : {summary['invalid_checkpoints']}")
+        if recovered.state is not None:
+            print(f"  checkpointed at t   : {recovered.state['now']:.0f}s")
+        for source in sorted(recovered.offsets):
+            recency = recovered.recency.get(source)
+            recency_text = f"{recency:.0f}" if recency is not None else "-"
+            print(
+                f"  {source:<8} offset={recovered.offsets[source]:<6} "
+                f"recency={recency_text}"
+            )
+        if recovered.empty:
+            print("  (nothing recovered: empty directory)")
+        if backend is not None:
+            for table in ("activity", "routing", "sched_jobs", "run_jobs", "heartbeat"):
+                print(f"  {table:<10} {backend.row_count(table):>8} rows")
+            print(f"monitoring database rebuilt at {args.db}")
+        return 0
+    finally:
+        if backend is not None:
+            backend.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

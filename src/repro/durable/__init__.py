@@ -1,0 +1,56 @@
+"""Crash-safe durability: WAL-backed ingest, checkpoints, and recovery.
+
+The subsystem has three layers:
+
+* :mod:`repro.durable.wal` — CRC32-framed append-only journals with
+  configurable fsync policies and torn-tail (truncate-and-continue)
+  recovery;
+* :mod:`repro.durable.checkpoint` — atomic, epoch-numbered checkpoints of
+  a consistent database snapshot plus simulator/ingest state, after which
+  the WAL rotates;
+* :mod:`repro.durable.recover` / :mod:`repro.durable.manager` — replay the
+  latest checkpoint plus the WAL tail exactly-once, and bind the whole
+  machinery into a live :class:`~repro.grid.simulator.GridSimulator`.
+
+See docs/ROBUSTNESS.md ("Crash-safe durability") for the invariants and
+`tools/crash_matrix.py` for the SIGKILL proof harness.
+"""
+
+from repro.durable.checkpoint import (
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.durable.manager import DurabilityManager, DurabilityPolicy, DurableLogFile
+from repro.durable.recover import RecoveredState, recover
+from repro.durable.wal import (
+    FSYNC_POLICIES,
+    FrameScan,
+    FrameWriter,
+    list_wal_segments,
+    read_wal,
+    repair_torn_tail,
+    scan_frames,
+    wal_path,
+)
+
+__all__ = [
+    "DurabilityManager",
+    "DurabilityPolicy",
+    "DurableLogFile",
+    "RecoveredState",
+    "recover",
+    "FrameWriter",
+    "FrameScan",
+    "FSYNC_POLICIES",
+    "scan_frames",
+    "repair_torn_tail",
+    "read_wal",
+    "wal_path",
+    "list_wal_segments",
+    "write_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_valid_checkpoint",
+]

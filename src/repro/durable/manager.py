@@ -1,0 +1,543 @@
+"""The durability manager: binds WAL + checkpoints into a live simulator.
+
+One :class:`DurabilityManager` owns a *data directory*::
+
+    data_dir/
+        wal-00000000.wal        # journal of applied batches + heartbeats
+        checkpoint-00000001.json
+        wal-00000001.wal        # rotated after each checkpoint
+        logs/m1.log ...         # disk mirrors of the machine logs
+
+Write path (per sniffer poll): the applied batch and any acknowledged
+heartbeat are journaled *before* they touch the backend, under the
+configured fsync policy.  ``acked()`` exposes the per-source watermarks
+covered by the last fsync — the crash matrix kills the process and then
+asserts recovery never loses anything behind those watermarks.
+
+Checkpoint path (per ``checkpoint_interval`` simulated seconds, driven
+from ``GridSimulator.step``): sync the WAL, capture
+``GridSimulator.durable_state()`` (one consistent CoW snapshot), write it
+atomically as epoch ``N+1``, rotate to ``wal-(N+1)``, prune artifacts
+older than the retained checkpoint chain.  A failed checkpoint write
+(injected via the ``checkpoint_write`` fault, or a real ``OSError``) is
+degradation, not death: the old checkpoint + an unrotated WAL still
+recover everything.
+
+Resume path: phase 1 (:meth:`prepare_simulator`, before sniffers and
+supervisors exist) replays the journal into the bare backend and installs
+:class:`DurableLogFile` mirrors whose contents are truncated back to the
+checkpointed length — deterministic re-simulation regrows the tail
+identically, and the sniffers skip regenerated events below their
+recovered offsets.  Phase 2 (:meth:`finish_binding`, after supervisors
+marked every source HEALTHY) restores clocks/RNG/jobs, sniffer
+offsets/recency, SourceHealth, and SLO windows.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.durable.checkpoint import prune_artifacts, write_checkpoint
+from repro.durable.recover import RecoveredState, recover
+from repro.durable.wal import (
+    FSYNC_POLICIES,
+    FrameWriter,
+    encode_batch,
+    encode_event,
+    encode_heartbeat,
+    validate_fsync_policy,
+    wal_path,
+)
+from repro.errors import DurabilityError, SimulationError
+from repro.grid.events import LogEvent
+from repro.grid.logfile import LogFile
+from repro.grid.persist import FileLogWriter, log_path, read_log_events, rewrite_log
+from repro.obs import instrument as obs
+from repro.obs.events import EVT_CHECKPOINT, EVT_CHECKPOINT_FAILED
+
+__all__ = ["DurabilityPolicy", "DurabilityManager", "DurableLogFile"]
+
+_NEG_INF = float("-inf")
+
+#: Subdirectory of the data dir holding per-machine log mirrors.
+LOGS_SUBDIR = "logs"
+
+
+class DurableLogFile(LogFile):
+    """An in-memory :class:`LogFile` whose appends are mirrored to disk.
+
+    The mirror makes the paper's "log file on the source machine" literal;
+    its durability is best-effort (policy of the underlying writer) because
+    the WAL, not the mirror, is authoritative for recovery — on resume the
+    mirror is truncated back to the checkpoint and regrown by deterministic
+    re-simulation.
+    """
+
+    def __init__(self, owner: str, writer: FileLogWriter, events: Tuple[LogEvent, ...] = ()) -> None:
+        super().__init__(owner)
+        # Restored events bypass append-time mirroring: they are already
+        # on disk (the mirror was just rewritten to exactly this prefix).
+        self._events.extend(events)
+        self.writer = writer
+
+    def append(self, event: LogEvent) -> None:
+        super().append(event)
+        # Mirror with stringified payloads: the text format carries strings.
+        payload = {k: str(v) for k, v in event.payload.items()}
+        self.writer.append(LogEvent(event.timestamp, event.source, event.kind, payload))
+
+
+class DurabilityPolicy:
+    """Tuning knobs for the durability subsystem.
+
+    Parameters
+    ----------
+    fsync:
+        WAL fsync policy (``always`` / ``interval`` / ``never``); see
+        :mod:`repro.durable.wal`.
+    fsync_interval:
+        Wall-clock seconds between WAL fsyncs under the ``interval`` policy.
+    checkpoint_interval:
+        *Simulated* seconds between checkpoints.
+    keep_checkpoints:
+        How many checkpoint epochs (and their WAL segments) to retain for
+        fall-back recovery.
+    mirror_fsync:
+        Fsync policy for the per-machine log mirrors. Defaults to
+        ``never``: mirrors are flushed per append (SIGKILL-safe) but the
+        WAL is what recovery trusts, so syncing them buys nothing.
+    """
+
+    def __init__(
+        self,
+        fsync: str = "interval",
+        fsync_interval: float = 1.0,
+        checkpoint_interval: float = 60.0,
+        keep_checkpoints: int = 2,
+        mirror_fsync: str = "never",
+    ) -> None:
+        validate_fsync_policy(fsync, fsync_interval)
+        validate_fsync_policy(mirror_fsync, fsync_interval)
+        if not (checkpoint_interval > 0.0):
+            raise DurabilityError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval!r}"
+            )
+        if keep_checkpoints < 1:
+            raise DurabilityError(
+                f"keep_checkpoints must be at least 1, got {keep_checkpoints!r}"
+            )
+        self.fsync = fsync
+        self.fsync_interval = float(fsync_interval)
+        self.checkpoint_interval = float(checkpoint_interval)
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.mirror_fsync = mirror_fsync
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityPolicy(fsync={self.fsync!r}, "
+            f"checkpoint_interval={self.checkpoint_interval}, "
+            f"keep={self.keep_checkpoints})"
+        )
+
+
+class DurabilityManager:
+    """Owns one data directory: journals ingest, checkpoints, recovers.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory for WAL segments, checkpoints and log mirrors (created
+        if missing).
+    policy:
+        A :class:`DurabilityPolicy`; defaults are sensible for simulation.
+    resume:
+        ``True`` recovers whatever the directory holds; ``False`` starts
+        fresh, deleting any previous run's artifacts.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` consulted before WAL
+        appends (``wal_append`` kind) and checkpoint writes
+        (``checkpoint_write`` kind).
+    telemetry:
+        Explicit telemetry override; defaults to the process-wide one.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        policy: Optional[DurabilityPolicy] = None,
+        resume: bool = False,
+        fault_plan=None,
+        telemetry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.data_dir = data_dir
+        self.logs_dir = os.path.join(data_dir, LOGS_SUBDIR)
+        self.policy = policy or DurabilityPolicy()
+        self.resume = bool(resume)
+        self.fault_plan = fault_plan
+        self.telemetry = telemetry
+        self._clock = clock
+        os.makedirs(self.logs_dir, exist_ok=True)
+        if not self.resume:
+            self._wipe()
+
+        self.epoch = 0
+        self.recovered: Optional[RecoveredState] = None
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        self._sim = None
+        self._wal: Optional[FrameWriter] = None
+        self._last_checkpoint_now: Optional[float] = None
+        # Cumulative across WAL rotations (FrameWriter counters reset each
+        # epoch).
+        self.wal_records = 0
+        self.wal_syncs = 0
+        # Journaled watermarks: everything appended to the WAL (synced or
+        # not).  Acked watermarks: the prefix covered by the last fsync —
+        # what a crash is guaranteed not to lose.
+        self._journaled_offsets: Dict[str, int] = {}
+        self._journaled_recency: Dict[str, float] = {}
+        self._acked_offsets: Dict[str, int] = {}
+        self._acked_recency: Dict[str, float] = {}
+        self._pending: List[Tuple[str, str, object]] = []  # (kind, source, value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _wipe(self) -> None:
+        for pattern in ("wal-*.wal", "checkpoint-*.json", "*.tmp"):
+            for path in glob.glob(os.path.join(self.data_dir, pattern)):
+                os.remove(path)
+        for path in glob.glob(os.path.join(self.logs_dir, "*")):
+            os.remove(path)
+
+    def saved_config(self) -> Optional[dict]:
+        """The ``SimulationConfig`` dict from the latest valid checkpoint,
+        so ``--resume`` can rebuild the simulator without re-specifying
+        flags.  ``None`` when there is no checkpoint to resume from."""
+        from repro.durable.checkpoint import latest_valid_checkpoint
+
+        _, state, _ = latest_valid_checkpoint(self.data_dir)
+        if state is None:
+            return None
+        return state.get("config")
+
+    def prepare_simulator(self, sim) -> None:
+        """Phase 1 of binding: recover the backend, install log mirrors.
+
+        Must run before supervisors wrap ``machine.log`` in FaultyLog
+        proxies (the mirror has to sit underneath fault injection) and
+        before anything draws from the simulator RNG post-construction.
+        """
+        self._sim = sim
+        restored_events: Dict[str, Tuple[LogEvent, ...]] = {}
+        if self.resume:
+            self.recovered = recover(self.data_dir, backend=sim.backend, telemetry=self.telemetry)
+            state = self.recovered.state
+            if state is not None:
+                saved_ids = state.get("machine_ids", [])
+                if list(saved_ids) != list(sim.machine_ids):
+                    raise DurabilityError(
+                        f"checkpoint in {self.data_dir} covers machines {saved_ids}, "
+                        f"but the simulator has {sim.machine_ids}; resume with the "
+                        f"checkpointed configuration"
+                    )
+                for mid in sim.machine_ids:
+                    restored_events[mid] = self._restore_log(
+                        mid, int(state["machines"][mid]["log_len"])
+                    )
+            else:
+                # WAL-only resume: the simulator regrows from t=0, so the
+                # mirrors must restart empty or the rerun would duplicate
+                # every line.
+                for mid in sim.machine_ids:
+                    rewrite_log(log_path(self.logs_dir, mid), [])
+            self._journaled_offsets = dict(self.recovered.offsets)
+            self._journaled_recency = dict(self.recovered.recency)
+            self._acked_offsets = dict(self.recovered.offsets)
+            self._acked_recency = dict(self.recovered.recency)
+            self.epoch = self.recovered.epoch
+
+        for mid in sim.machine_ids:
+            writer = FileLogWriter(
+                log_path(self.logs_dir, mid),
+                mid,
+                fsync=self.policy.mirror_fsync,
+                fsync_interval=self.policy.fsync_interval,
+                clock=self._clock,
+            )
+            sim.machines[mid].log = DurableLogFile(
+                mid, writer, restored_events.get(mid, ())
+            )
+
+        self._wal = FrameWriter(
+            wal_path(self.data_dir, self.epoch),
+            fsync=self.policy.fsync,
+            fsync_interval=self.policy.fsync_interval,
+            clock=self._clock,
+        )
+
+    def _restore_log(self, mid: str, target_len: int) -> Tuple[LogEvent, ...]:
+        """Truncate one mirror back to its checkpointed length.
+
+        The tail past the checkpoint is discarded (deterministic
+        re-simulation regrows it identically); a mirror that lost events
+        *before* the checkpoint cannot be resumed from.
+        """
+        path = log_path(self.logs_dir, mid)
+        events, _tear = read_log_events(path, mid, lenient=True)
+        if len(events) < target_len:
+            raise DurabilityError(
+                f"log mirror {path} holds {len(events)} events but the checkpoint "
+                f"requires {target_len}; the mirror lost pre-checkpoint data"
+            )
+        events = events[:target_len]
+        rewrite_log(path, events)
+        return tuple(events)
+
+    def finish_binding(self, sim) -> bool:
+        """Phase 2 of binding: restore simulator + ingest + health state.
+
+        Runs after supervisors exist.  Returns ``True`` when a checkpoint
+        was restored (the simulator must then skip topology/bootstrap).
+        """
+        for sniffer in sim.sniffers.values():
+            sniffer.journal = self
+        if not self.resume or self.recovered is None:
+            return False
+        recovered = self.recovered
+        state = recovered.state
+        if state is not None:
+            sim.restore_durable_state(state)
+            ingest = state.get("ingest", {})
+            for mid, count in ingest.get("records_loaded", {}).items():
+                if mid in sim.sniffers:
+                    sim.sniffers[mid].records_loaded = int(count)
+            for mid, last_poll in ingest.get("last_poll", {}).items():
+                if mid in sim.sniffers:
+                    sim.sniffers[mid].last_poll = float(last_poll)
+        for mid, sniffer in sim.sniffers.items():
+            sniffer.offset = recovered.offsets.get(mid, sniffer.offset)
+            if mid in recovered.recency:
+                sniffer._reported_recency = recovered.recency[mid]
+            if mid in recovered.last_loaded:
+                sniffer.last_loaded_timestamp = recovered.last_loaded[mid]
+        if state is not None:
+            self._restore_health(sim, state.get("health"))
+            self._restore_slo(sim, state.get("slo"))
+            self._last_checkpoint_now = sim.now
+        return state is not None
+
+    def _restore_health(self, sim, saved: Optional[dict]) -> None:
+        if not saved or sim.health is None:
+            return
+        from repro.core.health import DEGRADED
+
+        for sid, entry in saved.items():
+            sim.health.mark(sid, entry["status"], entry.get("reason"), at=entry.get("since"))
+            if entry["status"] == DEGRADED and sid in sim.sniffers:
+                # A degraded source stays dark after restart until an
+                # operator (or test) revives it explicitly.
+                sim.sniffers[sid].fail()
+
+    def _restore_slo(self, sim, saved: Optional[dict]) -> None:
+        if not saved or sim.slo is None:
+            return
+        for sid, samples in saved.get("series", {}).items():
+            for t, lag in samples:
+                sim.slo.record(sid, float(t), float(lag))
+
+    # -- journaling (sniffer hooks) ----------------------------------------
+
+    def journal_events(self, source: str, start: int, end: int, events, now: float) -> None:
+        """Journal one applied poll batch covering log offsets [start, end).
+
+        Skips records below the journaled watermark (a resumed sniffer
+        re-reading regenerated events, or a poll retried after a backend
+        fault) so the WAL never holds a duplicate within an epoch.
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.check_durability(source, now, "wal")
+        watermark = self._journaled_offsets.get(source, 0)
+        if end <= watermark:
+            return
+        if start > watermark:
+            raise DurabilityError(
+                f"journal gap for {source}: watermark {watermark}, batch starts at {start}"
+            )
+        synced = False
+        if len(events) == end - start:
+            # Normal delivery: one record per event, dedupe by offset.
+            for index, event in enumerate(events):
+                offset = start + index
+                if offset < watermark:
+                    continue
+                line = self._format(event)
+                synced = self._append(("ev", source, offset + 1), encode_event(source, offset, line)) or synced
+        else:
+            # Fault injection dropped/duplicated records: the delivered
+            # lines no longer map onto offsets, so journal the batch with
+            # its true log span and replay exactly what was applied.
+            lines = [self._format(event) for event in events]
+            synced = self._append(("ev", source, end), encode_batch(source, start, end, lines))
+        self._journaled_offsets[source] = end
+        tel = obs.resolve(self.telemetry)
+        if tel.enabled:
+            obs.record_wal_records(tel, "event", max(1, len(events)))
+        if synced:
+            self._promote()
+
+    def journal_heartbeat(self, source: str, recency: float, now: float) -> None:
+        """Journal one heartbeat upsert (only if it advances the source)."""
+        if recency <= self._journaled_recency.get(source, _NEG_INF):
+            return
+        if self.fault_plan is not None:
+            self.fault_plan.check_durability(source, now, "wal")
+        synced = self._append(("hb", source, recency), encode_heartbeat(source, recency))
+        self._journaled_recency[source] = recency
+        tel = obs.resolve(self.telemetry)
+        if tel.enabled:
+            obs.record_wal_records(tel, "heartbeat")
+        if synced:
+            self._promote()
+
+    def _format(self, event: LogEvent) -> str:
+        from repro.grid.logformat import format_line
+
+        payload = {k: str(v) for k, v in event.payload.items()}
+        return format_line(LogEvent(event.timestamp, event.source, event.kind, payload))
+
+    def _append(self, marker: Tuple[str, str, object], payload: bytes) -> bool:
+        if self._wal is None:
+            raise DurabilityError("durability manager has no open WAL (closed?)")
+        self._pending.append(marker)
+        synced = self._wal.append(payload)
+        self.wal_records += 1
+        if synced:
+            self.wal_syncs += 1
+            tel = obs.resolve(self.telemetry)
+            if tel.enabled:
+                obs.record_wal_sync(tel)
+        return synced
+
+    def _promote(self) -> None:
+        """Fold fsync-covered pending markers into the acked watermarks."""
+        for kind, source, value in self._pending:
+            if kind == "ev":
+                self._acked_offsets[source] = max(
+                    self._acked_offsets.get(source, 0), int(value)
+                )
+            else:
+                self._acked_recency[source] = max(
+                    self._acked_recency.get(source, _NEG_INF), float(value)
+                )
+        self._pending.clear()
+
+    def sync(self) -> None:
+        """Force the WAL onto stable storage and advance the acked marks."""
+        if self._wal is not None:
+            self._wal.sync()
+            self.wal_syncs += 1
+        self._promote()
+
+    def acked(self) -> dict:
+        """Per-source watermarks guaranteed to survive a crash right now."""
+        return {
+            "offsets": dict(self._acked_offsets),
+            "recency": dict(self._acked_recency),
+        }
+
+    # -- checkpointing ------------------------------------------------------
+
+    def maybe_checkpoint(self, now: float) -> bool:
+        """Checkpoint when ``checkpoint_interval`` simulated seconds passed."""
+        if self._last_checkpoint_now is None:
+            self._last_checkpoint_now = now
+            return False
+        if now - self._last_checkpoint_now < self.policy.checkpoint_interval:
+            return False
+        return self.checkpoint(now)
+
+    def checkpoint(self, now: float, state: Optional[dict] = None) -> bool:
+        """Write checkpoint epoch+1, rotate the WAL, prune old artifacts.
+
+        Failure (injected or real IO error) is survivable: the previous
+        checkpoint and the unrotated WAL still cover everything, so this
+        logs/counts the failure and returns ``False``.
+        """
+        self._last_checkpoint_now = now
+        tel = obs.resolve(self.telemetry)
+        started = time.perf_counter()
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.check_durability("*", now, "checkpoint")
+            if state is None:
+                if self._sim is None:
+                    raise DurabilityError("no simulator bound and no explicit state given")
+                state = self._sim.durable_state()
+            # The WAL must be complete w.r.t. the captured state before the
+            # epoch advances past it.
+            self.sync()
+            new_epoch = self.epoch + 1
+            write_checkpoint(self.data_dir, new_epoch, state)
+            old_wal = self._wal
+            self._wal = FrameWriter(
+                wal_path(self.data_dir, new_epoch),
+                fsync=self.policy.fsync,
+                fsync_interval=self.policy.fsync_interval,
+                clock=self._clock,
+            )
+            if old_wal is not None:
+                old_wal.close()
+            self.epoch = new_epoch
+            prune_artifacts(self.data_dir, self.policy.keep_checkpoints)
+        except (DurabilityError, SimulationError, OSError) as exc:
+            self.checkpoint_failures += 1
+            if tel.enabled:
+                obs.record_checkpoint(tel, "failed")
+                tel.emit(
+                    EVT_CHECKPOINT_FAILED,
+                    t=now,
+                    severity="error",
+                    error=str(exc),
+                    epoch=self.epoch,
+                )
+            return False
+        self.checkpoints_written += 1
+        if tel.enabled:
+            elapsed = time.perf_counter() - started
+            obs.record_checkpoint(tel, "ok", elapsed)
+            tel.emit(EVT_CHECKPOINT, t=now, severity="info", epoch=self.epoch)
+        return True
+
+    def close(self, now: Optional[float] = None, final_checkpoint: bool = True) -> None:
+        """Clean shutdown: optionally checkpoint, then sync + close the WAL."""
+        if final_checkpoint and self._sim is not None and now is not None:
+            self.checkpoint(now)
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        self._promote()
+        if self._sim is not None:
+            for machine in self._sim.machines.values():
+                log = machine.log
+                # Unwrap a FaultyLog proxy to reach the mirror underneath.
+                log = getattr(log, "inner", log)
+                writer = getattr(log, "writer", None)
+                if writer is not None:
+                    writer.close()
+
+    def stats(self) -> dict:
+        """Summary for CLI output."""
+        out = {
+            "epoch": self.epoch,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_failures": self.checkpoint_failures,
+            "wal_records": self.wal_records,
+            "wal_syncs": self.wal_syncs,
+        }
+        if self.recovered is not None:
+            out["recovered"] = self.recovered.summary()
+        return out

@@ -1,0 +1,232 @@
+"""Crash recovery: latest valid checkpoint + idempotent WAL replay.
+
+Recovery proceeds in three steps:
+
+1. Load the newest valid checkpoint (corrupt ones are skipped, falling
+   back to the previous epoch).  If a backend is supplied, its tables and
+   heartbeats are reset to the checkpointed snapshot.
+2. Replay every WAL segment whose epoch is >= the recovered epoch, in
+   ascending order.  Torn tails are truncated and counted, never fatal.
+3. Dedupe replayed records by ``(source, offset)`` watermarks so each
+   applied event is exactly-once: offsets below the watermark are skipped
+   (they were already in the checkpoint, or in an earlier segment replayed
+   after a fall-back), the offset *at* the watermark is applied, and an
+   offset *beyond* it is a gap — a broken invariant worth dying over,
+   because silently continuing would hide lost acknowledged writes.
+   Heartbeats are applied only when they advance a source's recency, which
+   keeps per-source recency monotonically non-decreasing across restarts.
+
+The result also carries the per-source offsets / recency / last-loaded
+timestamps that :class:`~repro.durable.manager.DurabilityManager` feeds
+back into the sniffers, so ingest resumes exactly where the journal left
+off.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.catalog import HEARTBEAT_TABLE
+from repro.durable.checkpoint import latest_valid_checkpoint
+from repro.durable.wal import FrameScan, decode_record, list_wal_segments, repair_torn_tail
+from repro.errors import DurabilityError
+from repro.obs import instrument as obs
+from repro.obs.events import EVT_RECOVERED, EVT_WAL_TORN
+
+__all__ = ["RecoveredState", "recover", "restore_database"]
+
+_NEG_INF = float("-inf")
+
+
+class RecoveredState:
+    """Everything recovery learned: checkpoint state plus replay watermarks."""
+
+    __slots__ = (
+        "data_dir",
+        "epoch",
+        "state",
+        "offsets",
+        "recency",
+        "last_loaded",
+        "replayed_events",
+        "replayed_heartbeats",
+        "skipped_records",
+        "torn_segments",
+        "invalid_checkpoints",
+        "segments",
+    )
+
+    def __init__(self, data_dir: str) -> None:
+        self.data_dir = data_dir
+        self.epoch = 0
+        #: The checkpoint ``state`` payload, or ``None`` when recovering
+        #: from WAL segments alone (or from an empty directory).
+        self.state: Optional[dict] = None
+        self.offsets: Dict[str, int] = {}
+        self.recency: Dict[str, float] = {}
+        self.last_loaded: Dict[str, float] = {}
+        self.replayed_events = 0
+        self.replayed_heartbeats = 0
+        self.skipped_records = 0
+        self.torn_segments: List[str] = []
+        self.invalid_checkpoints: List[str] = []
+        self.segments: List[str] = []
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self.state is not None
+
+    @property
+    def empty(self) -> bool:
+        """True when there was nothing at all to recover."""
+        return self.state is None and not self.segments
+
+    def summary(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "has_checkpoint": self.has_checkpoint,
+            "segments": len(self.segments),
+            "replayed_events": self.replayed_events,
+            "replayed_heartbeats": self.replayed_heartbeats,
+            "skipped_records": self.skipped_records,
+            "torn_segments": len(self.torn_segments),
+            "invalid_checkpoints": len(self.invalid_checkpoints),
+            "sources": len(self.offsets),
+        }
+
+
+def restore_database(backend, database_state: dict) -> None:
+    """Reset ``backend`` tables + heartbeats to a checkpointed snapshot.
+
+    Backend-agnostic: uses only ``delete_all`` / ``insert_rows`` /
+    ``upsert_heartbeat``, so it works for both MemoryBackend and
+    SQLiteBackend targets.
+    """
+    for table, rows in database_state.get("tables", {}).items():
+        backend.delete_all(table)
+        if rows:
+            backend.insert_rows(table, [tuple(row) for row in rows])
+    backend.delete_all(HEARTBEAT_TABLE)
+    for source, recency in database_state.get("heartbeats", []):
+        backend.upsert_heartbeat(source, float(recency))
+
+
+def _apply_line(backend, line: str) -> float:
+    """Apply one formatted log line to ``backend``; return its timestamp."""
+    from repro.grid.logformat import parse_line
+    from repro.grid.sniffer import apply_event
+
+    event = parse_line(line)
+    if backend is not None:
+        apply_event(backend, event)
+    return event.timestamp
+
+
+def recover(
+    data_dir: str,
+    backend=None,
+    telemetry=None,
+    repair: bool = True,
+) -> RecoveredState:
+    """Recover the durable state under ``data_dir``.
+
+    When ``backend`` is given, the checkpointed snapshot is restored into
+    it and replayed records are applied; with ``backend=None`` this is a
+    dry scan that still computes offsets/recency watermarks.  ``repair``
+    truncates torn WAL tails in place (truncate-and-continue) so the
+    segment can keep accepting appends.
+    """
+    tel = obs.resolve(telemetry)
+    recovered = RecoveredState(data_dir)
+    if not os.path.isdir(data_dir):
+        return recovered
+
+    epoch, state, invalid = latest_valid_checkpoint(data_dir)
+    recovered.invalid_checkpoints = invalid
+    if state is not None:
+        recovered.epoch = epoch if epoch is not None else 0
+        recovered.state = state
+        if backend is not None:
+            restore_database(backend, state.get("database", {}))
+        ingest = state.get("ingest", {})
+        recovered.offsets = {s: int(o) for s, o in ingest.get("offsets", {}).items()}
+        recovered.recency = {s: float(r) for s, r in ingest.get("recency", {}).items()}
+        recovered.last_loaded = {
+            s: float(t) for s, t in ingest.get("last_loaded", {}).items()
+        }
+
+    for segment_epoch, path in list_wal_segments(data_dir):
+        if segment_epoch < recovered.epoch:
+            continue
+        recovered.segments.append(path)
+        scan = repair_torn_tail(path) if repair else None
+        if scan is None:
+            from repro.durable.wal import scan_frames
+
+            scan = scan_frames(path)
+        _replay_segment(recovered, scan, backend, tel)
+
+    if tel.enabled:
+        obs.record_recovery(
+            tel,
+            events=recovered.replayed_events,
+            heartbeats=recovered.replayed_heartbeats,
+            skipped=recovered.skipped_records,
+            torn=len(recovered.torn_segments),
+        )
+        tel.emit(
+            EVT_RECOVERED,
+            severity="info",
+            **recovered.summary(),
+        )
+    return recovered
+
+
+def _replay_segment(recovered: RecoveredState, scan: FrameScan, backend, tel) -> None:
+    if scan.torn is not None and scan.torn != "missing file":
+        recovered.torn_segments.append(scan.path)
+        if tel.enabled:
+            tel.emit(EVT_WAL_TORN, severity="warning", path=scan.path, reason=scan.torn)
+    for payload in scan.payloads:
+        record = decode_record(payload)
+        kind = record["k"]
+        source = record["s"]
+        if kind == "ev":
+            offset = record["o"]
+            watermark = recovered.offsets.get(source, 0)
+            if offset < watermark:
+                recovered.skipped_records += 1
+                continue
+            if offset > watermark:
+                raise DurabilityError(
+                    f"gap in journaled offsets for {source}: expected {watermark}, "
+                    f"found {offset} in {scan.path}"
+                )
+            recovered.last_loaded[source] = _apply_line(backend, record["l"])
+            recovered.offsets[source] = offset + 1
+            recovered.replayed_events += 1
+        elif kind == "bat":
+            start, end = record["a"], record["b"]
+            watermark = recovered.offsets.get(source, 0)
+            if end <= watermark:
+                recovered.skipped_records += 1
+                continue
+            if start > watermark:
+                raise DurabilityError(
+                    f"gap in journaled offsets for {source}: expected {watermark}, "
+                    f"found batch [{start}, {end}) in {scan.path}"
+                )
+            for line in record["l"]:
+                recovered.last_loaded[source] = _apply_line(backend, line)
+                recovered.replayed_events += 1
+            recovered.offsets[source] = end
+        else:  # "hb"
+            recency = float(record["r"])
+            if recency > recovered.recency.get(source, _NEG_INF):
+                if backend is not None:
+                    backend.upsert_heartbeat(source, recency)
+                recovered.recency[source] = recency
+                recovered.replayed_heartbeats += 1
+            else:
+                recovered.skipped_records += 1

@@ -76,3 +76,12 @@ class DnfBlowupError(TracError):
 
 class SimulationError(TracError):
     """Raised by the grid monitoring simulator for invalid configurations."""
+
+
+class DurabilityError(TracError):
+    """Raised by the durability subsystem (WAL, checkpoints, recovery).
+
+    Covers malformed journal frames, invalid checkpoints, and recovery
+    invariant violations (a gap in a source's journaled offsets, or a
+    machine log that lost records predating its checkpoint).
+    """

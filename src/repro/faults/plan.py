@@ -26,6 +26,11 @@ Fault kinds (the channels):
 ``backend_apply`` / ``backend_heartbeat``
     The backend write (``upsert_rows``/``delete_rows``, or
     ``upsert_heartbeat``) raises mid-poll.
+``wal_append`` / ``checkpoint_write``
+    The durability layer fails: a WAL journal append raises mid-poll (the
+    supervisor retries the poll), or a checkpoint write fails (the manager
+    keeps the previous checkpoint and carries on).  Checkpoint rules are
+    consulted with source ``"*"``.
 ``silence``
     The machine stops writing its log between ``start`` and ``end`` — the
     "silent source" whose recency freezes.
@@ -46,7 +51,13 @@ if TYPE_CHECKING:  # grid imports stay type-only: faults must not import grid
     from repro.grid.events import LogEvent  # pragma: no cover
 
 #: Channels that carry probabilistic / scripted error rules.
-_ERROR_KINDS = ("poll_error", "backend_apply", "backend_heartbeat")
+_ERROR_KINDS = (
+    "poll_error",
+    "backend_apply",
+    "backend_heartbeat",
+    "wal_append",
+    "checkpoint_write",
+)
 _RECORD_KINDS = ("drop_records", "duplicate_records")
 KINDS = _ERROR_KINDS + _RECORD_KINDS + ("silence",)
 
@@ -203,6 +214,25 @@ class FaultPlan:
         )
         return self
 
+    def durability_error(
+        self,
+        source: str = "*",
+        op: str = "wal",
+        probability: float = 0.0,
+        at: Sequence[float] = (),
+        transient: bool = True,
+    ) -> "FaultPlan":
+        """Fail durability writes: ``op="wal"`` (journal append during a
+        poll) or ``op="checkpoint"`` (checkpoint write — use source ``"*"``,
+        checkpoints are not per-source)."""
+        if op not in ("wal", "checkpoint"):
+            raise SimulationError(
+                f"durability_error op must be 'wal' or 'checkpoint', got {op!r}"
+            )
+        kind = "wal_append" if op == "wal" else "checkpoint_write"
+        self._rules.append(_Rule(kind, source, probability, at, transient=transient))
+        return self
+
     def silence(self, source: str, start: float, end: Optional[float] = None) -> "FaultPlan":
         """Stall the machine's log from ``start`` (to ``end``, or forever)."""
         self._silences.append(_Silence(source, start, end))
@@ -262,6 +292,19 @@ class FaultPlan:
             self._record(kind, source)
             raise InjectedFault(
                 f"injected backend {op} failure for {source!r} at t={now:g}",
+                source,
+                kind,
+                transient=rule.transient,
+            )
+
+    def check_durability(self, source: str, now: float, op: str) -> None:
+        """Raise :class:`InjectedFault` if a WAL/checkpoint write should fail."""
+        kind = "wal_append" if op == "wal" else "checkpoint_write"
+        rule = self._error_due(kind, source, now)
+        if rule is not None:
+            self._record(kind, source)
+            raise InjectedFault(
+                f"injected {op} write failure for {source!r} at t={now:g}",
                 source,
                 kind,
                 transient=rule.transient,
@@ -409,6 +452,14 @@ def plan_from_json(text: str) -> FaultPlan:
         elif kind in ("backend_apply", "backend_heartbeat"):
             plan.backend_error(
                 source, op=kind.split("_", 1)[1], probability=probability, at=at,
+                transient=transient,
+            )
+        elif kind in ("wal_append", "checkpoint_write"):
+            plan.durability_error(
+                source,
+                op="wal" if kind == "wal_append" else "checkpoint",
+                probability=probability,
+                at=at,
                 transient=transient,
             )
         else:

@@ -20,16 +20,22 @@ by processes in other languages that write the same format.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.backends.base import Backend
-from repro.errors import SimulationError
+from repro.errors import DurabilityError, SimulationError
 from repro.grid.events import LogEvent
 from repro.grid.logformat import format_line, parse_line
 from repro.grid.sniffer import Sniffer, SnifferConfig
 
 #: File name pattern for one machine's log.
 LOG_SUFFIX = ".log"
+
+LOG_HEADER = "# trac-log v1\n"
+
+#: Valid fsync policies for :class:`FileLogWriter` (mirrors the WAL's).
+FSYNC_POLICIES = ("always", "interval", "never")
 
 
 def log_path(directory: str, machine_id: str) -> str:
@@ -40,22 +46,54 @@ class FileLogWriter:
     """Append-only writer for one machine's on-disk log.
 
     Events must arrive in non-decreasing timestamp order, mirroring the
-    in-memory :class:`LogFile` contract. Each event is flushed immediately
-    (the paper assumes reliable storage; a crash loses nothing that was
-    reported)."""
+    in-memory :class:`LogFile` contract — the order is enforced across
+    reopens by scanning the existing file's tail.
 
-    def __init__(self, path: str, owner: str) -> None:
+    Durability contract: each event is written as one line and flushed to
+    the OS, so another process can tail it immediately and a *killed
+    process* loses nothing that ``append`` returned for.  Whether a machine
+    crash or power loss can lose the tail is governed by the fsync policy:
+    ``"always"`` fsyncs every append, ``"interval"`` fsyncs at most every
+    ``fsync_interval`` wall seconds, and ``"never"`` (the default, and the
+    historical behaviour) leaves it to the OS.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        owner: str,
+        fsync: str = "never",
+        fsync_interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; expected one of {', '.join(FSYNC_POLICIES)}"
+            )
+        if not (fsync_interval > 0.0):
+            raise DurabilityError(f"fsync_interval must be positive, got {fsync_interval!r}")
         self.path = path
         self.owner = owner
+        self.fsync_policy = fsync
+        self.fsync_interval = float(fsync_interval)
+        self._clock = clock
         self._last_timestamp = float("-inf")
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        if not os.path.exists(path):
+        if os.path.exists(path):
+            events, _ = read_log_events(path, owner, lenient=True)
+            if events:
+                self._last_timestamp = events[-1].timestamp
+        else:
             with open(path, "w") as handle:
-                handle.write("# trac-log v1\n")
+                handle.write(LOG_HEADER)
+        self._handle = open(path, "a")
+        self._last_sync = self._clock()
 
     def append(self, event: LogEvent) -> None:
+        if self._handle is None:
+            raise DurabilityError(f"log writer for {self.path} is closed")
         if event.source != self.owner:
             raise SimulationError(
                 f"event from {event.source!r} appended to log of {self.owner!r}"
@@ -65,10 +103,81 @@ class FileLogWriter:
                 f"log {self.path!r}: timestamp {event.timestamp} is before "
                 f"the last written record"
             )
-        with open(self.path, "a") as handle:
-            handle.write(format_line(event) + "\n")
-            handle.flush()
+        self._handle.write(format_line(event) + "\n")
+        self._handle.flush()
         self._last_timestamp = event.timestamp
+        if self.fsync_policy == "always":
+            self.sync()
+        elif (
+            self.fsync_policy == "interval"
+            and self._clock() - self._last_sync >= self.fsync_interval
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_sync = self._clock()
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "FileLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_log_events(
+    path: str, owner: str, lenient: bool = False
+) -> Tuple[List[LogEvent], Optional[str]]:
+    """Parse a log file into events.
+
+    With ``lenient=True`` parsing stops at the first malformed line and
+    returns ``(valid_prefix, tear_reason)`` — the recovery-side behaviour
+    for a file whose final line a crash may have torn.  With
+    ``lenient=False`` malformed lines raise, as :class:`FileLog` does.
+    """
+    events: List[LogEvent] = []
+    if not os.path.exists(path):
+        return events, "missing file"
+    with open(path) as handle:
+        text = handle.read()
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            event = parse_line(stripped, number)
+        except Exception as exc:
+            if lenient:
+                return events, f"line {number}: {exc}"
+            raise
+        if event.source != owner:
+            raise SimulationError(
+                f"log {path!r} owned by {owner!r} contains an event from {event.source!r}"
+            )
+        events.append(event)
+    return events, None
+
+
+def rewrite_log(path: str, events: List[LogEvent]) -> None:
+    """Atomically rewrite a log file to exactly ``events`` (temp + rename)."""
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as handle:
+        handle.write(LOG_HEADER)
+        for event in events:
+            handle.write(format_line(event) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.rename(tmp_path, path)
 
 
 class FileLog:
@@ -83,22 +192,7 @@ class FileLog:
         self.owner = owner
 
     def _events(self) -> List[LogEvent]:
-        if not os.path.exists(self.path):
-            return []
-        with open(self.path) as handle:
-            text = handle.read()
-        events: List[LogEvent] = []
-        for number, line in enumerate(text.splitlines(), start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            event = parse_line(stripped, number)
-            if event.source != self.owner:
-                raise SimulationError(
-                    f"log {self.path!r} owned by {self.owner!r} contains an "
-                    f"event from {event.source!r}"
-                )
-            events.append(event)
+        events, _ = read_log_events(self.path, self.owner)
         return events
 
     def read_from(self, offset: int, up_to_time: float) -> Tuple[List[LogEvent], int]:
@@ -144,10 +238,10 @@ def archive_simulation(sim, directory: str) -> List[str]:
     paths: List[str] = []
     for machine_id, machine in sorted(sim.machines.items()):
         path = log_path(directory, machine_id)
-        writer = FileLogWriter(path, machine_id)
-        for event in machine.log:
-            payload = {k: str(v) for k, v in event.payload.items()}
-            writer.append(LogEvent(event.timestamp, event.source, event.kind, payload))
+        with FileLogWriter(path, machine_id) as writer:
+            for event in machine.log:
+                payload = {k: str(v) for k, v in event.payload.items()}
+                writer.append(LogEvent(event.timestamp, event.source, event.kind, payload))
         paths.append(path)
     return paths
 

@@ -167,6 +167,34 @@ class SimulationConfig:
         self.sniffer_lag_range = sniffer_lag_range
         self.num_schedulers = num_schedulers
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, checkpointed so ``--resume`` can rebuild
+        an identical simulator without the caller re-specifying flags."""
+        return {
+            "num_machines": self.num_machines,
+            "seed": self.seed,
+            "tick": self.tick,
+            "neighbor_degree": self.neighbor_degree,
+            "heartbeat_interval": self.heartbeat_interval,
+            "activity_flip_probability": self.activity_flip_probability,
+            "job_submit_probability": self.job_submit_probability,
+            "job_duration_range": list(self.job_duration_range),
+            "transfer_delay": self.transfer_delay,
+            "machine_failure_probability": self.machine_failure_probability,
+            "machine_recover_probability": self.machine_recover_probability,
+            "sniffer_poll_interval_range": list(self.sniffer_poll_interval_range),
+            "sniffer_lag_range": list(self.sniffer_lag_range),
+            "num_schedulers": self.num_schedulers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        kwargs = dict(data)
+        for key in ("job_duration_range", "sniffer_poll_interval_range", "sniffer_lag_range"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
     def __repr__(self) -> str:
         return (
             f"SimulationConfig(machines={self.num_machines}, seed={self.seed}, "
@@ -206,6 +234,13 @@ class GridSimulator:
     telemetry:
         Explicit telemetry override for the simulator's own samples;
         defaults to the process-wide one.
+    durability:
+        An optional :class:`~repro.durable.DurabilityManager`. When given,
+        machine logs are mirrored to disk, applied batches and heartbeats
+        are journaled to the WAL, the manager checkpoints on its cadence
+        from :meth:`step`, and (when it was opened with ``resume=True``)
+        the simulator is restored to the recovered state instead of
+        bootstrapping from scratch.
     """
 
     def __init__(
@@ -217,6 +252,7 @@ class GridSimulator:
         health: Optional[SourceHealth] = None,
         slo: Optional[object] = None,
         telemetry: Optional[object] = None,
+        durability: Optional[object] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
@@ -230,6 +266,13 @@ class GridSimulator:
         self.schedulers: Dict[str, Scheduler] = {}
         for mid in self.machine_ids[: self.config.num_schedulers]:
             self.schedulers[mid] = Scheduler(self.machines[mid], self.rng)
+
+        self.durability = durability
+        if durability is not None:
+            # Phase 1 must run before supervisors wrap machine logs in
+            # FaultyLog proxies: it replays the journal into the bare
+            # backend and swaps each machine's log for a disk-mirrored one.
+            durability.prepare_simulator(self)
 
         self.sniffers: Dict[str, Sniffer] = {}
         for mid in self.machine_ids:
@@ -262,8 +305,16 @@ class GridSimulator:
         self._pending_starts: List[Tuple[float, str, str]] = []  # (time, machine, job)
         self._pending_completions: List[Tuple[float, str, str]] = []
         self._last_heartbeat: Dict[str, float] = {mid: 0.0 for mid in self.machine_ids}
-        self._build_topology()
-        self._bootstrap_state()
+        restored = False
+        if durability is not None:
+            # Phase 2 runs after the supervisors exist (they mark every
+            # source HEALTHY on construction, which recovered health must
+            # override) and restores clocks, RNG, jobs, and sniffer
+            # offsets/recency from the recovered state.
+            restored = durability.finish_binding(self)
+        if not restored:
+            self._build_topology()
+            self._bootstrap_state()
 
     # -- setup ------------------------------------------------------------
 
@@ -321,6 +372,8 @@ class GridSimulator:
             for sniffer in self.sniffers.values():
                 sniffer.maybe_poll(self.now)
         self._observe(self.now)
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(self.now)
 
     def run(self, duration: float) -> None:
         """Advance the clock by ``duration`` seconds."""
@@ -338,6 +391,163 @@ class GridSimulator:
             sniffer.config.lag = 0.0
             sniffer.poll(self.now)
             sniffer.config.lag = saved_lag
+
+    # -- durability ---------------------------------------------------------
+
+    def durable_state(self) -> dict:
+        """A JSON-serializable snapshot of everything needed to resume.
+
+        The database portion is captured inside one ``backend.snapshot()``
+        (PR 2's copy-on-write views), so all tables plus heartbeats are
+        read at a single consistent point even though the capture issues
+        one query per table.
+        """
+        from repro.catalog import (
+            HEARTBEAT_RECENCY_COLUMN,
+            HEARTBEAT_SOURCE_COLUMN,
+            HEARTBEAT_TABLE,
+        )
+
+        version, internal, gauss = self.rng.getstate()
+        tables: Dict[str, List[list]] = {}
+        with self.backend.snapshot() as snap:
+            for schema in self.catalog.monitored_tables():
+                columns = ", ".join(col.name for col in schema.columns)
+                result = snap.execute(f"SELECT {columns} FROM {schema.name}")
+                tables[schema.name] = [list(row) for row in result.rows]
+            hb_rows = snap.execute(
+                f"SELECT {HEARTBEAT_SOURCE_COLUMN}, {HEARTBEAT_RECENCY_COLUMN} "
+                f"FROM {HEARTBEAT_TABLE}"
+            ).rows
+        heartbeats = sorted([str(sid), float(recency)] for sid, recency in hb_rows)
+
+        machines = {}
+        for mid, machine in self.machines.items():
+            machines[mid] = {
+                "activity": machine.activity,
+                "neighbors": list(machine.neighbors),
+                "running_jobs": sorted(machine.running_jobs),
+                "failed": machine.failed,
+                "log_len": len(machine.log),
+            }
+        schedulers = {}
+        for mid, scheduler in self.schedulers.items():
+            schedulers[mid] = {
+                job_id: {
+                    "owner": job.owner,
+                    "submit_machine": job.submit_machine,
+                    "state": job.state.value,
+                    "remote_machine": job.remote_machine,
+                    "submitted_at": job.submitted_at,
+                    "started_at": job.started_at,
+                    "completed_at": job.completed_at,
+                    "duration": job.duration,
+                }
+                for job_id, job in scheduler.jobs.items()
+            }
+        ingest = {
+            "offsets": {mid: sniffer.offset for mid, sniffer in self.sniffers.items()},
+            # Poll phase matters for determinism: without it a resumed
+            # sniffer would poll immediately and batch boundaries shift.
+            "last_poll": {
+                mid: sniffer.last_poll
+                for mid, sniffer in self.sniffers.items()
+                if sniffer.last_poll != float("-inf")
+            },
+            "recency": {
+                mid: sniffer._reported_recency
+                for mid, sniffer in self.sniffers.items()
+                if sniffer._reported_recency != float("-inf")
+            },
+            "last_loaded": {
+                mid: sniffer.last_loaded_timestamp
+                for mid, sniffer in self.sniffers.items()
+                if sniffer.last_loaded_timestamp is not None
+            },
+            "records_loaded": {
+                mid: sniffer.records_loaded for mid, sniffer in self.sniffers.items()
+            },
+        }
+        state = {
+            "config": self.config.to_dict(),
+            "machine_ids": list(self.machine_ids),
+            "now": self.now,
+            "job_counter": self._job_counter,
+            "rng": {"version": version, "internal": list(internal), "gauss": gauss},
+            "machines": machines,
+            "schedulers": schedulers,
+            "pending_starts": [list(p) for p in self._pending_starts],
+            "pending_completions": [list(p) for p in self._pending_completions],
+            "last_heartbeat": dict(self._last_heartbeat),
+            "plan_silenced": sorted(self._plan_silenced),
+            "slo_breached": sorted(self._slo_breached),
+            "database": {"tables": tables, "heartbeats": heartbeats},
+            "ingest": ingest,
+            "health": self.health.to_dict() if self.health is not None else None,
+        }
+        if self.slo is not None:
+            state["slo"] = {
+                "target_p95": self.slo.target_p95,
+                "budget": self.slo.budget,
+                "window": self.slo.window,
+                "series": {
+                    mid: [list(sample) for sample in samples]
+                    for mid, samples in self.slo.lag_series().items()
+                },
+            }
+        return state
+
+    def restore_durable_state(self, state: dict) -> None:
+        """Reset simulator bookkeeping to a checkpointed ``durable_state``.
+
+        Restores clocks, RNG, machines, jobs, and pending queues — the
+        database and sniffer/health/SLO side is handled by the durability
+        manager, which also replays the WAL tail past this checkpoint.
+        """
+        self.now = float(state["now"])
+        self._job_counter = int(state["job_counter"])
+        rng_state = state["rng"]
+        self.rng.setstate(
+            (
+                rng_state["version"],
+                tuple(rng_state["internal"]),
+                rng_state["gauss"],
+            )
+        )
+        for mid, saved in state["machines"].items():
+            machine = self.machines[mid]
+            machine.activity = saved["activity"]
+            machine.neighbors = list(saved["neighbors"])
+            machine.running_jobs = set(saved["running_jobs"])
+            machine.failed = bool(saved["failed"])
+        for mid, jobs in state["schedulers"].items():
+            scheduler = self.schedulers[mid]
+            scheduler.jobs.clear()
+            for job_id, saved in jobs.items():
+                job = Job(
+                    job_id=job_id,
+                    owner=saved["owner"],
+                    submit_machine=saved["submit_machine"],
+                    submitted_at=saved["submitted_at"],
+                    duration=saved["duration"],
+                )
+                job.state = JobState(saved["state"])
+                job.remote_machine = saved["remote_machine"]
+                job.started_at = saved["started_at"]
+                job.completed_at = saved["completed_at"]
+                scheduler.jobs[job_id] = job
+        self._pending_starts = [
+            (float(t), str(machine), str(job)) for t, machine, job in state["pending_starts"]
+        ]
+        self._pending_completions = [
+            (float(t), str(machine), str(job))
+            for t, machine, job in state["pending_completions"]
+        ]
+        self._last_heartbeat = {
+            mid: float(t) for mid, t in state["last_heartbeat"].items()
+        }
+        self._plan_silenced = set(state.get("plan_silenced", []))
+        self._slo_breached = set(state.get("slo_breached", []))
 
     # -- internals -----------------------------------------------------------
 

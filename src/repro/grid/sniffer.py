@@ -31,6 +31,55 @@ SCHED_TABLE = "sched_jobs"
 RUN_TABLE = "run_jobs"
 
 
+def apply_event(backend: Backend, event: LogEvent) -> None:
+    """Transform one log event into monitoring-schema rows on ``backend``.
+
+    Shared by the live sniffer path and WAL replay
+    (:mod:`repro.durable.recover`): every operation is a keyed upsert or
+    delete, so applying the same event again converges to the same rows.
+    """
+    source = event.source
+    ts = event.timestamp
+    if event.kind is EventKind.MACHINE_STATE:
+        backend.upsert_rows(
+            ACTIVITY_TABLE, ("mach_id",), [(source, event.value("value"), ts)]
+        )
+    elif event.kind is EventKind.NEIGHBOR_ADDED:
+        backend.upsert_rows(
+            ROUTING_TABLE,
+            ("mach_id", "neighbor"),
+            [(source, event.value("neighbor"), ts)],
+        )
+    elif event.kind is EventKind.JOB_SUBMITTED:
+        backend.upsert_rows(
+            SCHED_TABLE,
+            ("sched_machine_id", "job_id"),
+            [(source, event.value("job_id"), None, ts)],
+        )
+    elif event.kind is EventKind.JOB_SCHEDULED:
+        backend.upsert_rows(
+            SCHED_TABLE,
+            ("sched_machine_id", "job_id"),
+            [(source, event.value("job_id"), event.value("remote_machine"), ts)],
+        )
+    elif event.kind is EventKind.JOB_STARTED:
+        backend.upsert_rows(
+            RUN_TABLE,
+            ("running_machine_id", "job_id"),
+            [(source, event.value("job_id"), ts)],
+        )
+    elif event.kind in (EventKind.JOB_COMPLETED, EventKind.JOB_SUSPENDED):
+        backend.delete_rows(
+            RUN_TABLE,
+            ("running_machine_id", "job_id"),
+            [(source, event.value("job_id"))],
+        )
+    elif event.kind is EventKind.HEARTBEAT:
+        pass  # advances recency only
+    else:  # pragma: no cover - exhaustiveness guard
+        raise SimulationError(f"unknown event kind {event.kind!r}")
+
+
 class SnifferConfig:
     """Tuning knobs for one sniffer.
 
@@ -117,6 +166,10 @@ class Sniffer:
         self.failed = False
         self.records_loaded = 0
         self._reported_recency = float("-inf")
+        #: Optional durability sink (a ``DurabilityManager``): applied
+        #: batches and acknowledged heartbeats are journaled through it
+        #: *before* they touch the backend, so recovery can replay them.
+        self.journal = None
 
     def maybe_poll(self, now: float) -> int:
         """Poll if the interval elapsed. Returns records applied."""
@@ -131,6 +184,11 @@ class Sniffer:
         if self.failed:
             return 0
         self.last_poll = now
+        if self.offset > len(self.machine.log):
+            # Durable resume: the recovered offset can run ahead of a log
+            # that deterministic re-simulation is still regrowing. Nothing
+            # new can be visible until the log catches up.
+            return 0
         horizon = now - self.config.lag
         events, new_offset = self.machine.log.read_from(self.offset, horizon)
         truncated = False
@@ -138,6 +196,10 @@ class Sniffer:
             events = events[: self.config.batch_size]
             new_offset = self.offset + len(events)
             truncated = True
+        if self.journal is not None and events:
+            self.journal.journal_events(
+                self.machine.machine_id, self.offset, new_offset, events, now
+            )
         for event in events:
             self._apply(event)
         self.offset = new_offset
@@ -170,6 +232,8 @@ class Sniffer:
             # every poll until the database acknowledges it.
             recency = self.last_loaded_timestamp
         if recency is not None and recency > self._reported_recency:
+            if self.journal is not None:
+                self.journal.journal_heartbeat(self.machine.machine_id, recency, now)
             self.backend.upsert_heartbeat(self.machine.machine_id, recency)
             self._reported_recency = recency
         return len(events)
@@ -177,46 +241,7 @@ class Sniffer:
     # -- record transformation ------------------------------------------------
 
     def _apply(self, event: LogEvent) -> None:
-        source = event.source
-        ts = event.timestamp
-        if event.kind is EventKind.MACHINE_STATE:
-            self.backend.upsert_rows(
-                ACTIVITY_TABLE, ("mach_id",), [(source, event.value("value"), ts)]
-            )
-        elif event.kind is EventKind.NEIGHBOR_ADDED:
-            self.backend.upsert_rows(
-                ROUTING_TABLE,
-                ("mach_id", "neighbor"),
-                [(source, event.value("neighbor"), ts)],
-            )
-        elif event.kind is EventKind.JOB_SUBMITTED:
-            self.backend.upsert_rows(
-                SCHED_TABLE,
-                ("sched_machine_id", "job_id"),
-                [(source, event.value("job_id"), None, ts)],
-            )
-        elif event.kind is EventKind.JOB_SCHEDULED:
-            self.backend.upsert_rows(
-                SCHED_TABLE,
-                ("sched_machine_id", "job_id"),
-                [(source, event.value("job_id"), event.value("remote_machine"), ts)],
-            )
-        elif event.kind is EventKind.JOB_STARTED:
-            self.backend.upsert_rows(
-                RUN_TABLE,
-                ("running_machine_id", "job_id"),
-                [(source, event.value("job_id"), ts)],
-            )
-        elif event.kind in (EventKind.JOB_COMPLETED, EventKind.JOB_SUSPENDED):
-            self.backend.delete_rows(
-                RUN_TABLE,
-                ("running_machine_id", "job_id"),
-                [(source, event.value("job_id"))],
-            )
-        elif event.kind is EventKind.HEARTBEAT:
-            pass  # advances recency only
-        else:  # pragma: no cover - exhaustiveness guard
-            raise SimulationError(f"unknown event kind {event.kind!r}")
+        apply_event(self.backend, event)
 
     # -- failure injection --------------------------------------------------------
 
@@ -230,8 +255,11 @@ class Sniffer:
 
     @property
     def backlog(self) -> int:
-        """Records written to the log but not yet loaded."""
-        return len(self.machine.log) - self.offset
+        """Records written to the log but not yet loaded.
+
+        Clamped at zero: after a durable resume the recovered offset can
+        briefly exceed the length of a log still being regrown."""
+        return max(0, len(self.machine.log) - self.offset)
 
     def __repr__(self) -> str:
         status = "FAILED" if self.failed else "ok"

@@ -51,6 +51,10 @@ EVT_CACHE_CLEARED = "cache.cleared"
 EVT_MONITOR_ALERT = "monitor.alert"
 EVT_SLO_BREACH = "slo.breach"
 EVT_FLIGHT_DUMPED = "flight.dumped"
+EVT_CHECKPOINT = "durability.checkpoint"
+EVT_CHECKPOINT_FAILED = "durability.checkpoint_failed"
+EVT_RECOVERED = "durability.recovered"
+EVT_WAL_TORN = "durability.torn_tail"
 
 SEVERITIES = ("debug", "info", "warning", "error")
 

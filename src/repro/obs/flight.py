@@ -149,9 +149,15 @@ class FlightRecorder:
             slug = reason.replace(".", "-").replace("/", "-") or "manual"
             stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(wall))
             path = os.path.join(self.directory, f"flight-{stamp}-{seq:04d}-{slug}.json")
-            with open(path, "w", encoding="utf-8") as fp:
+            # Write-then-rename so a crash mid-dump never leaves a torn
+            # JSON file where an investigation expects a complete one.
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as fp:
                 json.dump(payload, fp, sort_keys=True, indent=2, default=str)
                 fp.write("\n")
+                fp.flush()
+                os.fsync(fp.fileno())
+            os.rename(tmp_path, path)
             self.dumps.append(path)
         finally:
             with self._lock:

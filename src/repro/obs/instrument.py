@@ -71,6 +71,13 @@ MONITOR_TRIPS = "trac_monitor_trips_total"
 SOURCE_LAG = "trac_source_lag_seconds"
 SLO_BURN = "trac_slo_error_budget_burn"
 EVENTS_EMITTED = "trac_events_emitted_total"
+WAL_RECORDS = "trac_wal_records_total"
+WAL_SYNCS = "trac_wal_syncs_total"
+CHECKPOINTS = "trac_checkpoints_total"
+CHECKPOINT_SECONDS = "trac_checkpoint_seconds"
+RECOVERY_RUNS = "trac_recovery_runs_total"
+RECOVERY_REPLAYED = "trac_recovery_replayed_total"
+RECOVERY_TORN_SEGMENTS = "trac_recovery_torn_segments_total"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -355,6 +362,41 @@ def record_breaker_transition(tel, machine: str, state: str) -> None:
         {"machine": machine, "state": state},
         help="Per-source circuit breaker state transitions",
     ).inc()
+
+
+def record_wal_records(tel, kind: str, count: int = 1) -> None:
+    tel.metrics.counter(
+        WAL_RECORDS, {"kind": kind}, help="Records appended to the write-ahead journal"
+    ).inc(count)
+
+
+def record_wal_sync(tel) -> None:
+    tel.metrics.counter(WAL_SYNCS, help="fsync calls issued by the journal writer").inc()
+
+
+def record_checkpoint(tel, outcome: str, seconds: float = 0.0) -> None:
+    tel.metrics.counter(
+        CHECKPOINTS, {"outcome": outcome}, help="Checkpoint attempts by outcome"
+    ).inc()
+    if outcome == "ok":
+        tel.metrics.histogram(
+            CHECKPOINT_SECONDS, help="Wall seconds spent writing checkpoints"
+        ).observe(seconds)
+
+
+def record_recovery(tel, events: int, heartbeats: int, skipped: int, torn: int) -> None:
+    tel.metrics.counter(RECOVERY_RUNS, help="Recovery passes executed").inc()
+    replayed = tel.metrics.counter(
+        RECOVERY_REPLAYED,
+        {"kind": "event"},
+        help="WAL records replayed or skipped during recovery",
+    )
+    replayed.inc(events)
+    tel.metrics.counter(RECOVERY_REPLAYED, {"kind": "heartbeat"}).inc(heartbeats)
+    tel.metrics.counter(RECOVERY_REPLAYED, {"kind": "skipped"}).inc(skipped)
+    tel.metrics.counter(
+        RECOVERY_TORN_SEGMENTS, help="WAL segments whose torn tail was truncated"
+    ).inc(torn)
 
 
 def record_source_lag(tel, source: str, lag: float) -> None:

@@ -1,0 +1,185 @@
+"""Ring-buffer spill: retention beyond the in-memory telemetry rings.
+
+The event log and tracer keep bounded rings (an ``EventLog`` drops the
+oldest event past its capacity, the ``Tracer`` drops the *newest* span
+past ``max_spans``), which is the right behaviour for a live process but
+loses history on long chaos runs. :class:`RingSpill` extends retention to
+disk through the same CRC32-framed journal format the durability WAL uses
+(:mod:`repro.durable.wal`): every emitted event is appended to
+``events.spill`` as it happens, and :meth:`drain_spans` moves finished
+spans into ``spans.spill`` and resets the in-memory collector so it never
+overflows.
+
+A torn tail (the process died mid-append) is handled exactly like a torn
+WAL: :func:`read_spill` returns the valid prefix and reports the tear
+instead of raising. Spill files default to ``fsync="never"`` — they are
+an investigative record, not a correctness log, and a process crash only
+loses the final unflushed frame.
+
+Deliberately not exported from :mod:`repro.obs` — importing it pulls in
+:mod:`repro.durable.wal`, and the base telemetry package must stay free
+of durability imports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+from repro.durable.wal import FrameScan, FrameWriter, scan_frames
+from repro.errors import DurabilityError
+
+#: Spill file names under the spill directory.
+EVENTS_SPILL = "events.spill"
+SPANS_SPILL = "spans.spill"
+
+
+class RingSpill:
+    """Journal telemetry events and finished spans to disk.
+
+    Parameters
+    ----------
+    telemetry:
+        An enabled :class:`~repro.obs.instrument.Telemetry`; its event log
+        is subscribed on :meth:`install` and its tracer drained by
+        :meth:`drain_spans`.
+    directory:
+        Where ``events.spill`` and ``spans.spill`` live; created eagerly.
+    fsync / fsync_interval:
+        The journal fsync policy (see :data:`repro.durable.wal.FSYNC_POLICIES`).
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        directory: str,
+        fsync: str = "never",
+        fsync_interval: float = 1.0,
+    ) -> None:
+        self.telemetry = telemetry
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.events_path = os.path.join(directory, EVENTS_SPILL)
+        self.spans_path = os.path.join(directory, SPANS_SPILL)
+        self._events_writer = FrameWriter(
+            self.events_path, fsync=fsync, fsync_interval=fsync_interval
+        )
+        self._spans_writer = FrameWriter(
+            self.spans_path, fsync=fsync, fsync_interval=fsync_interval
+        )
+        self._installed = False
+        self.events_spilled = 0
+        self.spans_spilled = 0
+
+    # -- subscription -------------------------------------------------------
+
+    def install(self) -> "RingSpill":
+        """Subscribe to the event log; returns self."""
+        if not self._installed:
+            self.telemetry.events.subscribe(self._on_event)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.telemetry.events.unsubscribe(self._on_event)
+            self._installed = False
+
+    def _on_event(self, event) -> None:
+        self._events_writer.append(_encode(event.to_dict()))
+        self.events_spilled += 1
+
+    # -- spans --------------------------------------------------------------
+
+    def drain_spans(self, reset: bool = True) -> int:
+        """Spill every finished span, then (by default) reset the tracer.
+
+        Returns the number of spans written. Draining on a cadence keeps
+        the in-memory collector from ever hitting ``max_spans`` — the
+        disk journal is the ring's overflow, which is the retention story
+        the observatory roadmap called for.
+        """
+        spans = self.telemetry.tracer.finished_spans()
+        for span in spans:
+            self._spans_writer.append(_encode(span.to_dict()))
+        if spans and reset:
+            self.telemetry.tracer.reset()
+        self.spans_spilled += len(spans)
+        return len(spans)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force both journals onto stable storage."""
+        self._events_writer.sync()
+        self._spans_writer.sync()
+
+    def close(self, drain: bool = True) -> None:
+        """Unsubscribe, optionally drain remaining spans, close journals."""
+        self.uninstall()
+        if drain and not self._spans_writer.closed:
+            self.drain_spans()
+        self._events_writer.close()
+        self._spans_writer.close()
+
+    def __enter__(self) -> "RingSpill":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "installed" if self._installed else "detached"
+        return (
+            f"RingSpill({self.directory!r}, {state}, "
+            f"events={self.events_spilled}, spans={self.spans_spilled})"
+        )
+
+
+def _encode(record: dict) -> bytes:
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+
+
+def read_spill(path: str) -> Tuple[List[dict], FrameScan]:
+    """Read one spill journal: the valid record prefix plus the scan.
+
+    A torn tail truncates the result rather than raising; a frame whose
+    payload is not a JSON object raises :class:`DurabilityError` (the file
+    is not a spill journal).
+    """
+    scan = scan_frames(path)
+    records: List[dict] = []
+    for payload in scan.payloads:
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DurabilityError(f"spill frame in {path} is not JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise DurabilityError(
+                f"spill frame in {path} is not an object: {record!r}"
+            )
+        records.append(record)
+    return records, scan
+
+
+def read_events(directory: str) -> Tuple[List[dict], FrameScan]:
+    """The spilled event records of a spill directory, oldest first."""
+    return read_spill(os.path.join(directory, EVENTS_SPILL))
+
+
+def read_spans(directory: str) -> Tuple[List[dict], FrameScan]:
+    """The spilled span records of a spill directory, oldest first."""
+    return read_spill(os.path.join(directory, SPANS_SPILL))
+
+
+__all__ = [
+    "RingSpill",
+    "read_spill",
+    "read_events",
+    "read_spans",
+    "EVENTS_SPILL",
+    "SPANS_SPILL",
+]

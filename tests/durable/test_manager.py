@@ -1,0 +1,204 @@
+"""DurabilityManager integration: durable runs, crash-resume, checkpoints.
+
+The heavyweight proof (SIGKILL at randomized points) lives in
+``tools/crash_matrix.py`` / ``test_crash_matrix.py``; these tests cover
+the same invariants in-process, where failures are easy to debug.
+"""
+
+import os
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.durable import DurabilityManager, DurabilityPolicy, recover
+from repro.durable.wal import wal_path
+from repro.errors import DurabilityError
+from repro.faults import FaultPlan
+from repro.grid.simulator import GridSimulator, SimulationConfig, monitoring_catalog
+
+SEED = 3
+MACHINES = 4
+
+
+def make_manager(directory, resume=False, checkpoint_interval=25.0, **kwargs):
+    policy = DurabilityPolicy(fsync="always", checkpoint_interval=checkpoint_interval)
+    return DurabilityManager(str(directory), policy=policy, resume=resume, **kwargs)
+
+
+def make_sim(durability=None, machines=MACHINES, seed=SEED):
+    return GridSimulator(
+        SimulationConfig(num_machines=machines, seed=seed), durability=durability
+    )
+
+
+def database_state(backend, catalog):
+    state = {
+        schema.name: sorted(backend.execute(f"SELECT * FROM {schema.name}").rows)
+        for schema in catalog.monitored_tables()
+    }
+    state["heartbeat"] = sorted(backend.heartbeat_rows())
+    return state
+
+
+def oracle_state(duration, machines=MACHINES, seed=SEED):
+    sim = make_sim(machines=machines, seed=seed)
+    sim.run(duration)
+    return database_state(sim.backend, sim.catalog)
+
+
+class TestDurableRun:
+    def test_journaling_does_not_perturb_the_simulation(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(120.0)
+        manager.close(sim.now)
+        assert database_state(sim.backend, sim.catalog) == oracle_state(120.0)
+
+    def test_recovery_rebuilds_the_live_database(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(120.0)
+        manager.close(sim.now, final_checkpoint=False)
+        fresh = MemoryBackend(monitoring_catalog(sim.machine_ids))
+        recover(str(tmp_path), backend=fresh)
+        assert database_state(fresh, sim.catalog) == database_state(
+            sim.backend, sim.catalog
+        )
+
+    def test_acked_watermarks_under_fsync_always(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        acked = manager.acked()
+        # Every journaled record was fsynced, so acked == journaled.
+        assert acked["offsets"] == manager._journaled_offsets
+        assert acked["recency"] == manager._journaled_recency
+        assert sum(acked["offsets"].values()) > 0
+        manager.close(sim.now)
+
+
+class TestCrashResume:
+    def crash_then_resume(self, tmp_path, crash_at, total, checkpoint_interval=25.0):
+        manager = make_manager(tmp_path, checkpoint_interval=checkpoint_interval)
+        sim = make_sim(durability=manager)
+        sim.run(crash_at)
+        # Crash: no close(), no final checkpoint. fsync="always" means the
+        # WAL already holds everything, exactly as after a SIGKILL.
+        del sim, manager
+        resumed_manager = make_manager(
+            tmp_path, resume=True, checkpoint_interval=checkpoint_interval
+        )
+        resumed = make_sim(durability=resumed_manager)
+        resumed.run(total - resumed.now)
+        resumed_manager.close(resumed.now)
+        return resumed, resumed_manager
+
+    def test_resume_after_checkpoint_matches_oracle(self, tmp_path):
+        resumed, manager = self.crash_then_resume(tmp_path, crash_at=80.0, total=160.0)
+        assert resumed.now == pytest.approx(160.0)
+        assert manager.recovered is not None and manager.recovered.has_checkpoint
+        assert database_state(resumed.backend, resumed.catalog) == oracle_state(160.0)
+
+    def test_wal_only_resume_matches_oracle(self, tmp_path):
+        # Crash before the first checkpoint: recovery has only the WAL and
+        # the simulator deterministically regrows from t=0.
+        resumed, manager = self.crash_then_resume(
+            tmp_path, crash_at=40.0, total=120.0, checkpoint_interval=10_000.0
+        )
+        assert manager.recovered is not None and not manager.recovered.has_checkpoint
+        assert database_state(resumed.backend, resumed.catalog) == oracle_state(120.0)
+
+    def test_double_crash_matches_oracle(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        del sim, manager
+        second = make_manager(tmp_path, resume=True)
+        sim2 = make_sim(durability=second)
+        sim2.run(110.0 - sim2.now)
+        del sim2, second
+        third = make_manager(tmp_path, resume=True)
+        sim3 = make_sim(durability=third)
+        sim3.run(180.0 - sim3.now)
+        third.close(sim3.now)
+        assert database_state(sim3.backend, sim3.catalog) == oracle_state(180.0)
+
+    def test_machine_set_mismatch_refuses_resume(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        manager.close(sim.now)
+        with pytest.raises(DurabilityError, match="covers machines"):
+            make_sim(durability=make_manager(tmp_path, resume=True), machines=MACHINES + 2)
+
+    def test_saved_config_round_trips(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        manager.close(sim.now)
+        saved = make_manager(tmp_path, resume=True).saved_config()
+        assert saved is not None
+        assert SimulationConfig.from_dict(saved).to_dict() == sim.config.to_dict()
+
+    def test_fresh_start_wipes_previous_artifacts(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        manager.close(sim.now)
+        assert manager.epoch > 0
+        second = make_manager(tmp_path)  # resume=False
+        fresh_sim = make_sim(durability=second)
+        names = sorted(
+            n for n in os.listdir(tmp_path) if n.endswith((".wal", ".json"))
+        )
+        assert names == [os.path.basename(wal_path(str(tmp_path), 0))]
+        fresh_sim.run(1.0)
+        second.close(fresh_sim.now, final_checkpoint=False)
+
+
+class TestCheckpointing:
+    def test_maybe_checkpoint_cadence(self, tmp_path):
+        manager = make_manager(tmp_path, checkpoint_interval=30.0)
+        sim = make_sim(durability=manager)
+        # GridSimulator drives maybe_checkpoint from step(); with a 30s
+        # interval and the first call only baselining, 100s yields 2-3.
+        sim.run(100.0)
+        assert 2 <= manager.checkpoints_written <= 3
+        assert manager.epoch == manager.checkpoints_written
+        assert os.path.exists(wal_path(str(tmp_path), manager.epoch))
+        manager.close(sim.now)
+
+    def test_explicit_state_checkpoint_without_simulator(self, tmp_path):
+        manager = DurabilityManager(str(tmp_path))
+        assert manager.checkpoint(10.0, state={"marker": 1}) is True
+        assert manager.epoch == 1 and manager.checkpoints_written == 1
+        recovered = recover(str(tmp_path))
+        assert recovered.state == {"marker": 1}
+        manager.close()
+
+    def test_checkpoint_failure_is_survivable(self, tmp_path):
+        plan = FaultPlan().durability_error(op="checkpoint", probability=1.0)
+        manager = make_manager(tmp_path, fault_plan=plan)
+        sim = make_sim(durability=manager)
+        sim.run(100.0)
+        assert manager.checkpoints_written == 0
+        assert manager.checkpoint_failures >= 2
+        assert manager.epoch == 0  # never rotated
+        manager.close(sim.now, final_checkpoint=False)
+        # The unrotated WAL still recovers the whole run.
+        fresh = MemoryBackend(monitoring_catalog(sim.machine_ids))
+        recover(str(tmp_path), backend=fresh)
+        assert database_state(fresh, sim.catalog) == database_state(
+            sim.backend, sim.catalog
+        )
+
+    def test_stats_shape(self, tmp_path):
+        manager = make_manager(tmp_path)
+        sim = make_sim(durability=manager)
+        sim.run(60.0)
+        manager.close(sim.now)
+        stats = manager.stats()
+        assert stats["wal_records"] > 0
+        assert stats["wal_syncs"] > 0
+        assert stats["checkpoints_written"] == stats["epoch"]
+        assert "recovered" not in stats

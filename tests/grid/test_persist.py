@@ -144,3 +144,107 @@ class TestArchiveAndReplay:
         replay_directory(partial, str(tmp_path), up_to_time=50.0)
         for _, recency in partial.heartbeat_rows():
             assert recency <= 50.0
+
+
+class TestWriterFsyncPolicies:
+    """The durability knob on FileLogWriter: when os.fsync actually runs."""
+
+    def counting_fsync(self, monkeypatch):
+        import os as os_module
+
+        calls = []
+        real = os_module.fsync
+        monkeypatch.setattr(os_module, "fsync", lambda fd: (calls.append(fd), real(fd)))
+        return calls
+
+    def test_always_syncs_every_append(self, tmp_path, monkeypatch):
+        calls = self.counting_fsync(monkeypatch)
+        with FileLogWriter(str(tmp_path / "m1.log"), "m1", fsync="always") as writer:
+            before = len(calls)
+            writer.append(hb(1.0))
+            writer.append(hb(2.0))
+            assert len(calls) == before + 2
+
+    def test_never_skips_append_time_syncs(self, tmp_path, monkeypatch):
+        calls = self.counting_fsync(monkeypatch)
+        with FileLogWriter(str(tmp_path / "m1.log"), "m1", fsync="never") as writer:
+            before = len(calls)
+            writer.append(hb(1.0))
+            assert len(calls) == before
+
+    def test_interval_syncs_on_the_clock(self, tmp_path, monkeypatch):
+        calls = self.counting_fsync(monkeypatch)
+        clock = {"now": 100.0}
+        writer = FileLogWriter(
+            str(tmp_path / "m1.log"),
+            "m1",
+            fsync="interval",
+            fsync_interval=5.0,
+            clock=lambda: clock["now"],
+        )
+        before = len(calls)
+        writer.append(hb(1.0))
+        assert len(calls) == before  # interval not yet elapsed
+        clock["now"] += 5.0
+        writer.append(hb(2.0))
+        assert len(calls) == before + 1
+        writer.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        from repro.errors import DurabilityError
+
+        with pytest.raises(DurabilityError):
+            FileLogWriter(str(tmp_path / "m1.log"), "m1", fsync="sometimes")
+        with pytest.raises(DurabilityError):
+            FileLogWriter(str(tmp_path / "m1.log"), "m1", fsync="interval", fsync_interval=0.0)
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        from repro.errors import DurabilityError
+
+        writer = FileLogWriter(str(tmp_path / "m1.log"), "m1")
+        writer.close()
+        with pytest.raises(DurabilityError):
+            writer.append(hb(1.0))
+
+
+class TestTornLogRecovery:
+    """Lenient reads and atomic rewrites: the mirror-restore primitives."""
+
+    def torn_log(self, tmp_path):
+        path = str(tmp_path / "m1.log")
+        with FileLogWriter(path, "m1") as writer:
+            writer.append(hb(1.0))
+            writer.append(hb(2.0))
+        with open(path, "a") as handle:
+            handle.write("3.000000 m1 HEART")  # torn mid-line by a crash
+        return path
+
+    def test_lenient_read_returns_valid_prefix(self, tmp_path):
+        from repro.grid.persist import read_log_events
+
+        events, tear = read_log_events(self.torn_log(tmp_path), "m1", lenient=True)
+        assert [e.timestamp for e in events] == [1.0, 2.0]
+        assert tear is not None and "line 4" in tear
+
+    def test_strict_read_raises_on_torn_line(self, tmp_path):
+        from repro.grid.persist import read_log_events
+
+        with pytest.raises(SimulationError):
+            read_log_events(self.torn_log(tmp_path), "m1")
+
+    def test_rewrite_log_truncates_atomically(self, tmp_path):
+        import os
+
+        from repro.grid.persist import read_log_events, rewrite_log
+
+        path = self.torn_log(tmp_path)
+        events, _ = read_log_events(path, "m1", lenient=True)
+        rewrite_log(path, events[:1])
+        assert not os.path.exists(path + ".tmp")
+        events, tear = read_log_events(path, "m1", lenient=True)
+        assert [e.timestamp for e in events] == [1.0] and tear is None
+        # The rewritten file accepts further appends from a fresh writer.
+        with FileLogWriter(path, "m1") as writer:
+            writer.append(hb(5.0))
+        events, _ = read_log_events(path, "m1")
+        assert [e.timestamp for e in events] == [1.0, 5.0]

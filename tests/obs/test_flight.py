@@ -153,3 +153,23 @@ class TestDumpContents:
         recorder._dumping = True
         with pytest.raises(RuntimeError):
             recorder.dump()
+
+
+class TestAtomicDumps:
+    """Dumps are written via temp-file + rename: never a torn JSON file."""
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        import os
+
+        tel = Telemetry()
+        recorder = FlightRecorder(tel, str(tmp_path)).install()
+        recorder.dump(reason="manual")
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_dump_is_complete_json(self, tmp_path):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel, str(tmp_path)).install()
+        path = recorder.dump(reason="manual")
+        text = open(path, encoding="utf-8").read()
+        assert text.endswith("\n")
+        assert json.loads(text)["reason"] == "manual"

@@ -1,0 +1,122 @@
+"""RingSpill: disk retention for the bounded telemetry rings."""
+
+import os
+
+import pytest
+
+from repro.errors import DurabilityError
+from repro.obs.instrument import Telemetry
+from repro.obs.spill import (
+    EVENTS_SPILL,
+    RingSpill,
+    read_events,
+    read_spans,
+    read_spill,
+)
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+class TestEventSpill:
+    def test_emitted_events_reach_disk(self, telemetry, tmp_path):
+        with RingSpill(telemetry, str(tmp_path)) as spill:
+            telemetry.emit("evt.alpha", severity="info", t=1.0, answer=42)
+            telemetry.emit("evt.beta", severity="warning", t=2.0)
+            assert spill.events_spilled == 2
+        records, scan = read_events(str(tmp_path))
+        assert scan.torn is None
+        assert [r["name"] for r in records] == ["evt.alpha", "evt.beta"]
+        assert records[0]["attributes"] == {"answer": 42}
+
+    def test_uninstall_stops_spilling(self, telemetry, tmp_path):
+        spill = RingSpill(telemetry, str(tmp_path)).install()
+        telemetry.emit("evt.kept", severity="info")
+        spill.uninstall()
+        telemetry.emit("evt.dropped", severity="info")
+        spill.close()
+        records, _ = read_events(str(tmp_path))
+        assert [r["name"] for r in records] == ["evt.kept"]
+
+    def test_spilled_history_outlives_the_ring(self, telemetry, tmp_path):
+        # Emit past the in-memory ring capacity: the ring forgets the
+        # oldest events, the spill keeps them all.
+        capacity = telemetry.events.capacity
+        with RingSpill(telemetry, str(tmp_path)):
+            for index in range(capacity + 10):
+                telemetry.emit("evt.flood", severity="info", index=index)
+        records, _ = read_events(str(tmp_path))
+        assert len(records) == capacity + 10
+        assert len(telemetry.events.snapshot()) == capacity
+
+
+class TestSpanSpill:
+    def test_drain_writes_and_resets(self, telemetry, tmp_path):
+        spill = RingSpill(telemetry, str(tmp_path))
+        with telemetry.tracer.span("outer"):
+            with telemetry.tracer.span("inner"):
+                pass
+        assert spill.drain_spans() == 2
+        assert telemetry.tracer.finished_spans() == []
+        spill.close()
+        records, scan = read_spans(str(tmp_path))
+        assert scan.torn is None
+        assert [r["name"] for r in records] == ["inner", "outer"]
+
+    def test_drain_without_reset_keeps_spans(self, telemetry, tmp_path):
+        spill = RingSpill(telemetry, str(tmp_path))
+        with telemetry.tracer.span("kept"):
+            pass
+        assert spill.drain_spans(reset=False) == 1
+        assert len(telemetry.tracer.finished_spans()) == 1
+        spill.close(drain=False)
+
+    def test_close_drains_remaining_spans(self, telemetry, tmp_path):
+        spill = RingSpill(telemetry, str(tmp_path))
+        with telemetry.tracer.span("late"):
+            pass
+        spill.close()  # default drain=True
+        records, _ = read_spans(str(tmp_path))
+        assert [r["name"] for r in records] == ["late"]
+
+
+class TestReadSpill:
+    def test_torn_tail_yields_prefix(self, telemetry, tmp_path):
+        with RingSpill(telemetry, str(tmp_path)) as spill:
+            telemetry.emit("evt.one", severity="info")
+            telemetry.emit("evt.two", severity="info")
+            spill.sync()
+        path = os.path.join(str(tmp_path), EVENTS_SPILL)
+        with open(path, "rb+") as fp:
+            fp.truncate(os.path.getsize(path) - 3)
+        records, scan = read_events(str(tmp_path))
+        assert [r["name"] for r in records] == ["evt.one"]
+        assert scan.torn == "truncated frame payload"
+
+    def test_non_json_frame_rejected(self, tmp_path):
+        from repro.durable.wal import FrameWriter
+
+        path = str(tmp_path / "bogus.spill")
+        with FrameWriter(path, fsync="never") as writer:
+            writer.append(b"not json")
+        with pytest.raises(DurabilityError, match="not JSON"):
+            read_spill(path)
+
+    def test_non_object_frame_rejected(self, tmp_path):
+        from repro.durable.wal import FrameWriter
+
+        path = str(tmp_path / "bogus.spill")
+        with FrameWriter(path, fsync="never") as writer:
+            writer.append(b"[1,2]")
+        with pytest.raises(DurabilityError, match="not an object"):
+            read_spill(path)
+
+
+def test_not_exported_from_obs_package():
+    # The base telemetry package must stay importable without pulling in
+    # the durability layer; RingSpill is an explicit opt-in import.
+    import repro.obs as obs_pkg
+
+    assert not hasattr(obs_pkg, "RingSpill")

@@ -355,3 +355,62 @@ class TestObservatory:
         code = main(["top", "--url", "http://127.0.0.1:9", "--iterations", "1"])
         assert code == 1
         assert "trac top:" in capsys.readouterr().out
+
+
+class TestDurability:
+    def simulate(self, tmp_path, *extra, duration="120"):
+        db = str(tmp_path / "durable.sqlite")
+        data = str(tmp_path / "data")
+        code = main(
+            [
+                "simulate", "--db", db, "--machines", "4", "--seed", "9",
+                "--duration", duration, "--data-dir", data, *extra,
+            ]
+        )
+        return code, db, data
+
+    def test_data_dir_writes_wal_and_checkpoint(self, tmp_path, capsys):
+        code, _, data = self.simulate(tmp_path)
+        assert code == 0
+        names = os.listdir(data)
+        assert any(n.startswith("wal-") for n in names)
+        assert any(n.startswith("checkpoint-") for n in names)
+        assert "durability:" in capsys.readouterr().out
+
+    def test_resume_continues_a_previous_run(self, tmp_path, capsys):
+        code, _, data = self.simulate(tmp_path, duration="100")
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate", "--db", str(tmp_path / "resumed.sqlite"),
+                "--duration", "200", "--data-dir", data, "--resume",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "recovered epoch" in out
+
+    def test_resume_requires_data_dir(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--db", str(tmp_path / "g.sqlite"), "--resume"]
+        )
+        assert code == 1
+        assert "--data-dir" in capsys.readouterr().err
+
+    def test_recover_rebuilds_a_database(self, tmp_path, capsys):
+        code, _, data = self.simulate(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        rebuilt = str(tmp_path / "rebuilt.sqlite")
+        code = main(["recover", "--data-dir", data, "--db", rebuilt])
+        assert code == 0
+        assert os.path.exists(rebuilt)
+        out = capsys.readouterr().out
+        assert "epoch" in out and "activity" in out
+
+    def test_recover_missing_directory_errors(self, tmp_path, capsys):
+        code = main(["recover", "--data-dir", str(tmp_path / "absent")])
+        assert code == 1
+        assert "no durability directory" in capsys.readouterr().err

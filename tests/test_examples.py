@@ -84,3 +84,11 @@ class TestExamples:
         assert "trac top" in out
         assert "flight dump: trigger=watchdog.silence source=m2" in out
         assert "staleness SLO (p95 < 25s): BREACHED" in out
+
+    def test_durability_tour(self):
+        out = run_example("durability_tour.py")
+        assert "crash and resume" in out
+        assert "recovered epoch" in out
+        assert "survivor equals a never-crashed oracle: True" in out
+        assert "offline recovery equals the live database: True" in out
+        assert "torn: 'truncated frame payload'" in out

@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Kill-recovery matrix: SIGKILL a durable simulator at random points.
+
+The parent process runs a child simulator (this same file with
+``--child``) under ``fsync="always"``, SIGKILLs it after a randomized
+number of acknowledged steps, restarts it with ``--resume``, and repeats
+for at least ``--kills`` crash points before letting the final incarnation
+run to completion.  The protocol is line-oriented on the child's stdout:
+
+* ``TRAC-ACK {json}``       — after every simulation step: the per-source
+  offset/recency watermarks the WAL has fsync-acknowledged (what a crash
+  is guaranteed not to lose);
+* ``TRAC-RECOVERED {json}`` — once per resumed incarnation, after
+  recovery: the watermarks the journal actually restored;
+* ``TRAC-FINAL {digest}``   — the completed run's database digest.
+
+Checked invariants, per the durability contract (docs/ROBUSTNESS.md):
+
+1. nothing acknowledged is lost — every recovered watermark >= the last
+   acked watermark seen before the kill;
+2. per-source recency is monotonically non-decreasing across every ack of
+   every incarnation;
+3. nothing is applied twice and nothing is invented — the final database
+   digest equals a never-crashed oracle run of the same seed.
+
+Usage::
+
+    python tools/crash_matrix.py [--kills 10] [--seed 0] [--duration 240]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+sys.path.insert(0, SRC)
+
+ACK = "TRAC-ACK "
+RECOVERED = "TRAC-RECOVERED "
+FINAL = "TRAC-FINAL "
+
+
+def database_digest(sim) -> str:
+    """Stable hash of every monitored table plus the heartbeats."""
+    rows = {}
+    for schema in sim.catalog.monitored_tables():
+        result = sim.backend.execute(f"SELECT * FROM {schema.name}")
+        rows[schema.name] = sorted([str(v) for v in row] for row in result.rows)
+    rows["heartbeat"] = sorted(
+        [sid, f"{recency:.6f}"] for sid, recency in sim.backend.heartbeat_rows()
+    )
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Child: one simulator incarnation that narrates its acknowledged state
+# ---------------------------------------------------------------------------
+
+
+def child_main(args: argparse.Namespace) -> int:
+    from repro.durable import DurabilityManager, DurabilityPolicy
+    from repro.grid.simulator import GridSimulator, SimulationConfig
+
+    manager = DurabilityManager(
+        args.data_dir,
+        policy=DurabilityPolicy(
+            fsync="always", checkpoint_interval=args.checkpoint_interval
+        ),
+        resume=args.resume,
+    )
+    sim = GridSimulator(
+        SimulationConfig(num_machines=args.machines, seed=args.seed),
+        durability=manager,
+    )
+    if args.resume:
+        _say(RECOVERED + json.dumps(manager.acked(), sort_keys=True))
+    while sim.now < args.duration:
+        sim.step()
+        _say(ACK + json.dumps(manager.acked(), sort_keys=True))
+    manager.close(sim.now)
+    _say(FINAL + database_digest(sim))
+    return 0
+
+
+def _say(line: str) -> None:
+    sys.stdout.write(line + "\n")
+    sys.stdout.flush()
+
+
+# ---------------------------------------------------------------------------
+# Parent: the kill matrix
+# ---------------------------------------------------------------------------
+
+
+def _merge_acked(last: dict, acked: dict) -> None:
+    """Fold an ack into the running watermarks, asserting monotonicity."""
+    for source, offset in acked.get("offsets", {}).items():
+        previous = last["offsets"].get(source, 0)
+        if offset < previous:
+            raise AssertionError(
+                f"acked offset went backwards for {source}: {previous} -> {offset}"
+            )
+        last["offsets"][source] = offset
+    for source, recency in acked.get("recency", {}).items():
+        previous = last["recency"].get(source)
+        if previous is not None and recency < previous:
+            raise AssertionError(
+                f"acked recency went backwards for {source}: {previous} -> {recency}"
+            )
+        last["recency"][source] = recency
+
+
+def _check_recovered(last: dict, recovered: dict) -> None:
+    """Invariant 1: recovery restores at least everything acknowledged."""
+    for source, offset in last["offsets"].items():
+        got = recovered.get("offsets", {}).get(source, 0)
+        if got < offset:
+            raise AssertionError(
+                f"LOST acknowledged events for {source}: acked offset {offset}, "
+                f"recovered {got}"
+            )
+    for source, recency in last["recency"].items():
+        got = recovered.get("recency", {}).get(source)
+        if got is None or got < recency:
+            raise AssertionError(
+                f"LOST acknowledged recency for {source}: acked {recency}, "
+                f"recovered {got}"
+            )
+
+
+def _spawn(args: argparse.Namespace, data_dir: str, resume: bool) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--child",
+        "--data-dir",
+        data_dir,
+        "--seed",
+        str(args.seed),
+        "--machines",
+        str(args.machines),
+        "--duration",
+        str(args.duration),
+        "--checkpoint-interval",
+        str(args.checkpoint_interval),
+    ]
+    if resume:
+        command.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+
+
+def parent_main(args: argparse.Namespace) -> int:
+    import random
+
+    rng = random.Random(args.seed * 7919 + 11)
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="crash-matrix-")
+    last = {"offsets": {}, "recency": {}}
+    kills = 0
+    final_digest = None
+
+    incarnation = 0
+    while final_digest is None:
+        incarnation += 1
+        resume = incarnation > 1
+        process = _spawn(args, data_dir, resume)
+        kill_after = rng.randint(3, 15) if kills < args.kills else None
+        acks_seen = 0
+        try:
+            for line in process.stdout:
+                line = line.rstrip("\n")
+                if line.startswith(RECOVERED):
+                    _check_recovered(last, json.loads(line[len(RECOVERED):]))
+                elif line.startswith(ACK):
+                    acks_seen += 1
+                    _merge_acked(last, json.loads(line[len(ACK):]))
+                    if kill_after is not None and acks_seen >= kill_after:
+                        os.kill(process.pid, signal.SIGKILL)
+                        kills += 1
+                        print(
+                            f"incarnation {incarnation}: SIGKILL after "
+                            f"{acks_seen} acks ({kills}/{args.kills} kills)"
+                        )
+                        break
+                elif line.startswith(FINAL):
+                    final_digest = line[len(FINAL):]
+        finally:
+            process.stdout.close()
+            stderr = process.stderr.read()
+            process.stderr.close()
+            returncode = process.wait()
+        if kill_after is None and final_digest is None:
+            raise AssertionError(
+                f"incarnation {incarnation} exited with {returncode} before "
+                f"TRAC-FINAL; stderr:\n{stderr}"
+            )
+        if incarnation > args.kills + 20:
+            raise AssertionError("kill matrix failed to converge")
+
+    print(f"final digest after {kills} kills: {final_digest}")
+
+    # Invariant 3: the oracle never crashed, yet ends identical.
+    from repro.grid.simulator import GridSimulator, SimulationConfig
+
+    oracle = GridSimulator(SimulationConfig(num_machines=args.machines, seed=args.seed))
+    oracle.run(args.duration)
+    oracle_digest = database_digest(oracle)
+    if final_digest != oracle_digest:
+        raise AssertionError(
+            f"survivor diverged from the oracle: {final_digest} != {oracle_digest}"
+        )
+    print(f"oracle digest matches; {kills} crash points survived")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--data-dir", default=None)
+    parser.add_argument("--resume", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--machines", type=int, default=6)
+    parser.add_argument("--duration", type=float, default=240.0)
+    parser.add_argument("--checkpoint-interval", type=float, default=25.0)
+    parser.add_argument("--kills", type=int, default=10)
+    args = parser.parse_args(argv)
+    if args.child:
+        if not args.data_dir:
+            parser.error("--child requires --data-dir")
+        return child_main(args)
+    return parent_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
