@@ -24,7 +24,7 @@ class _MemorySnapshot(Snapshot):
         self._frozen = frozen
 
     def execute(self, sql: str) -> QueryResult:
-        return self._backend._execute_on(self._frozen, sql)
+        return self._backend._execute_on(self._frozen, sql, in_snapshot=True)
 
     def create_temp_table(
         self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
@@ -129,12 +129,17 @@ class MemoryBackend(Backend):
     def execute(self, sql: str) -> QueryResult:
         return self._execute_on(self.db, sql)
 
-    def _execute_on(self, db: Database, sql: str) -> QueryResult:
+    def _execute_on(self, db: Database, sql: str, in_snapshot: bool = False) -> QueryResult:
         tel = self._tel()
         if self._references_temp_table(sql):
             result = self._execute_with_temp(db, sql)
         else:
-            result = execute_sql(db, sql, telemetry=tel if tel.enabled else None)
+            result = execute_sql(
+                db,
+                sql,
+                telemetry=tel if tel.enabled else None,
+                in_snapshot=in_snapshot,
+            )
         if tel.enabled:
             obs.record_backend_query(tel, self.kind, len(result.rows))
         return result

@@ -201,6 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--db", required=True, help="monitoring SQLite file")
     explain.add_argument("sql", help="the user query to analyze (not executed)")
     explain.add_argument("--no-constraints", action="store_true")
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and print its per-operator profile "
+        "(rows in/out, selectivity, wall ms)",
+    )
     explain.set_defaults(handler=_cmd_explain)
 
     inspect = sub.add_parser("inspect", help="summarize a monitoring database")
@@ -586,7 +592,17 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
     backend = SQLiteBackend.open(args.db)
     try:
-        print(explain_sql(args.sql, backend.catalog, use_constraints=not args.no_constraints))
+        if args.analyze:
+            from repro.engine.profile import database_from_backend, profile_query
+
+            db = database_from_backend(backend)
+            print(profile_query(db, args.sql).render())
+        else:
+            print(
+                explain_sql(
+                    args.sql, backend.catalog, use_constraints=not args.no_constraints
+                )
+            )
         return 0
     finally:
         backend.close()

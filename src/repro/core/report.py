@@ -39,8 +39,8 @@ from repro.engine.cache import resolve_cached
 from repro.engine.evaluate import QueryResult
 from repro.errors import TracError
 from repro.obs import instrument as obs
-from repro.obs.events import EVT_REPORT_EXCEPTIONAL
-from repro.obs.instrument import PhaseTimer
+from repro.obs.events import EVT_QUERY_SLOW, EVT_REPORT_EXCEPTIONAL
+from repro.obs.instrument import PhaseTimer, slow_query_threshold
 
 _METHODS = ("focused", "focused_hardcoded", "naive")
 
@@ -131,6 +131,7 @@ class RecencyReport:
         telemetry: Optional[object] = None,
         degraded_sources: Optional[List[str]] = None,
         slo_status: Optional[object] = None,
+        profile: Optional[object] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -143,6 +144,19 @@ class RecencyReport:
         self.telemetry = telemetry
         self.degraded_sources = list(degraded_sources or [])
         self.slo_status = slo_status
+        #: The user query's per-operator
+        #: :class:`~repro.engine.profile.QueryProfile` when the producing
+        #: reporter had telemetry enabled and the backend profiles queries
+        #: (the memory backend does); ``None`` otherwise.
+        self.profile = profile
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The report's 32-hex trace id (from its root span), if traced."""
+        span = self.telemetry
+        if span is None or not getattr(span, "trace_id", 0):
+            return None
+        return f"{span.trace_id:032x}"
 
     @property
     def normal_sources(self) -> List[SourceRecency]:
@@ -264,6 +278,12 @@ class RecencyReporter:
         and counters. ``None`` (default) follows the process-wide default,
         which is a no-op unless enabled via ``repro.obs.enable()`` or
         ``TRAC_TELEMETRY=1``.
+    slow_query_seconds:
+        Reports slower than this (end-to-end wall seconds) emit a
+        ``query.slow`` event carrying the report's trace id — a flight
+        recorder configured with that trigger then dumps the full span
+        tree and query profile. ``None`` (default) follows the
+        ``TRAC_SLOW_QUERY_SECONDS`` environment variable; ``0`` disables.
     """
 
     def __init__(
@@ -278,6 +298,7 @@ class RecencyReporter:
         telemetry: Optional[object] = None,
         source_health: Optional[SourceHealth] = None,
         slo: Optional[object] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -289,6 +310,7 @@ class RecencyReporter:
         self.telemetry = telemetry
         self.source_health = source_health
         self.slo = slo
+        self.slow_query_seconds = slow_query_seconds
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         self.plan_cache_hits = 0
         self.session = Session(backend)
@@ -358,6 +380,14 @@ class RecencyReporter:
                 with PhaseTimer(tel, SPAN_USER) as user_phase:
                     result = snapshot.execute(sql)
                     user_phase.set_attribute("rows", len(result.rows))
+                # The engine records a QueryProfile into tel.profiles for
+                # every telemetry-enabled execution; grab the user query's
+                # before the recency subqueries push it down the ring.
+                user_profile = None
+                if tel.enabled:
+                    candidate = tel.profiles.last()
+                    if candidate is not None and candidate.sql == sql:
+                        user_profile = candidate
 
                 with PhaseTimer(tel, SPAN_RECENCY) as recency_phase:
                     sources = self._relevant_sources(snapshot, plan)
@@ -389,9 +419,28 @@ class RecencyReporter:
             stats_phase.duration,
             root.duration,
         )
-        if tel.enabled:
-            obs.record_report(tel, method, root.duration)
         root_span = root.span if tel.enabled else None
+        if tel.enabled:
+            trace_id = root_span.trace_id_hex if root_span is not None else None
+            obs.record_report(tel, method, root.duration, trace_id=trace_id)
+            threshold = (
+                self.slow_query_seconds
+                if self.slow_query_seconds is not None
+                else slow_query_threshold()
+            )
+            if threshold > 0 and root.duration >= threshold:
+                obs.record_slow_query(tel, method)
+                # Correlate with the (already finished) root span so the
+                # flight recorder's dump carries the whole span tree.
+                tel.emit(
+                    EVT_QUERY_SLOW,
+                    severity="warning",
+                    span=root_span,
+                    sql=sql,
+                    method=method,
+                    seconds=root.duration,
+                    threshold=threshold,
+                )
         degraded: List[str] = []
         if self.source_health is not None:
             degraded = self.source_health.degraded_sources()
@@ -407,6 +456,7 @@ class RecencyReporter:
             root_span,
             degraded_sources=degraded,
             slo_status=self.slo.status() if self.slo is not None else None,
+            profile=user_profile,
         )
 
     def run_plain(self, sql: str) -> QueryResult:

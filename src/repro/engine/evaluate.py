@@ -24,10 +24,22 @@ resolved-query cache (:mod:`repro.engine.cache`), so repeated SQL strings
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.engine import compile as compile_mod
-from repro.engine.cache import resolve_cached
+from repro.engine.cache import get_cache, resolve_cached
+from repro.engine.profile import (
+    OP_AGGREGATE,
+    OP_CROSS,
+    OP_FILTER,
+    OP_JOIN,
+    OP_LIMIT,
+    OP_PROJECT,
+    OP_SCAN,
+    OP_SORT,
+    QueryProfile,
+)
 from repro.engine.relation import Database, Relation, Row
 from repro.errors import EngineError, UnsupportedQueryError
 from repro.predicates.dnf import basic_terms_of
@@ -77,33 +89,54 @@ def execute_sql(
     telemetry=None,
     compiled: Optional[bool] = None,
     cache: bool = True,
+    in_snapshot: bool = False,
 ) -> QueryResult:
     """Parse, resolve and execute a SQL string against ``db``.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`, enabled) additionally
     records the scan upper bound — the total base-table rows the executor
-    may read for this query — without re-parsing; the memory backend
-    threads its telemetry through here.
+    may read for this query — and builds a per-operator
+    :class:`~repro.engine.profile.QueryProfile`, stamped with the current
+    trace id and recorded into ``telemetry.profiles``; the memory backend
+    threads its telemetry through here. ``in_snapshot`` marks the profile
+    as snapshot-scoped.
 
     ``cache`` (default True) routes parse+resolve through the process-wide
     resolved-query cache; pass False for throwaway catalogs (e.g. the
     temp-table shadow database) whose generations would only pollute it.
     ``compiled`` overrides the compiled/interpreted default for this call.
     """
+    profiling = telemetry is not None and telemetry.enabled
+    cache_hit: Optional[bool] = None
     if cache:
+        hits_before = get_cache().stats()["hits"] if profiling else 0
         resolved = resolve_cached(sql, db.catalog, telemetry)
+        if profiling:
+            cache_hit = get_cache().stats()["hits"] > hits_before
     else:
         resolved = resolve(parse_query(sql), db.catalog)
-    if telemetry is not None and telemetry.enabled:
-        from repro.obs import instrument as obs
+    if not profiling:
+        return execute_query(db, resolved, compiled=compiled)
 
-        scanned = sum(
-            len(db.relation(b.schema.name).rows)
-            for b in resolved.bindings
-            if db.has(b.schema.name)
-        )
-        obs.record_backend_scan(telemetry, "memory", scanned)
-    return execute_query(db, resolved, compiled=compiled)
+    from repro.obs import instrument as obs
+
+    scanned = sum(
+        len(db.relation(b.schema.name).rows)
+        for b in resolved.bindings
+        if db.has(b.schema.name)
+    )
+    obs.record_backend_scan(telemetry, "memory", scanned)
+    profile = QueryProfile(sql)
+    profile.cache_hit = cache_hit
+    profile.snapshot = in_snapshot
+    span = telemetry.tracer.current_span()
+    if span is not None and span.trace_id:
+        profile.trace_id = span.trace_id_hex
+    start = time.perf_counter()
+    result = execute_query(db, resolved, compiled=compiled, profile=profile)
+    profile.finish(result, time.perf_counter() - start)
+    telemetry.profiles.record(profile)
+    return result
 
 
 def execute_query(
@@ -112,6 +145,7 @@ def execute_query(
     relation_override: Optional[Dict[str, Relation]] = None,
     trace: Optional[List[str]] = None,
     compiled: Optional[bool] = None,
+    profile: Optional[QueryProfile] = None,
 ) -> QueryResult:
     """Execute a resolved query.
 
@@ -127,12 +161,17 @@ def execute_query(
         relation by the cross product of its column domains.
     trace:
         Optional list that receives plan-decision messages as execution
-        proceeds (push-downs, join order, join methods) — the engine's
-        EXPLAIN ANALYZE.
+        proceeds (push-downs, join order, join methods) — the legacy
+        string form of EXPLAIN ANALYZE.
     compiled:
         ``True`` forces the compiled predicate/projection path, ``False``
         the interpreted oracle; ``None`` (default) follows
         :func:`repro.engine.compile.compiled_default`.
+    profile:
+        Optional :class:`~repro.engine.profile.QueryProfile` that receives
+        one structured operator record (rows in/out, wall seconds,
+        selectivity) per executed plan step — the structured EXPLAIN
+        ANALYZE. ``None`` (default) skips all profiling work.
     """
     if compiled is None:
         compiled = compile_mod.compiled_default()
@@ -145,14 +184,41 @@ def execute_query(
         )
 
     index_of = _build_index_map(resolved)
-    envs = _join(resolved, relations, index_of, trace, compiled)
+    envs = _join(resolved, relations, index_of, trace, compiled, profile)
     if query.order_by and not (query.has_aggregates or query.group_by or query.distinct):
+        t0 = time.perf_counter() if profile is not None else 0.0
         envs = _sort_envs(query.order_by, envs, index_of, compiled)
+        if profile is not None:
+            profile.add(
+                OP_SORT, "rows", len(envs), len(envs),
+                time.perf_counter() - t0, "ORDER BY before projection",
+            )
+    t0 = time.perf_counter() if profile is not None else 0.0
     result = _project(resolved, envs, index_of, compiled)
+    if profile is not None:
+        op = OP_AGGREGATE if (query.has_aggregates or query.group_by) else OP_PROJECT
+        detail = "aggregate/group" if op == OP_AGGREGATE else (
+            "select *" if query.select_items and query.select_items[0].is_star
+            else "select list"
+        )
+        if query.distinct:
+            detail += ", distinct"
+        profile.add(op, "output", len(envs), len(result.rows),
+                    time.perf_counter() - t0, detail)
     if query.order_by and (query.has_aggregates or query.group_by or query.distinct):
+        t0 = time.perf_counter() if profile is not None else 0.0
         _sort_rows(query, result)
+        if profile is not None:
+            profile.add(
+                OP_SORT, "output", len(result.rows), len(result.rows),
+                time.perf_counter() - t0, "ORDER BY over aggregated output",
+            )
     if query.limit is not None:
+        before = len(result.rows)
         result.rows = result.rows[: query.limit]
+        if profile is not None:
+            profile.add(OP_LIMIT, "output", before, len(result.rows), 0.0,
+                        f"LIMIT {query.limit}")
     return result
 
 
@@ -276,6 +342,7 @@ def _join(
     index_of: Dict[Tuple[str, str], int],
     trace: Optional[List[str]] = None,
     compiled: bool = False,
+    profile: Optional[QueryProfile] = None,
 ) -> List[_Env]:
     where = resolved.query.where
     conjunctive_terms: Optional[List[ast.Expr]] = None
@@ -291,11 +358,11 @@ def _join(
         if trace is not None:
             trace.append("plan: conjunctive (push-down + ordered joins)")
         return _join_conjunctive(
-            resolved, relations, index_of, conjunctive_terms, trace, compiled
+            resolved, relations, index_of, conjunctive_terms, trace, compiled, profile
         )
     if trace is not None:
         trace.append("plan: general boolean (filtered cross product)")
-    return _join_general(resolved, relations, index_of, where, compiled)
+    return _join_general(resolved, relations, index_of, where, compiled, profile)
 
 
 def _join_general(
@@ -304,14 +371,23 @@ def _join_general(
     index_of: Dict[Tuple[str, str], int],
     where: Optional[ast.Expr],
     compiled: bool = False,
+    profile: Optional[QueryProfile] = None,
 ) -> List[_Env]:
     keys = [b.key for b in resolved.bindings]
+    t0 = time.perf_counter() if profile is not None else 0.0
     predicate = None if where is None else _env_predicate(where, index_of, compiled)
     out: List[_Env] = []
     for combo in itertools.product(*(relations[k].rows for k in keys)):
         env = dict(zip(keys, combo))
         if predicate is None or predicate(env):
             out.append(env)
+    if profile is not None:
+        combos = 1
+        for k in keys:
+            combos *= len(relations[k].rows)
+        detail = "filtered cross product" if predicate is not None else "cross product"
+        profile.add(OP_CROSS, " x ".join(keys), combos, len(out),
+                    time.perf_counter() - t0, detail)
     return out
 
 
@@ -322,6 +398,7 @@ def _join_conjunctive(
     terms: List[ast.Expr],
     trace: Optional[List[str]] = None,
     compiled: bool = False,
+    profile: Optional[QueryProfile] = None,
 ) -> List[_Env]:
     keys = [b.key for b in resolved.bindings]
 
@@ -341,12 +418,16 @@ def _join_conjunctive(
     # A constant contradiction empties the result outright.
     for term in constant_terms:
         if not _env_predicate(term, index_of, compiled)({}):
+            if profile is not None:
+                profile.add(OP_FILTER, "constant", 0, 0, 0.0,
+                            "constant contradiction, result empty")
             return []
 
     filtered: Dict[str, List[Row]] = {}
     for key in keys:
         rows = relations[key].rows
         preds = selection[key]
+        t0 = time.perf_counter() if profile is not None else 0.0
         if preds:
             conj = ast.And(preds) if len(preds) > 1 else preds[0]
             if compiled:
@@ -366,10 +447,17 @@ def _join_conjunctive(
                     f"scan {key}: {len(preds)} pushed predicate(s), "
                     f"{len(rows)} -> {len(kept)} rows"
                 )
+            if profile is not None:
+                profile.add(OP_SCAN, key, len(rows), len(kept),
+                            time.perf_counter() - t0,
+                            f"{len(preds)} pushed predicate(s)")
         else:
             filtered[key] = list(rows)
             if trace is not None:
                 trace.append(f"scan {key}: full ({len(rows)} rows)")
+            if profile is not None:
+                profile.add(OP_SCAN, key, len(rows), len(rows),
+                            time.perf_counter() - t0, "full scan")
 
     # Greedy join order: start with the smallest filtered relation, then
     # repeatedly add the relation connected by an applicable term (preferring
@@ -386,25 +474,43 @@ def _join_conjunctive(
     while remaining:
         next_key, equi_terms = _pick_next(current_keys, remaining, pending, filtered)
         remaining.discard(next_key)
+        t0 = time.perf_counter() if profile is not None else 0.0
+        envs_in = len(envs)
         envs = _join_step(envs, next_key, filtered[next_key], equi_terms, index_of)
         current_keys.add(next_key)
+        method = f"hash join on {len(equi_terms)} key(s)" if equi_terms else "nested loop"
         if trace is not None:
-            method = f"hash join on {len(equi_terms)} key(s)" if equi_terms else "nested loop"
             trace.append(f"join {next_key}: {method} -> {len(envs)} rows")
+        if profile is not None:
+            profile.add(OP_JOIN, next_key, envs_in, len(envs),
+                        time.perf_counter() - t0,
+                        f"{method}, build side {len(filtered[next_key])} rows")
         # Apply every pending term that is now fully bound.
         applicable = [t for t in pending if _term_keys(t) <= current_keys]
         if applicable:
             pending = [t for t in pending if t not in applicable]
+            t0 = time.perf_counter() if profile is not None else 0.0
+            before = len(envs)
             conj = ast.And(applicable) if len(applicable) > 1 else applicable[0]
             residual = _env_predicate(conj, index_of, compiled)
             envs = [env for env in envs if residual(env)]
+            if profile is not None:
+                profile.add(OP_FILTER, next_key, before, len(envs),
+                            time.perf_counter() - t0,
+                            f"{len(applicable)} residual term(s)")
         if not envs:
             return []
 
     if pending:
+        t0 = time.perf_counter() if profile is not None else 0.0
+        before = len(envs)
         conj = ast.And(pending) if len(pending) > 1 else pending[0]
         residual = _env_predicate(conj, index_of, compiled)
         envs = [env for env in envs if residual(env)]
+        if profile is not None:
+            profile.add(OP_FILTER, "residual", before, len(envs),
+                        time.perf_counter() - t0,
+                        f"{len(pending)} residual term(s)")
     return envs
 
 

@@ -5,6 +5,14 @@ and renders the decisions the executor actually made — predicate push-downs
 with their selectivities, the join order, and the join methods. Because the
 trace is produced by the execution itself, it can never drift from the real
 plan.
+
+Two output forms:
+
+* ``analyze=False`` (default) — the original flat string trace;
+* ``analyze=True`` — the structured per-operator
+  :class:`~repro.engine.profile.QueryProfile` rendered as a table, with
+  per-operator wall time, rows in/out and selectivity. Obtain the profile
+  object itself with :func:`profile_query`.
 """
 
 from __future__ import annotations
@@ -12,13 +20,22 @@ from __future__ import annotations
 from typing import List
 
 from repro.engine.evaluate import execute_query
+from repro.engine.profile import QueryProfile, profile_query
 from repro.engine.relation import Database
 from repro.sqlparser.parser import parse_query
 from repro.sqlparser.resolver import resolve
 
+__all__ = ["explain_query", "profile_query", "QueryProfile"]
 
-def explain_query(db: Database, sql: str) -> str:
-    """Run ``sql`` and return its execution trace plus the result size."""
+
+def explain_query(db: Database, sql: str, analyze: bool = False) -> str:
+    """Run ``sql`` and return its execution trace plus the result size.
+
+    ``analyze=True`` returns the structured per-operator profile instead
+    of the flat trace (rows in/out, selectivity, wall milliseconds).
+    """
+    if analyze:
+        return profile_query(db, sql).render()
     resolved = resolve(parse_query(sql), db.catalog)
     trace: List[str] = []
     result = execute_query(db, resolved, trace=trace)

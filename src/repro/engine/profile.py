@@ -1,0 +1,212 @@
+"""Structured per-operator query profiles: EXPLAIN ANALYZE as data.
+
+The evaluator's original trace hook produced flat strings — fine for a
+human, useless for a system that wants to *query* how a result was
+computed (Provenance Traces' framing). A :class:`QueryProfile` is the
+structured replacement: one :class:`OperatorProfile` per plan operator the
+executor actually ran — scans with their pushed predicates and
+selectivities, join steps with their method and fan-out, residual filters,
+sorts, projection/aggregation, LIMIT — each with rows in/out and wall
+seconds, plus query-level totals, the resolved-query cache verdict and the
+``trace_id`` that links the profile to its spans and events.
+
+Profiles are produced two ways:
+
+* explicitly — :func:`profile_query` (and
+  ``explain_query(..., analyze=True)`` / ``trac explain --analyze`` /
+  the shell's ``.profile``) runs one query with profiling on;
+* implicitly — ``execute_sql`` profiles every query it runs while
+  telemetry is enabled and records the result into
+  :attr:`Telemetry.profiles <repro.obs.instrument.Telemetry.profiles>`,
+  which the Observatory serves at ``/profile`` and ``/trace/<id>``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.engine.relation import Database
+
+#: Canonical operator names (the ``op`` field of :class:`OperatorProfile`).
+OP_SCAN = "scan"
+OP_JOIN = "join"
+OP_FILTER = "filter"
+OP_CROSS = "cross_product"
+OP_SORT = "sort"
+OP_PROJECT = "project"
+OP_AGGREGATE = "aggregate"
+OP_LIMIT = "limit"
+
+
+class OperatorProfile:
+    """One executed plan operator: rows in/out, wall seconds, detail."""
+
+    __slots__ = ("op", "target", "rows_in", "rows_out", "seconds", "detail")
+
+    def __init__(
+        self,
+        op: str,
+        target: str,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+        detail: str = "",
+    ) -> None:
+        self.op = op
+        self.target = target
+        self.rows_in = rows_in
+        self.rows_out = rows_out
+        self.seconds = seconds
+        self.detail = detail
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        """rows_out / rows_in, or ``None`` when no rows went in."""
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "target": self.target,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "seconds": self.seconds,
+            "selectivity": self.selectivity,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorProfile({self.op} {self.target}: "
+            f"{self.rows_in}->{self.rows_out} in {self.seconds * 1000:.3f}ms)"
+        )
+
+
+class QueryProfile:
+    """The per-operator execution profile of one query."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.operators: List[OperatorProfile] = []
+        self.total_seconds = 0.0
+        self.rows = 0
+        self.columns: List[str] = []
+        #: Resolved-query cache verdict (None = cache not consulted).
+        self.cache_hit: Optional[bool] = None
+        #: Whether the query ran inside a backend snapshot.
+        self.snapshot = False
+        #: 32-hex trace id linking to spans/events; None when untraced.
+        self.trace_id: Optional[str] = None
+
+    def add(
+        self,
+        op: str,
+        target: str,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+        detail: str = "",
+    ) -> OperatorProfile:
+        operator = OperatorProfile(op, target, rows_in, rows_out, seconds, detail)
+        self.operators.append(operator)
+        return operator
+
+    def finish(self, result, total_seconds: float) -> None:
+        """Stamp query-level totals from the finished result."""
+        self.total_seconds = total_seconds
+        self.rows = len(result.rows)
+        self.columns = list(result.columns)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sql": self.sql,
+            "total_seconds": self.total_seconds,
+            "rows": self.rows,
+            "columns": list(self.columns),
+            "cache_hit": self.cache_hit,
+            "snapshot": self.snapshot,
+            "trace_id": self.trace_id,
+            "operators": [op.to_dict() for op in self.operators],
+        }
+
+    def render(self) -> str:
+        """Aligned plain text (what ``trac explain --analyze`` prints)."""
+        lines = [f"profile: {self.sql}"]
+        headers = ("operator", "target", "rows_in", "rows_out", "sel", "ms", "detail")
+        rows: List[tuple] = []
+        for op in self.operators:
+            sel = f"{op.selectivity:.3f}" if op.selectivity is not None else "-"
+            rows.append(
+                (
+                    op.op,
+                    op.target,
+                    str(op.rows_in),
+                    str(op.rows_out),
+                    sel,
+                    f"{op.seconds * 1000:.3f}",
+                    op.detail,
+                )
+            )
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+        lines.append("  " + "  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        flags = []
+        if self.cache_hit is not None:
+            flags.append(f"cache={'hit' if self.cache_hit else 'miss'}")
+        if self.snapshot:
+            flags.append("snapshot=yes")
+        if self.trace_id:
+            flags.append(f"trace_id={self.trace_id}")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  total: {self.rows} row(s) in {self.total_seconds * 1000:.3f}ms, "
+            f"columns {self.columns}{suffix}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryProfile(sql={self.sql!r}, operators={len(self.operators)}, "
+            f"rows={self.rows}, total={self.total_seconds * 1000:.3f}ms)"
+        )
+
+
+def profile_query(db: Database, sql: str, compiled: Optional[bool] = None) -> QueryProfile:
+    """Execute ``sql`` against ``db`` with per-operator profiling enabled."""
+    import time
+
+    from repro.engine.evaluate import execute_query
+    from repro.sqlparser.parser import parse_query
+    from repro.sqlparser.resolver import resolve
+
+    resolved = resolve(parse_query(sql), db.catalog)
+    profile = QueryProfile(sql)
+    start = time.perf_counter()
+    result = execute_query(db, resolved, compiled=compiled, profile=profile)
+    profile.finish(result, time.perf_counter() - start)
+    return profile
+
+
+def database_from_backend(backend) -> Database:
+    """A :class:`Database` mirroring ``backend``'s current base tables.
+
+    The memory backend's own database is returned directly (no copy); any
+    other backend is materialized table-by-table through its snapshot so
+    ``.profile`` and ``trac explain --analyze`` work regardless of storage.
+    """
+    direct = getattr(backend, "db", None)
+    if isinstance(direct, Database):
+        return direct
+    db = Database(backend.catalog)
+    with backend.snapshot() as snapshot:
+        for schema in backend.catalog:
+            result = snapshot.execute(f"SELECT * FROM {schema.name}")
+            db.insert_many(schema.name, result.rows)
+    return db

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.backends.base import Backend
 from repro.backends.memory import MemoryBackend
@@ -302,6 +304,10 @@ class GridSimulator:
                 )
 
         self._job_counter = 0
+        #: Recent per-source poll wall latencies in milliseconds (ring of
+        #: 32), feeding the dashboard's latency column. Ephemeral — not
+        #: part of durable state.
+        self._poll_ms: Dict[str, Deque[float]] = {}
         self._pending_starts: List[Tuple[float, str, str]] = []  # (time, machine, job)
         self._pending_completions: List[Tuple[float, str, str]] = []
         self._last_heartbeat: Dict[str, float] = {mid: 0.0 for mid in self.machine_ids}
@@ -365,12 +371,7 @@ class GridSimulator:
             self._apply_plan_silences()
         self._process_job_lifecycle()
         self._random_behaviour()
-        if self.supervisors:
-            for supervisor in self.supervisors.values():
-                supervisor.tick(self.now)
-        else:
-            for sniffer in self.sniffers.values():
-                sniffer.maybe_poll(self.now)
+        self._poll_all()
         self._observe(self.now)
         if self.durability is not None:
             self.durability.maybe_checkpoint(self.now)
@@ -550,6 +551,47 @@ class GridSimulator:
         self._slo_breached = set(state.get("slo_breached", []))
 
     # -- internals -----------------------------------------------------------
+
+    def _poll_all(self) -> None:
+        """Run every sniffer's poll turn for this tick.
+
+        With telemetry enabled the whole pass runs inside one
+        ``grid.poll_cycle`` span, and each sniffer turn that actually
+        ingested events records its wall latency into the
+        ``trac_poll_seconds`` histogram (trace-id exemplar attached) and
+        a short per-source series consumed by the dashboard.
+        """
+        tel = self.telemetry if self.telemetry is not None else obs.get_default()
+        if not tel.enabled:
+            if self.supervisors:
+                for supervisor in self.supervisors.values():
+                    supervisor.tick(self.now)
+            else:
+                for sniffer in self.sniffers.values():
+                    sniffer.maybe_poll(self.now)
+            return
+        with tel.tracer.span("grid.poll_cycle", t=self.now) as span:
+            polled = 0
+            for mid in self.machine_ids:
+                start = time.perf_counter()
+                if self.supervisors:
+                    ingested = self.supervisors[mid].tick(self.now)
+                else:
+                    ingested = self.sniffers[mid].maybe_poll(self.now)
+                elapsed = time.perf_counter() - start
+                if ingested:
+                    polled += 1
+                    obs.record_poll_latency(
+                        tel, mid, elapsed, trace_id=span.trace_id_hex
+                    )
+                    self._poll_ms.setdefault(mid, deque(maxlen=32)).append(
+                        elapsed * 1000.0
+                    )
+            span.set_attribute("polled", polled)
+
+    def poll_latency_ms(self, machine_id: str) -> List[float]:
+        """Recent ingest-poll wall latencies for ``machine_id`` (ms)."""
+        return list(self._poll_ms.get(machine_id, ()))
 
     def _observe(self, now: float) -> None:
         """Sample per-source recency lag into the SLO tracker + histogram."""

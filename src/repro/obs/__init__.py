@@ -6,7 +6,9 @@ itself. Three layers, no third-party dependencies:
 
 * :mod:`repro.obs.trace` — hierarchical spans (context-manager and
   decorator APIs, monotonic clocks, per-span attributes) collected by a
-  thread-safe in-process :class:`Tracer`;
+  thread-safe in-process :class:`Tracer`, carrying 128-bit trace ids
+  that cross process boundaries as W3C ``traceparent`` headers
+  (:class:`SpanContext`, :func:`inject_context`, :func:`extract_context`);
 * :mod:`repro.obs.metrics` — named counters, gauges and fixed-bucket
   histograms in a :class:`MetricsRegistry`;
 * :mod:`repro.obs.export` — JSON-lines span dumps, Prometheus text
@@ -39,7 +41,17 @@ or per component, by passing ``telemetry=Telemetry()`` to
 :class:`~repro.core.monitor.RecencyMonitor`. See docs/OBSERVABILITY.md.
 """
 
-from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACEPARENT_HEADER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    extract_context,
+    inject_context,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -49,14 +61,18 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.instrument import (
+    NULL_PROFILE_LOG,
     NULL_TELEMETRY,
+    NullProfileLog,
     PhaseTimer,
+    ProfileLog,
     Telemetry,
     disable,
     enable,
     get_default,
     resolve,
     set_default,
+    slow_query_threshold,
 )
 from repro.obs.export import (
     metrics_snapshot,
@@ -93,10 +109,14 @@ def serve(*args, **kwargs):
 
 __all__ = [
     "Span",
+    "SpanContext",
     "Tracer",
     "NullTracer",
     "NULL_SPAN",
     "NULL_TRACER",
+    "TRACEPARENT_HEADER",
+    "inject_context",
+    "extract_context",
     "Counter",
     "Gauge",
     "Histogram",
@@ -106,6 +126,10 @@ __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "PhaseTimer",
+    "ProfileLog",
+    "NullProfileLog",
+    "NULL_PROFILE_LOG",
+    "slow_query_threshold",
     "enable",
     "disable",
     "get_default",

@@ -2,8 +2,9 @@
 
 A terminal dashboard in the spirit of ``top``: one row per source showing
 its health state, last reported recency, current lag, a unicode sparkline
-of the recent lag series, the z-score against the fleet, SLO burn, and
-the supervisor's retry/restart/breaker counters. It renders from a plain
+of the recent lag series, the z-score against the fleet, SLO burn, the
+ingest-poll latency distribution (p50/p95 milliseconds), and the
+supervisor's retry/restart/breaker counters. It renders from a plain
 **status document** — the same JSON the observatory server serves at
 ``/status`` — so the one renderer works both in-process (polling a
 :class:`~repro.grid.simulator.GridSimulator` directly via
@@ -81,6 +82,7 @@ def status_from_simulator(sim, slo=None) -> dict:
         {s.source_id: s for s in slo_status.sources} if slo_status is not None else {}
     )
 
+    poll_fn = getattr(sim, "poll_latency_ms", None)
     sources: List[dict] = []
     for mid in sorted(sim.sniffers):
         supervisor = sim.supervisors.get(mid)
@@ -90,6 +92,7 @@ def status_from_simulator(sim, slo=None) -> dict:
         z = (age - mean) / stddev if age is not None and stddev > 0 else 0.0
         source_slo = slo_by_source.get(mid)
         series = slo.series(mid) if slo is not None else []
+        poll_series = list(poll_fn(mid)) if callable(poll_fn) else []
         sources.append(
             {
                 "id": mid,
@@ -106,6 +109,7 @@ def status_from_simulator(sim, slo=None) -> dict:
                 "lag_p95": source_slo.p95 if source_slo is not None else None,
                 "burn": source_slo.burn if source_slo is not None else None,
                 "lag_series": [lag for _, lag in series],
+                "poll_ms_series": poll_series,
             }
         )
     doc: dict = {"now": now, "wall": time.time(), "sources": sources}
@@ -142,6 +146,21 @@ def _fmt_age(value: Optional[float]) -> str:
     return format_interval(value)
 
 
+def _fmt_poll_ms(series: Sequence[float]) -> str:
+    """Summarise a poll-latency series as ``p50/p95`` milliseconds.
+
+    Old status documents (pre-tracing) have no ``poll_ms_series`` key;
+    they render as ``-`` rather than erroring, keeping ``trac top``
+    backward compatible with older observatories.
+    """
+    values = sorted(series)
+    if not values:
+        return "-"
+    p50 = values[int(0.50 * (len(values) - 1))]
+    p95 = values[int(0.95 * (len(values) - 1))]
+    return f"{p50:.2f}/{p95:.2f}"
+
+
 def render_top(status: dict, width: int = 16) -> str:
     """Render one dashboard frame from a status document."""
     lines: List[str] = []
@@ -168,7 +187,7 @@ def render_top(status: dict, width: int = 16) -> str:
 
     headers = (
         "source", "state", "recency", "age", "z", "burn",
-        "lag " + "·" * max(0, width - 4), "retry", "restart", "breaker",
+        "lag " + "·" * max(0, width - 4), "poll ms", "retry", "restart", "breaker",
     )
     rows: List[tuple] = []
     ordered = sorted(
@@ -187,6 +206,7 @@ def render_top(status: dict, width: int = 16) -> str:
                 f"{src.get('z', 0.0):+.2f}",
                 f"{burn:.2f}" if burn is not None else "-",
                 sparkline(src.get("lag_series") or [], width),
+                _fmt_poll_ms(src.get("poll_ms_series") or []),
                 str(src.get("retries", 0)),
                 str(src.get("restarts", 0)),
                 str(src.get("breaker", "-")),

@@ -46,6 +46,7 @@ EVT_SOURCE_DEGRADED = "source.degraded"
 EVT_WATCHDOG_SILENCE = "watchdog.silence"
 EVT_FAULT_INJECTED = "fault.injected"
 EVT_REPORT_EXCEPTIONAL = "report.exceptional"
+EVT_QUERY_SLOW = "query.slow"
 EVT_CACHE_EVICTED = "cache.evicted"
 EVT_CACHE_CLEARED = "cache.cleared"
 EVT_MONITOR_ALERT = "monitor.alert"
@@ -65,7 +66,17 @@ DEFAULT_CAPACITY = 4096
 class Event:
     """One recorded occurrence. Obtain via :meth:`EventLog.emit`."""
 
-    __slots__ = ("seq", "name", "wall", "t", "source", "severity", "span_id", "attributes")
+    __slots__ = (
+        "seq",
+        "name",
+        "wall",
+        "t",
+        "source",
+        "severity",
+        "span_id",
+        "trace_id",
+        "attributes",
+    )
 
     def __init__(
         self,
@@ -77,6 +88,7 @@ class Event:
         severity: str,
         span_id: Optional[int],
         attributes: Dict[str, Any],
+        trace_id: Optional[str] = None,
     ) -> None:
         self.seq = seq
         self.name = name
@@ -85,10 +97,12 @@ class Event:
         self.source = source
         self.severity = severity
         self.span_id = span_id
+        self.trace_id = trace_id
         self.attributes = attributes
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable form (one JSONL line per event)."""
+        """JSON-serializable form (one JSONL line per event). ``trace_id``
+        (32-hex, or null) is additive on top of the original schema."""
         return {
             "seq": self.seq,
             "name": self.name,
@@ -97,6 +111,7 @@ class Event:
             "source": self.source,
             "severity": self.severity,
             "span_id": self.span_id,
+            "trace_id": self.trace_id,
             "attributes": dict(self.attributes),
         }
 
@@ -131,6 +146,7 @@ class EventLog:
         source: Optional[str] = None,
         severity: str = "info",
         span_id: Optional[int] = None,
+        trace_id: Optional[str] = None,
         **attributes: Any,
     ) -> Event:
         """Record one event; returns it after fanning out to listeners."""
@@ -141,7 +157,15 @@ class EventLog:
         with self._lock:
             self._seq += 1
             event = Event(
-                self._seq, name, time.time(), t, source, severity, span_id, attributes
+                self._seq,
+                name,
+                time.time(),
+                t,
+                source,
+                severity,
+                span_id,
+                attributes,
+                trace_id=trace_id,
             )
             self._events.append(event)
             listeners = list(self._listeners)
@@ -186,6 +210,10 @@ class EventLog:
             out[event.name] = out.get(event.name, 0) + 1
         return out
 
+    def for_trace(self, trace_id: str) -> List[Event]:
+        """Retained events stamped with ``trace_id`` (32-hex), oldest first."""
+        return [e for e in self.snapshot() if e.trace_id == trace_id]
+
     @property
     def total(self) -> int:
         """Events ever emitted (including ones the ring has dropped)."""
@@ -221,7 +249,10 @@ class NullEventLog:
     total = 0
     dropped = 0
 
-    def emit(self, name, t=None, source=None, severity="info", span_id=None, **attributes):
+    def emit(
+        self, name, t=None, source=None, severity="info", span_id=None,
+        trace_id=None, **attributes,
+    ):
         return None
 
     def subscribe(self, listener) -> None:
@@ -238,6 +269,9 @@ class NullEventLog:
 
     def counts_by_name(self) -> Dict[str, int]:
         return {}
+
+    def for_trace(self, trace_id: str) -> List[Event]:
+        return []
 
     def clear(self) -> None:
         pass

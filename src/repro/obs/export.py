@@ -31,6 +31,10 @@ from repro.obs.trace import Span
 def write_spans_jsonl(spans: Iterable[Span], fp: IO[str]) -> int:
     """Stream spans to ``fp`` as newline-terminated JSON objects.
 
+    Each line carries the span's full :meth:`Span.to_dict` — the original
+    fields plus the additive ``trace_id``/``traceparent`` context fields,
+    so pre-context consumers keep parsing unchanged.
+
     The streaming form exists so long simulations can dump hundreds of
     thousands of spans without materializing one giant string; returns the
     number of lines written.
@@ -112,9 +116,19 @@ def prometheus_text(registry) -> str:
         if isinstance(instrument, (Counter, Gauge)):
             lines.append(f"{name}{_render_labels(labels)} {_format_value(instrument.value)}")
         elif isinstance(instrument, Histogram):
+            exemplars = instrument.exemplars()
             for bound, count in instrument.bucket_counts():
                 bucket_labels = labels + [("le", _format_value(bound))]
-                lines.append(f"{name}_bucket{_render_labels(bucket_labels)} {count}")
+                line = f"{name}_bucket{_render_labels(bucket_labels)} {count}"
+                exemplar = exemplars.get(bound)
+                if exemplar is not None:
+                    trace_id, value = exemplar
+                    # OpenMetrics exemplar: `# {labels} value` after the sample.
+                    line += (
+                        f' # {{trace_id="{_escape_label_value(trace_id)}"}}'
+                        f" {_format_value(value)}"
+                    )
+                lines.append(line)
             lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(instrument.sum)}")
             lines.append(f"{name}_count{_render_labels(labels)} {instrument.count}")
     return "\n".join(lines) + ("\n" if lines else "")
@@ -164,6 +178,19 @@ def parse_prometheus_text(
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
+        # Drop a trailing OpenMetrics exemplar (` # {...} value`). Only cut
+        # when what remains still ends in a sample value, so a label value
+        # that happens to contain " # {" cannot be truncated.
+        exemplar_at = stripped.rfind(" # {")
+        if exemplar_at != -1:
+            head = stripped[:exemplar_at].rstrip()
+            tail_value = head.rsplit(" ", 1)[-1]
+            try:
+                float(tail_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+            except ValueError:
+                pass
+            else:
+                stripped = head
         try:
             if "{" in stripped:
                 name, rest = stripped.split("{", 1)

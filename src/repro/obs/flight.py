@@ -12,6 +12,9 @@ an investigation needs into one timestamped JSON file:
 * the most recent ``max_spans`` finished spans and every currently open
   span (so you can see what the system was *in the middle of*);
 * every metric value (:func:`~repro.obs.export.metrics_snapshot`);
+* recent per-operator query profiles plus the trigger's ``trace_id``
+  (a ``query.slow`` dump therefore carries both the span tree and the
+  operator-level profile of the offending query);
 * the health registry's view of each source, when wired;
 * the SLO tracker's status and each source's retained lag series, when
   wired.
@@ -37,11 +40,11 @@ from repro.obs.events import EVT_FLIGHT_DUMPED, Event
 from repro.obs.export import metrics_snapshot
 
 #: Event names that trigger an automatic dump (per the observatory spec):
-#: a source degrading, the watchdog detecting silence, and a report
-#: marking a source exceptional. ``flight.dumped`` is deliberately NOT a
-#: trigger.
+#: a source degrading, the watchdog detecting silence, a report marking a
+#: source exceptional, and a report crossing the slow-query threshold.
+#: ``flight.dumped`` is deliberately NOT a trigger.
 DEFAULT_TRIGGERS = frozenset(
-    {"source.degraded", "watchdog.silence", "report.exceptional"}
+    {"source.degraded", "watchdog.silence", "report.exceptional", "query.slow"}
 )
 
 #: Wall-clock seconds between automatic dumps.
@@ -185,6 +188,16 @@ class FlightRecorder:
             "open_spans": open_spans,
             "metrics": metrics_snapshot(self.telemetry.metrics),
         }
+        # Trace correlation: the trigger's trace id (when stamped) plus
+        # recent query profiles, so a query.slow dump carries the span
+        # tree AND the per-operator profile of the offending query.
+        if trigger is not None and trigger.trace_id:
+            payload["trigger_trace_id"] = trigger.trace_id
+        profile_log = getattr(self.telemetry, "profiles", None)
+        if profile_log is not None:
+            payload["profiles"] = [
+                p.to_dict() for p in profile_log.tail(self.max_events)
+            ]
         if self.health is not None:
             payload["health"] = self.health.to_dict()
         if self.slo is not None:

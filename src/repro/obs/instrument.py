@@ -28,8 +28,10 @@ one place; instrumented modules call them instead of minting names ad hoc.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Any, Iterable, Optional
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional
 
 from repro.obs.events import NULL_EVENT_LOG, Event, EventLog
 from repro.obs.metrics import (
@@ -78,6 +80,9 @@ CHECKPOINT_SECONDS = "trac_checkpoint_seconds"
 RECOVERY_RUNS = "trac_recovery_runs_total"
 RECOVERY_REPLAYED = "trac_recovery_replayed_total"
 RECOVERY_TORN_SEGMENTS = "trac_recovery_torn_segments_total"
+HTTP_REQUEST_SECONDS = "trac_http_request_seconds"
+POLL_SECONDS = "trac_poll_seconds"
+SLOW_QUERIES = "trac_slow_queries_total"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -85,16 +90,127 @@ COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
 #: Buckets for sniff->DB lag (seconds of simulated or wall time).
 LAG_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0, 900.0, 3600.0)
 
+#: Default slow-query threshold (seconds); overridable per reporter or via
+#: the ``TRAC_SLOW_QUERY_SECONDS`` environment variable. ``0`` disables.
+DEFAULT_SLOW_QUERY_SECONDS = 0.0
+
+
+def slow_query_threshold() -> float:
+    """The process slow-query threshold in seconds (0 = disabled).
+
+    Reads ``TRAC_SLOW_QUERY_SECONDS`` at call time so tests and operators
+    can flip it without re-importing."""
+    raw = os.environ.get("TRAC_SLOW_QUERY_SECONDS", "").strip()
+    if not raw:
+        return DEFAULT_SLOW_QUERY_SECONDS
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SLOW_QUERY_SECONDS
+    return max(0.0, value)
+
+
+class ProfileLog:
+    """Thread-safe ring buffer of per-operator query profiles.
+
+    Stores the structured :class:`~repro.engine.profile.QueryProfile`
+    objects the evaluator produces when telemetry is enabled (duck-typed:
+    anything with ``sql``/``trace_id``/``to_dict()`` works). The
+    Observatory's ``/profile`` endpoint and the shell's ``.profile`` read
+    from here; the ring keeps memory bounded during long runs.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._profiles: Deque[Any] = deque(maxlen=capacity)
+        self._total = 0
+
+    def record(self, profile: Any) -> None:
+        with self._lock:
+            self._profiles.append(profile)
+            self._total += 1
+
+    def snapshot(self) -> List[Any]:
+        """Every retained profile, oldest first."""
+        with self._lock:
+            return list(self._profiles)
+
+    def tail(self, n: int) -> List[Any]:
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self._profiles)[-n:]
+
+    def last(self) -> Optional[Any]:
+        with self._lock:
+            return self._profiles[-1] if self._profiles else None
+
+    def for_trace(self, trace_id: str) -> List[Any]:
+        """Retained profiles stamped with ``trace_id`` (32-hex)."""
+        return [p for p in self.snapshot() if getattr(p, "trace_id", None) == trace_id]
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self._total
+
+    def clear(self) -> None:
+        with self._lock:
+            self._profiles.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles)
+
+    def __repr__(self) -> str:
+        return f"ProfileLog({len(self)}/{self.capacity} retained, total={self.total})"
+
+
+class NullProfileLog:
+    """Inert profile log for disabled telemetry."""
+
+    __slots__ = ()
+
+    capacity = 0
+    total = 0
+
+    def record(self, profile: Any) -> None:
+        pass
+
+    def snapshot(self) -> List[Any]:
+        return []
+
+    def tail(self, n: int) -> List[Any]:
+        return []
+
+    def last(self) -> None:
+        return None
+
+    def for_trace(self, trace_id: str) -> List[Any]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op profile log used by disabled telemetry.
+NULL_PROFILE_LOG = NullProfileLog()
+
 
 class Telemetry:
-    """A live tracer + metrics registry + event log triple."""
+    """A live tracer + metrics registry + event log + profile log bundle."""
 
-    __slots__ = ("tracer", "metrics", "events", "enabled")
+    __slots__ = ("tracer", "metrics", "events", "profiles", "enabled")
 
     def __init__(self) -> None:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.events = EventLog()
+        self.profiles = ProfileLog()
         self.enabled = True
 
     def emit(
@@ -103,28 +219,39 @@ class Telemetry:
         t: Optional[float] = None,
         source: Optional[str] = None,
         severity: str = "info",
+        span: Optional[Any] = None,
         **attributes: Any,
     ) -> Optional[Event]:
         """Record a structured event, correlated with the emitting thread's
-        innermost open span (see :mod:`repro.obs.events`)."""
-        span = self.tracer.current_span()
+        innermost open span (see :mod:`repro.obs.events`).
+
+        Pass ``span=`` to correlate with a specific (possibly already
+        finished) span instead — e.g. a slow-query event emitted after its
+        root span closed."""
+        if span is None:
+            span = self.tracer.current_span()
         self.metrics.counter(
             EVENTS_EMITTED, {"event": name}, help="Structured events emitted"
         ).inc()
+        trace_id: Optional[str] = None
+        if span is not None and getattr(span, "trace_id", 0):
+            trace_id = f"{span.trace_id:032x}"
         return self.events.emit(
             name,
             t=t,
             source=source,
             severity=severity,
             span_id=span.span_id if span is not None else None,
+            trace_id=trace_id,
             **attributes,
         )
 
     def reset(self) -> None:
-        """Clear collected spans, every metric, and retained events."""
+        """Clear collected spans, every metric, retained events and profiles."""
         self.tracer.reset()
         self.metrics.reset()
         self.events.clear()
+        self.profiles.clear()
 
     def __repr__(self) -> str:
         return (
@@ -141,6 +268,7 @@ class _NullTelemetry:
     tracer = NULL_TRACER
     metrics = NULL_REGISTRY
     events = NULL_EVENT_LOG
+    profiles = NULL_PROFILE_LOG
     enabled = False
 
     def emit(
@@ -149,6 +277,7 @@ class _NullTelemetry:
         t: Optional[float] = None,
         source: Optional[str] = None,
         severity: str = "info",
+        span: Optional[Any] = None,
         **attributes: Any,
     ) -> None:
         return None
@@ -248,12 +377,40 @@ def record_snapshot_close(tel, backend: str, held_seconds: float) -> None:
     ).observe(held_seconds)
 
 
-def record_report(tel, method: str, seconds: float) -> None:
+def record_report(tel, method: str, seconds: float, trace_id: Optional[str] = None) -> None:
     labels = {"method": method}
     tel.metrics.counter(REPORTS, labels, help="Recency reports produced").inc()
     tel.metrics.histogram(
         REPORT_SECONDS, labels, help="End-to-end recency report latency"
-    ).observe(seconds)
+    ).observe(seconds, trace_id=trace_id)
+
+
+def record_http_request(
+    tel, path: str, status: int, seconds: float, trace_id: Optional[str] = None
+) -> None:
+    tel.metrics.histogram(
+        HTTP_REQUEST_SECONDS,
+        {"path": path, "status": str(status)},
+        help="Observatory HTTP request latency by endpoint",
+    ).observe(seconds, trace_id=trace_id)
+
+
+def record_poll_latency(
+    tel, machine: str, seconds: float, trace_id: Optional[str] = None
+) -> None:
+    tel.metrics.histogram(
+        POLL_SECONDS,
+        {"machine": machine},
+        help="Wall seconds per sniffer poll inside the grid poll cycle",
+    ).observe(seconds, trace_id=trace_id)
+
+
+def record_slow_query(tel, method: str) -> None:
+    tel.metrics.counter(
+        SLOW_QUERIES,
+        {"method": method},
+        help="Reports exceeding the slow-query threshold",
+    ).inc()
 
 
 def record_plan_cache_hit(tel) -> None:
@@ -462,6 +619,10 @@ class PhaseTimer:
 __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
+    "ProfileLog",
+    "NullProfileLog",
+    "NULL_PROFILE_LOG",
+    "slow_query_threshold",
     "get_default",
     "set_default",
     "enable",

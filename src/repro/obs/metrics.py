@@ -119,7 +119,16 @@ class Histogram:
     increasing.
     """
 
-    __slots__ = ("name", "labels", "bounds", "_lock", "_counts", "_sum", "_count")
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_count",
+        "_exemplars",
+    )
 
     kind = "histogram"
 
@@ -142,14 +151,21 @@ class Histogram:
         self._counts = [0] * len(bounds)  # per-bucket (non-cumulative) tallies
         self._sum = 0.0
         self._count = 0
+        # bucket index (len(bounds) = +Inf) -> (trace_id, value) of the
+        # most recent traced observation landing in that bucket.
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
+        """Record one observation; ``trace_id`` (32-hex) attaches an
+        OpenMetrics exemplar to the bucket the value lands in."""
         index = bisect.bisect_left(self.bounds, value)
         with self._lock:
             if index < len(self._counts):
                 self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id:
+                self._exemplars[index] = (trace_id, value)
 
     @property
     def count(self) -> int:
@@ -175,6 +191,14 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), total))
         return out
+
+    def exemplars(self) -> Dict[float, Tuple[str, float]]:
+        """Per-bucket exemplars keyed by the bucket's upper bound
+        (``inf`` for the overflow bucket): ``{bound: (trace_id, value)}``."""
+        with self._lock:
+            snapshot = dict(self._exemplars)
+        bounds = self.bounds + (float("inf"),)
+        return {bounds[i]: pair for i, pair in snapshot.items()}
 
     def __repr__(self) -> str:
         return (
@@ -206,11 +230,14 @@ class NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         pass
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         return []
+
+    def exemplars(self) -> Dict[float, Tuple[str, float]]:
+        return {}
 
 
 #: Shared instance handed out by :class:`NullRegistry`.

@@ -3,26 +3,47 @@
 A dependency-free threaded HTTP server (stdlib ``http.server`` only)
 exposing one :class:`~repro.obs.instrument.Telemetry` instance:
 
-========== ==================================== ===========================
-path       content type                         body
-========== ==================================== ===========================
-/metrics   text/plain; version=0.0.4            Prometheus exposition of
-                                                every registered metric
-/healthz   application/json                     overall status, per-source
-                                                health entries, breaker
-                                                states, degraded list
-/spans     application/x-ndjson                 recent finished spans, one
-                                                JSON object per line
-                                                (``?limit=N``, default 500)
-/events    application/x-ndjson                 recent events, one JSON
-                                                object per line
-                                                (``?limit=N``, default 500)
-/status    application/json                     full dashboard payload
-                                                (what ``trac top`` polls)
-========== ==================================== ===========================
+=========== ==================================== ===========================
+path        content type                         body
+=========== ==================================== ===========================
+/metrics    text/plain; version=0.0.4            Prometheus exposition of
+                                                 every registered metric
+                                                 (histograms carry trace-id
+                                                 exemplars)
+/healthz    application/json                     overall status, per-source
+                                                 health entries, breaker
+                                                 states, degraded list
+/spans      application/x-ndjson                 recent finished spans, one
+                                                 JSON object per line
+                                                 (``?limit=N``, default 500)
+/events     application/x-ndjson                 recent events, one JSON
+                                                 object per line
+                                                 (``?limit=N``, default 500)
+/profile    application/json                     recent per-operator query
+                                                 profiles (``?limit=N``)
+/trace/<id> application/json                     every span, event and
+                                                 profile stamped with the
+                                                 32-hex trace id
+/query      application/json                     run a recency report
+                                                 (``?sql=...&method=...``;
+                                                 requires a wired reporter)
+/status     application/json                     full dashboard payload
+                                                 (what ``trac top`` polls)
+=========== ==================================== ===========================
 
-Unknown paths return 404 with a JSON body listing the endpoints. The
-server runs on daemon threads (``ThreadingHTTPServer``) so it never
+A malformed ``limit`` (non-numeric, negative, or absurdly large) returns
+HTTP 400 rather than being silently ignored. Unknown paths return 404
+with a JSON body listing the endpoints.
+
+**Distributed tracing.** When the exposed telemetry is enabled, every
+request runs inside an ``http.request`` span. A caller-supplied W3C
+``traceparent`` header becomes that span's remote parent, so spans
+produced while serving the request — including a full recency report via
+``/query`` — share the caller's trace id; per-endpoint latency lands in
+the ``trac_http_request_seconds`` histogram with the trace id as an
+exemplar.
+
+The server runs on daemon threads (``ThreadingHTTPServer``) so it never
 blocks interpreter exit; ``port=0`` binds an ephemeral port, exposed via
 :attr:`ObservatoryServer.port`. Start one with ``obs.serve()``, ``trac
 serve``, or ``trac simulate --serve PORT``.
@@ -32,18 +53,39 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs.export import prometheus_text, write_spans_jsonl
 from repro.obs.events import write_events_jsonl
+from repro.obs.instrument import record_http_request
+from repro.obs.trace import extract_context
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 NDJSON_CONTENT_TYPE = "application/x-ndjson; charset=utf-8"
 
 _DEFAULT_TAIL = 500
+
+#: Upper bound on ``?limit=`` values; anything larger is a client error.
+_MAX_LIMIT = 1_000_000
+
+_ENDPOINTS = [
+    "/metrics",
+    "/healthz",
+    "/spans",
+    "/events",
+    "/profile",
+    "/trace/<id>",
+    "/query",
+    "/status",
+]
+
+
+class _BadRequest(Exception):
+    """Client error surfaced as HTTP 400 (never a handler-thread crash)."""
 
 
 class _ObservatoryHandler(BaseHTTPRequestHandler):
@@ -56,73 +98,150 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # scrapers poll every few seconds; stderr must stay quiet
 
-    def _send(self, status: int, content_type: str, body: str) -> None:
+    def _send(self, status: int, content_type: str, body: str) -> int:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        return status
 
     def _limit(self, query: Dict[str, list]) -> int:
+        raw = query.get("limit", [_DEFAULT_TAIL])[0]
         try:
-            return max(0, int(query.get("limit", [_DEFAULT_TAIL])[0]))
+            limit = int(raw)
         except (TypeError, ValueError):
-            return _DEFAULT_TAIL
+            raise _BadRequest(f"limit must be an integer, got {raw!r}") from None
+        if limit < 0:
+            raise _BadRequest(f"limit must be >= 0, got {limit}")
+        if limit > _MAX_LIMIT:
+            raise _BadRequest(f"limit must be <= {_MAX_LIMIT}, got {limit}")
+        return limit
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         obs = self.observatory
+        tel = obs.telemetry
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
         path = parsed.path.rstrip("/") or "/"
+        if not tel.enabled:
+            self._dispatch(path, parsed, query)
+            return
+        # Request-scoped root span: a caller-supplied traceparent header
+        # makes its remote span this one's parent, so everything recorded
+        # while serving — including a /query report — joins its trace.
+        parent = extract_context(self.headers)
+        start = time.perf_counter()
+        with tel.tracer.span("http.request", parent=parent, path=path) as span:
+            status = self._dispatch(path, parsed, query)
+            span.set_attribute("status", status)
+            trace_id = span.trace_id_hex
+        record_http_request(
+            tel, path, status, time.perf_counter() - start, trace_id=trace_id
+        )
+
+    def _dispatch(self, path: str, parsed, query: Dict[str, list]) -> int:
+        """Route one request; returns the HTTP status actually sent."""
+        obs = self.observatory
         try:
             if path == "/metrics":
-                self._send(
+                return self._send(
                     200, PROMETHEUS_CONTENT_TYPE, prometheus_text(obs.telemetry.metrics)
                 )
-            elif path == "/healthz":
-                self._send(
+            if path == "/healthz":
+                return self._send(
                     200, JSON_CONTENT_TYPE, json.dumps(obs.healthz(), sort_keys=True)
                 )
-            elif path == "/spans":
+            if path == "/spans":
                 import io
 
                 buffer = io.StringIO()
                 spans = obs.telemetry.tracer.finished_spans()
                 limit = self._limit(query)
                 write_spans_jsonl(spans[-limit:] if limit else [], buffer)
-                self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
-            elif path == "/events":
+                return self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
+            if path == "/events":
                 import io
 
                 buffer = io.StringIO()
                 write_events_jsonl(
                     obs.telemetry.events.tail(self._limit(query)), buffer
                 )
-                self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
-            elif path == "/status":
-                self._send(
+                return self._send(200, NDJSON_CONTENT_TYPE, buffer.getvalue())
+            if path == "/profile":
+                profiles = obs.profiles(self._limit(query))
+                return self._send(200, JSON_CONTENT_TYPE, json.dumps(profiles))
+            if path.startswith("/trace/"):
+                trace_id = path[len("/trace/") :].strip().lower()
+                doc = obs.trace(trace_id)
+                if doc is None:
+                    return self._send(
+                        404,
+                        JSON_CONTENT_TYPE,
+                        json.dumps({"error": f"no telemetry for trace {trace_id!r}"}),
+                    )
+                return self._send(200, JSON_CONTENT_TYPE, json.dumps(doc, default=str))
+            if path == "/query":
+                return self._query(query)
+            if path == "/status":
+                return self._send(
                     200, JSON_CONTENT_TYPE, json.dumps(obs.status(), sort_keys=True)
                 )
-            else:
-                body = json.dumps(
-                    {
-                        "error": f"unknown path {parsed.path!r}",
-                        "endpoints": ["/metrics", "/healthz", "/spans", "/events", "/status"],
-                    }
+            body = json.dumps(
+                {"error": f"unknown path {parsed.path!r}", "endpoints": _ENDPOINTS}
+            )
+            return self._send(404, JSON_CONTENT_TYPE, body)
+        except _BadRequest as exc:
+            try:
+                return self._send(
+                    400, JSON_CONTENT_TYPE, json.dumps({"error": str(exc)})
                 )
-                self._send(404, JSON_CONTENT_TYPE, body)
+            except Exception:
+                return 400
         except BrokenPipeError:
-            pass  # scraper hung up mid-response
+            return 499  # scraper hung up mid-response
         except Exception as exc:  # observability must not crash the host
             try:
-                self._send(
+                return self._send(
                     500,
                     JSON_CONTENT_TYPE,
                     json.dumps({"error": f"{type(exc).__name__}: {exc}"}),
                 )
             except Exception:
-                pass
+                return 500
+
+    def _query(self, query: Dict[str, list]) -> int:
+        """``/query?sql=...&method=...`` — serve one recency report."""
+        obs = self.observatory
+        if obs.reporter is None:
+            return self._send(
+                503,
+                JSON_CONTENT_TYPE,
+                json.dumps({"error": "no reporter wired to this observatory"}),
+            )
+        sql_values = query.get("sql")
+        if not sql_values or not sql_values[0].strip():
+            raise _BadRequest("missing required query parameter 'sql'")
+        sql = sql_values[0]
+        method = query.get("method", ["focused"])[0]
+        from repro.errors import TracError
+
+        try:
+            report = obs.reporter.report(sql, method=method)
+        except TracError as exc:
+            raise _BadRequest(str(exc)) from exc
+        body = {
+            "sql": sql,
+            "method": report.method,
+            "columns": report.result.columns,
+            "rows": [list(row) for row in report.result.rows],
+            "notices": report.notices(),
+            "trace_id": report.trace_id,
+            "timings": report.timings.to_dict(),
+            "profile": report.profile.to_dict() if report.profile is not None else None,
+        }
+        return self._send(200, JSON_CONTENT_TYPE, json.dumps(body, default=str))
 
 
 class ObservatoryServer:
@@ -142,6 +261,10 @@ class ObservatoryServer:
     status_provider:
         Optional zero-argument callable returning the ``/status`` payload
         (the dashboard document); defaults to a minimal summary.
+    reporter:
+        Optional :class:`~repro.core.report.RecencyReporter`; when wired,
+        ``/query?sql=...`` serves full recency reports over HTTP (503
+        otherwise).
     """
 
     def __init__(
@@ -152,11 +275,13 @@ class ObservatoryServer:
         health=None,
         breakers: Optional[Callable[[], Dict[str, str]]] = None,
         status_provider: Optional[Callable[[], dict]] = None,
+        reporter=None,
     ) -> None:
         self.telemetry = telemetry
         self.health = health
         self.breakers = breakers
         self.status_provider = status_provider
+        self.reporter = reporter
         handler = type(
             "BoundObservatoryHandler", (_ObservatoryHandler,), {"observatory": self}
         )
@@ -231,6 +356,37 @@ class ObservatoryServer:
             return self.status_provider()
         return {"healthz": self.healthz()}
 
+    def profiles(self, limit: int = _DEFAULT_TAIL) -> list:
+        """The ``/profile`` document: recent query profiles, oldest first."""
+        log = getattr(self.telemetry, "profiles", None)
+        if log is None:
+            return []
+        recent = log.tail(limit) if limit else []
+        return [profile.to_dict() for profile in recent]
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """The ``/trace/<id>`` document, or None when the id matched
+        no span, event, or profile (an unknown or expired trace)."""
+        tracer = self.telemetry.tracer
+        spans = [span.to_dict() for span in tracer.spans_for_trace(trace_id)]
+        events = [
+            event.to_dict() for event in self.telemetry.events.for_trace(trace_id)
+        ]
+        log = getattr(self.telemetry, "profiles", None)
+        profiles = (
+            [profile.to_dict() for profile in log.for_trace(trace_id)]
+            if log is not None
+            else []
+        )
+        if not spans and not events and not profiles:
+            return None
+        return {
+            "trace_id": trace_id,
+            "spans": spans,
+            "events": events,
+            "profiles": profiles,
+        }
+
     def __repr__(self) -> str:
         running = "running" if self._thread is not None else "stopped"
         return f"ObservatoryServer({self.url}, {running})"
@@ -243,6 +399,7 @@ def serve(
     health=None,
     breakers: Optional[Callable[[], Dict[str, str]]] = None,
     status_provider: Optional[Callable[[], dict]] = None,
+    reporter=None,
 ) -> ObservatoryServer:
     """Start an :class:`ObservatoryServer` for ``telemetry`` (the process
     default when omitted) and return it already serving."""
@@ -257,5 +414,6 @@ def serve(
         health=health,
         breakers=breakers,
         status_provider=status_provider,
+        reporter=reporter,
     )
     return server.start()

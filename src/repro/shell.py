@@ -10,6 +10,8 @@ Dot-commands::
     .tables            list tables and row counts
     .sources           heartbeat summary (with the z-score split)
     .plan SQL          explain the relevance analysis without executing
+    .profile SQL       run the bare query and print its per-operator
+                       profile (rows in/out, selectivity, wall ms)
     .naive SQL         run one report with the Naive method
     .plain SQL         run the bare query, no recency report
     .stats             telemetry summary: spans, counters, histograms
@@ -114,6 +116,11 @@ class Shell:
                 self._say("usage: .plan SELECT ...")
                 return
             self._say(explain_sql(rest, self.backend.catalog))
+        elif command == ".profile":
+            if not rest:
+                self._say("usage: .profile SELECT ...")
+                return
+            self._profile(rest)
         elif command == ".naive":
             self._report(rest, method="naive")
         elif command == ".plain":
@@ -128,6 +135,13 @@ class Shell:
             self._say(f"saved {parts[0]} as {parts[1]}")
         else:
             self._say(f"unknown command {command!r}; try .help")
+
+    def _profile(self, sql: str) -> None:
+        """Run ``sql`` on the backend and print its per-operator profile."""
+        from repro.engine.profile import database_from_backend, profile_query
+
+        db = database_from_backend(self.backend)
+        self._say(profile_query(db, sql).render())
 
     def _events(self, rest: str) -> None:
         try:

@@ -55,6 +55,7 @@ class TestTriggering:
             "source.degraded",
             "watchdog.silence",
             "report.exceptional",
+            "query.slow",
         }
 
     def test_flight_dumped_event_does_not_retrigger(self, tmp_path):

@@ -1,6 +1,7 @@
 """The observatory HTTP server, scraped over real sockets."""
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -93,10 +94,122 @@ class TestEndpoints:
             doc = json.loads(excinfo.value.read().decode("utf-8"))
         assert "/metrics" in doc["endpoints"]
 
-    def test_bad_limit_falls_back_to_default(self, telemetry):
+    @pytest.mark.parametrize(
+        "limit", ["bogus", "-1", "99999999999999", "1.5"]
+    )
+    def test_bad_limit_is_a_client_error(self, telemetry, limit):
         with ObservatoryServer(telemetry) as server:
-            status, _, _ = get(server.url + "/events?limit=bogus")
-        assert status == 200
+            for path in ("/events", "/spans"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    get(f"{server.url}{path}?limit={limit}")
+                assert excinfo.value.code == 400
+                doc = json.loads(excinfo.value.read().decode("utf-8"))
+                assert "limit" in doc["error"]
+
+
+class TestTracingEndpoints:
+    def test_requests_record_http_latency_histogram(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            get(server.url + "/healthz")
+            _, _, body = get(server.url + "/metrics")
+        assert "trac_http_request_seconds_bucket" in body
+        assert 'path="/healthz"' in body
+
+    def test_traceparent_header_joins_the_callers_trace(self, telemetry):
+        caller_trace = "f" * 31 + "e"
+        header = {"traceparent": f"00-{caller_trace}-00f067aa0ba902b7-01"}
+        with ObservatoryServer(telemetry) as server:
+            request = urllib.request.Request(server.url + "/healthz", headers=header)
+            with urllib.request.urlopen(request, timeout=5.0):
+                pass
+            # The request span closes on the handler thread just after
+            # the response body is sent; wait for it to land.
+            deadline = time.monotonic() + 5.0
+            spans = telemetry.tracer.spans_for_trace(caller_trace)
+            while not spans and time.monotonic() < deadline:
+                time.sleep(0.01)
+                spans = telemetry.tracer.spans_for_trace(caller_trace)
+        assert [s.name for s in spans] == ["http.request"]
+        assert spans[0].parent_id == 0x00F067AA0BA902B7
+
+    def test_profile_endpoint_serves_recorded_profiles(self, telemetry):
+        from repro.engine.profile import QueryProfile
+
+        profile = QueryProfile("SELECT 1")
+        profile.trace_id = "ab" * 16
+        telemetry.profiles.record(profile)
+        with ObservatoryServer(telemetry) as server:
+            _, ctype, body = get(server.url + "/profile")
+        assert ctype.startswith("application/json")
+        docs = json.loads(body)
+        assert [d["sql"] for d in docs] == ["SELECT 1"]
+
+    def test_trace_endpoint_correlates_spans_events_profiles(self, telemetry):
+        from repro.engine.profile import QueryProfile
+
+        with telemetry.tracer.span("outer") as outer:
+            telemetry.emit("probe.fired", severity="info")
+        profile = QueryProfile("SELECT 1")
+        profile.trace_id = outer.trace_id_hex
+        telemetry.profiles.record(profile)
+        with ObservatoryServer(telemetry) as server:
+            _, _, body = get(server.url + f"/trace/{outer.trace_id_hex}")
+        doc = json.loads(body)
+        assert doc["trace_id"] == outer.trace_id_hex
+        assert [s["name"] for s in doc["spans"]] == ["outer"]
+        assert [e["name"] for e in doc["events"]] == ["probe.fired"]
+        assert [p["sql"] for p in doc["profiles"]] == ["SELECT 1"]
+
+    def test_unknown_trace_is_404(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/trace/" + "0" * 32)
+        assert excinfo.value.code == 404
+
+    def test_query_without_reporter_is_503(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/query?sql=SELECT+1")
+        assert excinfo.value.code == 503
+
+    def test_query_without_sql_is_400(self, telemetry):
+        with ObservatoryServer(telemetry, reporter=object()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/query")
+        assert excinfo.value.code == 400
+
+
+class TestNdjsonSchemaPin:
+    """The /spans and /events NDJSON schemas are consumed by external
+    tooling; new fields must be ADDITIVE — every pre-tracing field keeps
+    its name and meaning."""
+
+    SPAN_FIELDS_V1 = {
+        "name", "span_id", "parent_id", "start_wall", "duration_s", "attributes",
+    }
+    EVENT_FIELDS_V1 = {
+        "seq", "t", "wall", "name", "severity", "source", "span_id", "attributes",
+    }
+
+    def test_span_records_are_backward_compatible(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            _, _, body = get(server.url + "/spans?limit=1")
+        record = json.loads(body.splitlines()[0])
+        missing = self.SPAN_FIELDS_V1 - set(record)
+        assert not missing, f"v1 span fields dropped: {missing}"
+        # The tracing PR's additions, both derivable from the v1 reader's
+        # point of view as unknown-and-ignorable keys.
+        assert set(record["trace_id"]) <= set("0123456789abcdef")
+        assert len(record["trace_id"]) == 32
+        assert record["traceparent"].startswith("00-")
+
+    def test_event_records_are_backward_compatible(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            _, _, body = get(server.url + "/events?limit=1")
+        record = json.loads(body.splitlines()[0])
+        missing = self.EVENT_FIELDS_V1 - set(record)
+        assert not missing, f"v1 event fields dropped: {missing}"
+        assert "trace_id" in record  # additive (may be null for untraced)
 
 
 class TestLifecycle:

@@ -85,6 +85,17 @@ class TestExamples:
         assert "flight dump: trigger=watchdog.silence source=m2" in out
         assert "staleness SLO (p95 < 25s): BREACHED" in out
 
+    def test_profiling_tour(self):
+        out = run_example("profiling_tour.py")
+        assert "report trace_id:" in out
+        assert "profile: SELECT state, COUNT(*)" in out
+        assert "injected  trace_id: 1badb0021badb0021badb0021badb002" in out
+        assert "report's  trace_id: 1badb0021badb0021badb0021badb002" in out
+        assert "'http.request'" in out and "'trac.report'" in out
+        assert '# {trace_id="' in out
+        assert "query.slow events: 1" in out
+        assert "done: every query is traceable from caller to operator" in out
+
     def test_durability_tour(self):
         out = run_example("durability_tour.py")
         assert "crash and resume" in out

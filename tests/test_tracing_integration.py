@@ -1,0 +1,133 @@
+"""Acceptance: end-to-end distributed tracing through the observatory.
+
+A query served through ``repro.obs.server`` with an injected W3C
+``traceparent`` header must produce, under the *caller's* trace id:
+
+* spans for the request and the full recency report beneath it;
+* correlated event-log records (forced here via a zero-second slow-query
+  threshold so ``query.slow`` fires on every report);
+* a structured per-operator :class:`QueryProfile` retrievable via
+  ``/profile`` and ``/trace/<id>``;
+* histogram latency series (with trace-id exemplars) in ``/metrics``.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.catalog import Catalog, Column, TableSchema
+from repro.core.report import RecencyReporter
+from repro.obs import Telemetry
+from repro.obs.server import ObservatoryServer
+
+CALLER_TRACE = "deadbeefdeadbeefdeadbeefdeadbeef"
+TRACEPARENT = f"00-{CALLER_TRACE}-00f067aa0ba902b7-01"
+
+
+def get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def observatory():
+    catalog = Catalog()
+    catalog.add(
+        TableSchema("activity", [Column("mach_id", "TEXT"), Column("state", "TEXT")])
+    )
+    catalog.add(
+        TableSchema(
+            "trac_heartbeat", [Column("source_id", "TEXT"), Column("recency", "REAL")]
+        )
+    )
+    telemetry = Telemetry()
+    backend = MemoryBackend(catalog, telemetry=telemetry)
+    backend.create_tables()
+    backend.insert_rows(
+        "activity", [(f"m{i % 3 + 1}", "busy" if i % 2 else "idle") for i in range(30)]
+    )
+    for mid in ("m1", "m2", "m3"):
+        backend.upsert_heartbeat(mid, 100.0)
+    reporter = RecencyReporter(
+        backend, telemetry=telemetry, slow_query_seconds=1e-9
+    )
+    server = ObservatoryServer(telemetry, reporter=reporter).start()
+    try:
+        yield server, telemetry
+    finally:
+        server.stop()
+
+
+def wait_for_trace(telemetry, trace_id, deadline_s=5.0):
+    deadline = time.monotonic() + deadline_s
+    spans = telemetry.tracer.spans_for_trace(trace_id)
+    while time.monotonic() < deadline:
+        if any(s.name == "http.request" for s in spans):
+            return spans
+        time.sleep(0.01)
+        spans = telemetry.tracer.spans_for_trace(trace_id)
+    return spans
+
+
+def test_traced_query_end_to_end(observatory):
+    server, telemetry = observatory
+    sql = "SELECT state, COUNT(*) FROM activity GROUP BY state"
+
+    status, body = get(
+        server.url + "/query?sql=" + urllib.parse.quote(sql),
+        headers={"traceparent": TRACEPARENT},
+    )
+    assert status == 200
+    doc = json.loads(body)
+
+    # The report itself is stamped with the caller's trace id.
+    assert doc["trace_id"] == CALLER_TRACE
+    assert doc["rows"] and doc["columns"] == ["state", "COUNT(*)"]
+
+    # Its profile came back inline, structured per operator.
+    ops = [op["op"] for op in doc["profile"]["operators"]]
+    assert "scan" in ops and "aggregate" in ops
+    assert doc["profile"]["trace_id"] == CALLER_TRACE
+
+    # 1. Spans: the request span plus the whole report span tree share
+    # the caller's trace id.
+    spans = wait_for_trace(telemetry, CALLER_TRACE)
+    names = {s.name for s in spans}
+    assert "http.request" in names and "trac.report" in names
+    assert len(spans) >= 4  # request + report + its phases
+    assert all(s.trace_id_hex == CALLER_TRACE for s in spans)
+
+    # 2. Events: the forced slow-query event correlates by trace id.
+    events = telemetry.events.for_trace(CALLER_TRACE)
+    assert any(e.name == "query.slow" for e in events)
+
+    # 3. Profile is retrievable via /profile and /trace/<id>.
+    _, body = get(server.url + "/profile")
+    profiles = json.loads(body)
+    assert any(p["trace_id"] == CALLER_TRACE and p["sql"] == sql for p in profiles)
+    _, body = get(server.url + f"/trace/{CALLER_TRACE}")
+    trace_doc = json.loads(body)
+    assert trace_doc["spans"] and trace_doc["events"] and trace_doc["profiles"]
+
+    # 4. Histogram latency series, exemplar-stamped, in /metrics.
+    _, metrics = get(server.url + "/metrics")
+    assert "trac_report_seconds_bucket" in metrics
+    assert "trac_http_request_seconds_bucket" in metrics
+    assert f'# {{trace_id="{CALLER_TRACE}"}}' in metrics
+    assert "trac_slow_queries_total" in metrics
+
+
+def test_untraced_query_still_gets_a_fresh_trace(observatory):
+    server, telemetry = observatory
+    status, body = get(server.url + "/query?sql=" + urllib.parse.quote(
+        "SELECT mach_id FROM activity"
+    ))
+    assert status == 200
+    doc = json.loads(body)
+    assert doc["trace_id"] and doc["trace_id"] != CALLER_TRACE
+    spans = wait_for_trace(telemetry, doc["trace_id"])
+    assert any(s.name == "http.request" for s in spans)

@@ -15,12 +15,18 @@ first-principles bound instead of a before/after diff:
    (``t_report``, warm-up discarded, mean of the rest);
 2. microbenchmark the disabled-path primitives in isolation:
    a full no-op ``PhaseTimer`` cycle (construct + enter + exit), a
-   ``resolve()`` + ``enabled`` branch, and the event-emission guard
+   ``resolve()`` + ``enabled`` branch, the event-emission guard
    (the ``enabled`` branch in front of every ``tel.emit`` call — with
-   telemetry disabled the ``NullEventLog`` is never even reached);
+   telemetry disabled the ``NullEventLog`` is never even reached),
+   a disabled histogram observation (``NullInstrument.observe`` with a
+   trace-id exemplar), and the trace-propagation guard (the
+   ``enabled`` branch in front of context inject/extract — disabled
+   telemetry never builds a SpanContext or touches a carrier);
 3. overhead_bound = (timers_per_report * t_timer
                      + checks_per_report * t_check
-                     + events_per_report * t_event) / t_report
+                     + events_per_report * t_event
+                     + histograms_per_report * t_histogram
+                     + propagations_per_report * t_propagation) / t_report
 
 The per-report primitive counts are deliberate over-estimates, so the
 reported percentage is an upper bound. Enabled-telemetry timing is printed
@@ -58,6 +64,12 @@ CHECKS_PER_REPORT = 64
 #: Event-emission guard sites a report-with-simulation tick could cross
 #: (sniffer retries, breaker transitions, exceptional sources, ...).
 EVENTS_PER_REPORT = 16
+#: Histogram-observation sites per report (report latency, per-endpoint
+#: request latency, poll latency, backend query size, ...), over-estimated.
+HISTOGRAMS_PER_REPORT = 8
+#: Trace-propagation guard sites per report (context inject on outbound
+#: carriers, extract on inbound, profile trace stamping), over-estimated.
+PROPAGATIONS_PER_REPORT = 8
 
 MICRO_LOOPS = 200_000
 
@@ -115,6 +127,42 @@ def time_event_guard() -> float:
     return (time.perf_counter() - start) / MICRO_LOOPS
 
 
+def time_histogram_observe() -> float:
+    """Seconds per disabled histogram observation (exemplar included).
+
+    With telemetry off every ``record_*`` shim bottoms out in
+    ``NullInstrument.observe`` — no bucket search, no lock, no exemplar
+    storage. This times that no-op, trace-id argument and all.
+    """
+    histogram = NULL_TELEMETRY.metrics.histogram("overhead_probe_seconds")
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        histogram.observe(0.001, trace_id="0" * 32)
+    elapsed = time.perf_counter() - start
+    assert histogram.exemplars() == {}, "null histogram must not retain exemplars"
+    return elapsed / MICRO_LOOPS
+
+
+def time_propagation_guard() -> float:
+    """Seconds per disabled trace-propagation site.
+
+    Context is only injected/extracted behind ``tel.enabled`` (the
+    observatory server's pattern): with telemetry off no SpanContext is
+    ever built and the carrier is never touched. The guard is the whole
+    cost.
+    """
+    carrier = {"traceparent": "00-" + "a" * 32 + "-" + "b" * 16 + "-01"}
+    start = time.perf_counter()
+    extracted = 0
+    for _ in range(MICRO_LOOPS):
+        tel = obs.resolve(None)
+        if tel.enabled:
+            if obs.extract_context(carrier) is not None:
+                extracted += 1
+    assert extracted == 0, "telemetry unexpectedly enabled during microbench"
+    return (time.perf_counter() - start) / MICRO_LOOPS
+
+
 def assert_null_event_log() -> None:
     """Structural check: disabled telemetry shares the inert event log."""
     assert isinstance(NULL_TELEMETRY.events, NullEventLog), (
@@ -155,11 +203,15 @@ def main(argv=None) -> int:
     t_timer = time_phase_timer_cycle()
     t_check = time_enabled_check()
     t_event = time_event_guard()
+    t_histogram = time_histogram_observe()
+    t_propagation = time_propagation_guard()
 
     bound = (
         TIMERS_PER_REPORT * t_timer
         + CHECKS_PER_REPORT * t_check
         + EVENTS_PER_REPORT * t_event
+        + HISTOGRAMS_PER_REPORT * t_histogram
+        + PROPAGATIONS_PER_REPORT * t_propagation
     )
     overhead_pct = 100.0 * bound / t_report
 
@@ -175,9 +227,12 @@ def main(argv=None) -> int:
     print(f"  no-op PhaseTimer cycle      : {t_timer * 1e9:9.1f} ns")
     print(f"  resolve+enabled branch      : {t_check * 1e9:9.1f} ns")
     print(f"  disabled event-emit guard   : {t_event * 1e9:9.1f} ns")
+    print(f"  disabled histogram observe  : {t_histogram * 1e9:9.1f} ns")
+    print(f"  disabled trace propagation  : {t_propagation * 1e9:9.1f} ns")
     print(
         f"  bound ({TIMERS_PER_REPORT} timers + {CHECKS_PER_REPORT} checks"
-        f" + {EVENTS_PER_REPORT} events) : {bound * 1e6:9.2f} us/report"
+        f" + {EVENTS_PER_REPORT} events + {HISTOGRAMS_PER_REPORT} histograms"
+        f" + {PROPAGATIONS_PER_REPORT} propagations) : {bound * 1e6:9.2f} us/report"
     )
     print(f"  disabled-path overhead bound: {overhead_pct:9.3f} %  (budget {args.threshold}%)")
     print(f"  enabled report time (info)  : {t_enabled * 1e3:9.3f} ms")
