@@ -1,0 +1,98 @@
+"""Incremental maintenance: steady-state hot-query report latency.
+
+Same shape as ``tools/check_incremental_speedup.py`` but under
+pytest-benchmark so the numbers land in the JSON output: a hot
+predicate-stable query repeated against a heartbeat-heavy backend, served
+from scratch vs from a materialized relevant-source set. Each incremental
+benchmark stamps the maintainer's hit rate and update count into
+``extra_info`` so they appear as columns in ``--benchmark-json`` exports.
+
+Run:  pytest benchmarks/test_incremental.py --benchmark-only
+"""
+
+import pytest
+
+from repro import Catalog, Column, MemoryBackend, TableSchema
+from repro.core.report import RecencyReporter
+from repro.incremental import IncrementalMaintainer
+
+NUM_SOURCES = 4000
+
+HOT_QUERY = (
+    "SELECT mach_id FROM activity "
+    "WHERE mach_id IN ('s1', 's2', 's3') AND value = 'idle'"
+)
+
+
+def _build_backend() -> MemoryBackend:
+    catalog = Catalog(
+        [
+            TableSchema(
+                "activity",
+                [Column("mach_id", "TEXT"), Column("value", "TEXT")],
+                source_column="mach_id",
+            )
+        ]
+    )
+    backend = MemoryBackend(catalog)
+    backend.insert_rows(
+        "activity", [(f"s{i}", "idle" if i != 2 else "busy") for i in range(1, 5)]
+    )
+    for i in range(NUM_SOURCES):
+        backend.upsert_heartbeat(f"s{i}", 1000.0 + i)
+    return backend
+
+
+@pytest.fixture(scope="module")
+def recompute_reporter():
+    backend = _build_backend()
+    return RecencyReporter(backend, create_temp_tables=False, plan_cache_size=32)
+
+
+@pytest.fixture(scope="module")
+def incremental_setup():
+    backend = _build_backend()
+    maintainer = IncrementalMaintainer(backend, maxsize=32)
+    reporter = RecencyReporter(
+        backend,
+        create_temp_tables=False,
+        plan_cache_size=32,
+        incremental=maintainer,
+    )
+    return backend, reporter, maintainer
+
+
+def test_hot_report_recompute(benchmark, recompute_reporter):
+    benchmark.group = "incremental-hot-report"
+    benchmark(lambda: recompute_reporter.report(HOT_QUERY, method="focused"))
+
+
+def test_hot_report_incremental(benchmark, incremental_setup):
+    _, reporter, maintainer = incremental_setup
+    benchmark.group = "incremental-hot-report"
+    reporter.report(HOT_QUERY)  # registration miss happens outside the timer
+    benchmark(lambda: reporter.report(HOT_QUERY, method="focused"))
+    stats = maintainer.stats()
+    benchmark.extra_info["hit_rate"] = round(stats["hit_rate"], 4)
+    benchmark.extra_info["materialized_sets"] = stats["entries"]
+    benchmark.extra_info["maintenance_updates"] = stats["updates"]
+
+
+def test_hot_report_incremental_with_heartbeat_stream(benchmark, incremental_setup):
+    """Maintenance cost charged inside the timer: ten heartbeats land
+    before every report, as in the steady-state guard."""
+    backend, reporter, maintainer = incremental_setup
+    benchmark.group = "incremental-hot-report"
+    reporter.report(HOT_QUERY)
+    tick = [0]
+
+    def step():
+        for _ in range(10):
+            tick[0] += 1
+            backend.upsert_heartbeat(f"s{tick[0] % NUM_SOURCES}", 2000.0 + tick[0])
+        reporter.report(HOT_QUERY, method="focused")
+
+    benchmark(step)
+    stats = maintainer.stats()
+    benchmark.extra_info["hit_rate"] = round(stats["hit_rate"], 4)
+    benchmark.extra_info["maintenance_updates"] = stats["updates"]

@@ -43,6 +43,26 @@ class MemoryBackend(Backend):
     copy-on-write views; ``False`` restores the pre-fast-path O(#rows)
     deep copy and exists for baseline measurements
     (``tools/check_fastpath_speedup.py``).
+
+    Change listeners
+    ----------------
+    Components that maintain derived state (the incremental report
+    maintainer in :mod:`repro.incremental`) register via
+    :meth:`add_change_listener` and are notified synchronously from every
+    mutation, *after* the rows have landed. Listeners are duck-typed; each
+    notification calls the listener method of the same name when present:
+
+    * ``heartbeat_upserted(source_id, recency)``
+    * ``heartbeat_rows_inserted(rows)``
+    * ``heartbeat_rows_upserted(key_columns, rows)``
+    * ``heartbeat_rows_deleted(key_columns, keys)`` — deletes emit an
+      explicit invalidation event so materialized sets can never serve a
+      tombstoned source
+    * ``heartbeat_cleared()``
+    * ``table_changed(table)`` for non-heartbeat mutations
+
+    With no listeners registered every notify site is a single falsy
+    check, so the write path stays as fast as before.
     """
 
     kind = "memory"
@@ -59,6 +79,25 @@ class MemoryBackend(Backend):
         self._cow_snapshots = cow_snapshots
         self._heartbeat_index: Dict[str, int] = {}
         self._heartbeat_index_valid = True
+        self._listeners: List[object] = []
+
+    # -- change listeners ----------------------------------------------------
+
+    def add_change_listener(self, listener: object) -> None:
+        """Register ``listener`` for mutation notifications (see class
+        docstring for the event vocabulary)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_change_listener(self, listener: object) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, event: str, *args: object) -> None:
+        for listener in self._listeners:
+            method = getattr(listener, event, None)
+            if method is not None:
+                method(*args)
 
     # -- schema / data -------------------------------------------------------
 
@@ -68,9 +107,17 @@ class MemoryBackend(Backend):
                 self.db.add_table(schema)
 
     def insert_rows(self, table: str, rows: Iterable[Sequence[object]]) -> None:
+        heartbeat = table.lower() == HEARTBEAT_TABLE
+        if self._listeners and heartbeat:
+            rows = [tuple(r) for r in rows]
         self.db.insert_many(table, rows)
-        if table.lower() == HEARTBEAT_TABLE:
+        if heartbeat:
             self._heartbeat_index_valid = False
+        if self._listeners:
+            if heartbeat:
+                self._notify("heartbeat_rows_inserted", rows)
+            else:
+                self._notify("table_changed", table)
 
     def upsert_rows(
         self,
@@ -80,13 +127,21 @@ class MemoryBackend(Backend):
     ) -> None:
         relation = self.db.relation(table)
         key_indexes = [relation.schema.column_index(k) for k in key_columns]
+        heartbeat = table.lower() == HEARTBEAT_TABLE
+        if self._listeners and heartbeat:
+            rows = [tuple(r) for r in rows]
         for row in rows:
             row = tuple(row)
             key = tuple(row[i] for i in key_indexes)
             relation.delete_where(lambda r, key=key: tuple(r[i] for i in key_indexes) == key)
             relation.insert(row)
-        if table.lower() == HEARTBEAT_TABLE:
+        if heartbeat:
             self._heartbeat_index_valid = False
+        if self._listeners:
+            if heartbeat:
+                self._notify("heartbeat_rows_upserted", tuple(key_columns), rows)
+            else:
+                self._notify("table_changed", table)
 
     def delete_rows(
         self,
@@ -102,6 +157,15 @@ class MemoryBackend(Backend):
             # Deleting shifts positions; the index is rebuilt lazily on the
             # next upsert_heartbeat (previously it silently went stale).
             self._heartbeat_index_valid = False
+            if self._listeners:
+                # Deletes must be announced eagerly: a lazily rebuilt index
+                # is fine for the backend itself, but any materialized set
+                # downstream would keep serving the tombstoned source.
+                self._notify(
+                    "heartbeat_rows_deleted", tuple(key_columns), sorted(wanted)
+                )
+        elif self._listeners:
+            self._notify("table_changed", table)
 
     def delete_all(self, table: str) -> None:
         relation = self.db.relation(table)
@@ -109,6 +173,10 @@ class MemoryBackend(Backend):
         if table.lower() == HEARTBEAT_TABLE:
             self._heartbeat_index.clear()
             self._heartbeat_index_valid = True
+            if self._listeners:
+                self._notify("heartbeat_cleared")
+        elif self._listeners:
+            self._notify("table_changed", table)
 
     def upsert_heartbeat(self, source_id: str, recency: float) -> None:
         relation = self.db.relation(HEARTBEAT_TABLE)
@@ -123,6 +191,8 @@ class MemoryBackend(Backend):
             relation.insert((source_id, recency))
         else:
             relation.replace_row(position, (source_id, recency))
+        if self._listeners:
+            self._notify("heartbeat_upserted", source_id, recency)
 
     # -- querying ---------------------------------------------------------------
 

@@ -16,7 +16,8 @@ from repro.errors import CatalogError
 #: Process-wide ticket source for catalog generations. Every mutation of any
 #: catalog draws a fresh ticket, so a catalog's current ``generation`` is
 #: globally unique — two catalogs (or two states of one catalog) never share
-#: it. Resolved-query caches key on it to invalidate on schema change.
+#: it. Per-table generations and catalog identities draw from the same
+#: counter, so no two (catalog, table, state) triples ever collide either.
 _GENERATION_TICKETS = itertools.count(1)
 
 
@@ -28,17 +29,35 @@ class Catalog:
     tables:
         Initial monitored tables. The Heartbeat system table is always
         present and need not (and must not) be supplied.
+
+    Besides the whole-catalog ``generation`` (bumped on *every* mutation),
+    each table carries its own generation ticket, bumped only when *that*
+    table's schema is added or replaced. Caches that know which tables a
+    resolution touched can key on ``(identity, sql)`` and validate the
+    referenced tables' generations, so registering an unrelated table no
+    longer invalidates them. ``identity`` is a ticket drawn once per
+    catalog instance and never changed — it distinguishes two catalogs
+    that happen to contain same-named tables.
     """
 
     def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
         self._tables: Dict[str, TableSchema] = {}
+        self._table_generations: Dict[str, int] = {}
+        self.identity = next(_GENERATION_TICKETS)
         self.generation = 0
         self.add(heartbeat_schema())
         for table in tables:
             self.add(table)
 
-    def _bump_generation(self) -> None:
-        self.generation = next(_GENERATION_TICKETS)
+    def _bump_generation(self, key: str) -> None:
+        ticket = next(_GENERATION_TICKETS)
+        self.generation = ticket
+        self._table_generations[key] = ticket
+
+    def table_generation(self, name: str) -> int:
+        """The generation ticket of ``name``'s current schema (0 when the
+        table is not in the catalog)."""
+        return self._table_generations.get(name.lower(), 0)
 
     def add(self, table: TableSchema) -> None:
         """Register a table schema.
@@ -52,12 +71,13 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already in catalog")
         self._tables[key] = table
-        self._bump_generation()
+        self._bump_generation(key)
 
     def replace(self, table: TableSchema) -> None:
         """Register a table schema, overwriting any existing definition."""
-        self._tables[table.name.lower()] = table
-        self._bump_generation()
+        key = table.name.lower()
+        self._tables[key] = table
+        self._bump_generation(key)
 
     def get(self, name: str) -> TableSchema:
         """Look up a table by (case-insensitive) name.

@@ -228,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("sql", nargs="+", help="one or more user queries to report on")
     stats.add_argument("--method", choices=["focused", "naive"], default="focused")
     stats.add_argument("--repeat", type=int, default=1, help="reports per query")
+    stats.add_argument(
+        "--incremental",
+        action="store_true",
+        help="mirror the database into memory and serve repeated reports "
+        "from incrementally maintained relevant-source sets",
+    )
     stats.add_argument("--spans-jsonl", help="also dump finished spans to this file")
     stats.add_argument("--prometheus", help="also write Prometheus text format here")
     stats.set_defaults(handler=_cmd_stats)
@@ -665,7 +671,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     tel = obs.enable()
     backend = SQLiteBackend.open(args.db)
     try:
-        reporter = RecencyReporter(backend, telemetry=tel, create_temp_tables=False)
+        maintainer = None
+        query_backend = backend
+        if args.incremental:
+            # SQLite publishes no change events; mirror the database into a
+            # MemoryBackend and maintain the materialized sets there.
+            from repro.backends.memory import MemoryBackend
+            from repro.incremental import IncrementalMaintainer
+
+            memory = MemoryBackend(backend.catalog)
+            memory.create_tables()
+            for schema in backend.catalog:
+                rows = backend.execute(f"SELECT * FROM {schema.name}").rows
+                if rows:
+                    memory.insert_rows(schema.name, rows)
+            maintainer = IncrementalMaintainer(memory, telemetry=tel)
+            query_backend = memory
+        reporter = RecencyReporter(
+            query_backend,
+            telemetry=tel,
+            create_temp_tables=False,
+            incremental=maintainer,
+        )
         for sql in args.sql:
             for _ in range(max(1, args.repeat)):
                 report = reporter.report(sql, method=args.method)
@@ -686,6 +713,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         if reporter.plan_cache_size > 0:
             print(f"plan cache: {reporter.plan_cache_hits} hit(s)")
+        if maintainer is not None:
+            inc = maintainer.stats()
+            print(
+                f"incremental: {inc['hits']} hit(s), {inc['misses']} miss(es), "
+                f"{inc['bypasses']} bypass(es), {inc['entries']} materialized "
+                f"set(s), hit rate {inc['hit_rate'] * 100:.0f}%"
+            )
         if args.spans_jsonl:
             with open(args.spans_jsonl, "w") as handle:
                 handle.write(obs.spans_to_jsonl(tel.tracer.finished_spans()) + "\n")

@@ -132,6 +132,7 @@ class RecencyReport:
         degraded_sources: Optional[List[str]] = None,
         slo_status: Optional[object] = None,
         profile: Optional[object] = None,
+        incremental: Optional[str] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -149,6 +150,11 @@ class RecencyReport:
         #: reporter had telemetry enabled and the backend profiles queries
         #: (the memory backend does); ``None`` otherwise.
         self.profile = profile
+        #: Incremental-maintenance verdict: ``"hit"`` (relevant sources
+        #: served from a materialized set), ``"miss"`` (computed from
+        #: scratch, now registered) or ``"bypass"`` (plan ineligible);
+        #: ``None`` when the reporter has no maintainer.
+        self.incremental = incremental
 
     @property
     def trace_id(self) -> Optional[str]:
@@ -284,6 +290,19 @@ class RecencyReporter:
         recorder configured with that trigger then dumps the full span
         tree and query profile. ``None`` (default) follows the
         ``TRAC_SLOW_QUERY_SECONDS`` environment variable; ``0`` disables.
+    incremental:
+        An optional :class:`~repro.incremental.IncrementalMaintainer`
+        attached to this reporter's backend. Eligible plans then serve
+        their relevant-source set from the materialized entries (verdict
+        ``"hit"``); a first sighting computes from scratch and registers
+        the entry (``"miss"``); ineligible plans fall through unchanged
+        (``"bypass"``). The verdict lands on the report, the user query's
+        profile and the telemetry counters.
+    incremental_verify:
+        When True, every incremental hit *also* runs the from-scratch path
+        in the same snapshot and raises :class:`~repro.errors.TracError`
+        on any divergence — the differential oracle used by the tests.
+        Leave False in production use; it removes the speedup.
     """
 
     def __init__(
@@ -299,6 +318,8 @@ class RecencyReporter:
         source_health: Optional[SourceHealth] = None,
         slo: Optional[object] = None,
         slow_query_seconds: Optional[float] = None,
+        incremental: Optional[object] = None,
+        incremental_verify: bool = False,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -311,6 +332,8 @@ class RecencyReporter:
         self.source_health = source_health
         self.slo = slo
         self.slow_query_seconds = slow_query_seconds
+        self.incremental = incremental
+        self.incremental_verify = incremental_verify
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         self.plan_cache_hits = 0
         self.session = Session(backend)
@@ -390,8 +413,22 @@ class RecencyReporter:
                         user_profile = candidate
 
                 with PhaseTimer(tel, SPAN_RECENCY) as recency_phase:
-                    sources = self._relevant_sources(snapshot, plan)
+                    verdict: Optional[str] = None
+                    sources: Optional[List[SourceRecency]] = None
+                    if self.incremental is not None:
+                        verdict, sources = self.incremental.fetch(plan)
+                        if verdict == "hit" and self.incremental_verify:
+                            self._verify_incremental(snapshot, plan, sources)
+                        elif verdict == "miss":
+                            sources = self._relevant_sources(snapshot, plan)
+                            self.incremental.register(plan, sources)
+                    if sources is None:
+                        sources = self._relevant_sources(snapshot, plan)
                     recency_phase.set_attribute("relevant", len(sources))
+                    if verdict is not None:
+                        recency_phase.set_attribute("incremental", verdict)
+                if user_profile is not None and verdict is not None:
+                    user_profile.incremental = verdict
 
                 with PhaseTimer(tel, SPAN_STATS) as stats_phase:
                     split = zscore_split(sources, self.z_threshold)
@@ -457,6 +494,7 @@ class RecencyReporter:
             degraded_sources=degraded,
             slo_status=self.slo.status() if self.slo is not None else None,
             profile=user_profile,
+            incremental=verdict,
         )
 
     def run_plain(self, sql: str) -> QueryResult:
@@ -492,6 +530,21 @@ class RecencyReporter:
                 if sid is not None:
                     found[str(sid)] = float(recency)
         return [SourceRecency(sid, rec) for sid, rec in sorted(found.items())]
+
+    def _verify_incremental(
+        self,
+        snapshot: Snapshot,
+        plan: RelevancePlan,
+        materialized: List[SourceRecency],
+    ) -> None:
+        """Differential oracle: the materialized set must equal the
+        from-scratch computation in the same snapshot, byte for byte."""
+        oracle = self._relevant_sources(snapshot, plan)
+        if oracle != materialized:
+            raise TracError(
+                "incremental maintenance diverged from the from-scratch "
+                f"oracle: materialized {materialized!r} != oracle {oracle!r}"
+            )
 
     def close(self) -> None:
         """End the reporter's session (drops its temp tables)."""

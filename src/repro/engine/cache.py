@@ -4,16 +4,24 @@ Every recency report re-executes the same generated subquery and guard SQL
 strings (and ``trac stats`` / the bench sweeps repeat user queries
 verbatim), and each execution used to pay a full lex + parse + resolve.
 This module keeps a process-wide LRU of :class:`ResolvedQuery` objects
-keyed by ``(catalog.generation, sql)``.
+keyed by ``(catalog.identity, sql)``.
 
-Keying on the catalog *generation* (a globally unique ticket drawn on
-every catalog mutation — see :class:`repro.catalog.Catalog`) gives two
-properties for free:
+The cache used to key on ``catalog.generation`` — a ticket bumped on
+*every* catalog mutation — which meant registering table ``U`` evicted
+(by unreachability) every cached query over unrelated table ``T``.
+Resolution only depends on the schemas of the tables a query actually
+references, so entries now validate per *referenced table*: each entry
+records the ``(table, generation)`` pairs it was resolved against (see
+:meth:`repro.catalog.Catalog.table_generation`) and a hit is served only
+while every one still matches. This gives:
 
-* a schema change (``add_table`` on a live database) moves the catalog to
-  a fresh generation, so stale resolutions can never be served;
-* two different catalogs never collide, even when they contain tables with
-  the same names, because generations are never reused.
+* a schema change to a referenced table bumps that table's generation,
+  so stale resolutions can never be served;
+* a schema change to an *unreferenced* table leaves every dependency
+  generation untouched, so hot entries survive it;
+* two different catalogs never collide, even when they contain tables
+  with the same names, because ``catalog.identity`` is drawn once per
+  catalog and never reused.
 
 Cached :class:`ResolvedQuery` objects are shared, which is safe because
 resolution annotates the tree once and everything downstream (executor,
@@ -40,14 +48,27 @@ DEFAULT_MAXSIZE = 256
 
 
 class ResolvedQueryCache:
-    """A thread-safe LRU of resolved queries keyed by (generation, SQL)."""
+    """A thread-safe LRU of resolved queries keyed by (catalog identity,
+    SQL), validated by the referenced tables' schema generations."""
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         self.maxsize = max(0, int(maxsize))
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Tuple[int, str], ResolvedQuery]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[ResolvedQuery, Tuple[Tuple[str, int], ...]]]" = (
+            OrderedDict()
+        )
+
+    @staticmethod
+    def _dependencies(
+        resolved: ResolvedQuery, catalog: Catalog
+    ) -> Tuple[Tuple[str, int], ...]:
+        """The (table, generation) pairs this resolution depends on."""
+        names = {b.schema.name.lower() for b in resolved.bindings}
+        return tuple(
+            (name, catalog.table_generation(name)) for name in sorted(names)
+        )
 
     def resolve(
         self, sql: str, catalog: Catalog, telemetry: Optional[object] = None
@@ -55,12 +76,23 @@ class ResolvedQueryCache:
         """Parse + resolve ``sql`` against ``catalog``, through the cache."""
         if self.maxsize == 0:
             return resolve(parse_query(sql), catalog)
-        key = (catalog.generation, sql)
+        key = (catalog.identity, sql)
+        cached: Optional[ResolvedQuery] = None
         with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                resolved_entry, deps = entry
+                if all(
+                    catalog.table_generation(name) == generation
+                    for name, generation in deps
+                ):
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    cached = resolved_entry
+                else:
+                    # A referenced table's schema changed: this resolution
+                    # can never be valid again (generations are unique).
+                    del self._entries[key]
         if cached is not None:
             self._record(telemetry, hit=True)
             return cached
@@ -68,18 +100,18 @@ class ResolvedQueryCache:
         evicted = []
         with self._lock:
             self.misses += 1
-            self._entries[key] = resolved
+            self._entries[key] = (resolved, self._dependencies(resolved, catalog))
             while len(self._entries) > self.maxsize:
                 evicted.append(self._entries.popitem(last=False)[0])
         self._record(telemetry, hit=False)
         if evicted and telemetry is not None and getattr(telemetry, "enabled", False):
             from repro.obs.events import EVT_CACHE_EVICTED
 
-            for generation, evicted_sql in evicted:
+            for identity, evicted_sql in evicted:
                 telemetry.emit(
                     EVT_CACHE_EVICTED,
                     severity="debug",
-                    generation=generation,
+                    catalog=identity,
                     sql=evicted_sql[:200],
                 )
         return resolved

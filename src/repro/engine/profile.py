@@ -99,6 +99,9 @@ class QueryProfile:
         self.snapshot = False
         #: 32-hex trace id linking to spans/events; None when untraced.
         self.trace_id: Optional[str] = None
+        #: Incremental-maintenance verdict for the report this query headed
+        #: ("hit" / "miss" / "bypass"); None when no maintainer was wired.
+        self.incremental: Optional[str] = None
 
     def add(
         self,
@@ -128,6 +131,7 @@ class QueryProfile:
             "cache_hit": self.cache_hit,
             "snapshot": self.snapshot,
             "trace_id": self.trace_id,
+            "incremental": self.incremental,
             "operators": [op.to_dict() for op in self.operators],
         }
 

@@ -243,6 +243,15 @@ class GridSimulator:
         from :meth:`step`, and (when it was opened with ``resume=True``)
         the simulator is restored to the recovered state instead of
         bootstrapping from scratch.
+    incremental:
+        When True, attach an
+        :class:`~repro.incremental.IncrementalMaintainer` to the backend
+        (``sim.incremental``): every heartbeat/delete the sniffer apply
+        loop lands immediately maintains the materialized relevant-source
+        sets, and reporters built with ``incremental=sim.incremental``
+        serve eligible repeated queries from them. Requires a backend that
+        publishes change events (the default :class:`MemoryBackend` does;
+        SQLite does not).
     """
 
     def __init__(
@@ -255,6 +264,7 @@ class GridSimulator:
         slo: Optional[object] = None,
         telemetry: Optional[object] = None,
         durability: Optional[object] = None,
+        incremental: bool = False,
     ) -> None:
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
@@ -263,6 +273,16 @@ class GridSimulator:
         self.catalog = monitoring_catalog(self.machine_ids)
         factory = backend_factory or MemoryBackend
         self.backend = factory(self.catalog)
+        self.incremental = None
+        if incremental:
+            from repro.incremental import IncrementalMaintainer
+
+            if not hasattr(self.backend, "add_change_listener"):
+                raise SimulationError(
+                    "incremental maintenance needs a backend that publishes "
+                    f"change events; {type(self.backend).__name__} does not"
+                )
+            self.incremental = IncrementalMaintainer(self.backend, telemetry=telemetry)
 
         self.machines: Dict[str, Machine] = {mid: Machine(mid) for mid in self.machine_ids}
         self.schedulers: Dict[str, Scheduler] = {}

@@ -115,6 +115,9 @@ def status_from_simulator(sim, slo=None) -> dict:
     doc: dict = {"now": now, "wall": time.time(), "sources": sources}
     if slo_status is not None:
         doc["slo"] = slo_status.to_dict()
+    maintainer = getattr(sim, "incremental", None)
+    if maintainer is not None:
+        doc["incremental"] = maintainer.stats()
     return doc
 
 
@@ -169,6 +172,17 @@ def render_top(status: dict, width: int = 16) -> str:
     header = "trac top"
     if now is not None:
         header += f" — t={now:g}s"
+    incremental = status.get("incremental")
+    if incremental:
+        # Older observatories don't send this block; omit the segment then.
+        hit_rate = incremental.get("hit_rate", 0.0) or 0.0
+        header += (
+            f" — inc {hit_rate * 100:.0f}% hit"
+            f" ({incremental.get('entries', 0)} sets,"
+            f" {incremental.get('invalidations', 0)} inval)"
+        )
+        if incremental.get("degraded"):
+            header += " DEGRADED"
     if slo:
         breached = slo.get("breached") or []
         verdict = (

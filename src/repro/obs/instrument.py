@@ -83,6 +83,10 @@ RECOVERY_TORN_SEGMENTS = "trac_recovery_torn_segments_total"
 HTTP_REQUEST_SECONDS = "trac_http_request_seconds"
 POLL_SECONDS = "trac_poll_seconds"
 SLOW_QUERIES = "trac_slow_queries_total"
+INCREMENTAL_HITS = "trac_incremental_hits_total"
+INCREMENTAL_MISSES = "trac_incremental_misses_total"
+INCREMENTAL_INVALIDATIONS = "trac_incremental_invalidations_total"
+INCREMENTAL_MAINTENANCE_SECONDS = "trac_incremental_maintenance_seconds"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -428,6 +432,36 @@ def record_query_cache(tel, hit: bool) -> None:
         tel.metrics.counter(
             QUERY_CACHE_MISSES, help="Resolved-query cache misses (full parse+resolve)"
         ).inc()
+
+
+def record_incremental(tel, outcome: str) -> None:
+    """Count one incremental-maintainer lookup; ``outcome`` is ``"hit"``,
+    ``"miss"`` or ``"bypass"``."""
+    if outcome == "hit":
+        tel.metrics.counter(
+            INCREMENTAL_HITS, help="Reports served from materialized sets"
+        ).inc()
+    else:
+        tel.metrics.counter(
+            INCREMENTAL_MISSES,
+            {"outcome": outcome},
+            help="Reports computed from scratch (miss) or ineligible (bypass)",
+        ).inc()
+
+
+def record_incremental_invalidation(tel, reason: str) -> None:
+    tel.metrics.counter(
+        INCREMENTAL_INVALIDATIONS,
+        {"reason": reason},
+        help="Materialized-set invalidation events",
+    ).inc()
+
+
+def record_incremental_maintenance(tel, seconds: float) -> None:
+    tel.metrics.histogram(
+        INCREMENTAL_MAINTENANCE_SECONDS,
+        help="Per-mutation materialized-set maintenance latency",
+    ).observe(seconds)
 
 
 def record_cow_copy(tel, table: str, rows: int) -> None:

@@ -1,0 +1,115 @@
+"""MemoryBackend change-listener tests: every mutation announces itself."""
+
+import pytest
+
+from repro import Catalog, Column, MemoryBackend, TableSchema
+
+
+class RecordingListener:
+    def __init__(self):
+        self.events = []
+
+    def heartbeat_upserted(self, source_id, recency):
+        self.events.append(("upserted", source_id, recency))
+
+    def heartbeat_rows_inserted(self, rows):
+        self.events.append(("inserted", list(rows)))
+
+    def heartbeat_rows_upserted(self, key_columns, rows):
+        self.events.append(("rows_upserted", tuple(key_columns), list(rows)))
+
+    def heartbeat_rows_deleted(self, key_columns, keys):
+        self.events.append(("deleted", tuple(key_columns), list(keys)))
+
+    def heartbeat_cleared(self):
+        self.events.append(("cleared",))
+
+    def table_changed(self, table):
+        self.events.append(("table_changed", table))
+
+
+@pytest.fixture
+def backend():
+    catalog = Catalog(
+        [
+            TableSchema(
+                "activity",
+                [Column("mach_id", "TEXT"), Column("value", "TEXT")],
+                source_column="mach_id",
+            )
+        ]
+    )
+    return MemoryBackend(catalog)
+
+
+@pytest.fixture
+def listener(backend):
+    recorder = RecordingListener()
+    backend.add_change_listener(recorder)
+    return recorder
+
+
+class TestHeartbeatEvents:
+    def test_upsert_heartbeat_notifies(self, backend, listener):
+        backend.upsert_heartbeat("m1", 10.0)
+        assert listener.events == [("upserted", "m1", 10.0)]
+
+    def test_insert_rows_notifies_with_materialized_rows(self, backend, listener):
+        backend.insert_rows("heartbeat", iter([("m1", 1.0), ("m2", 2.0)]))
+        assert listener.events == [("inserted", [("m1", 1.0), ("m2", 2.0)])]
+        # The rows also actually landed (the iterable was not consumed
+        # twice or lost while materializing for the notification).
+        assert backend.row_count("heartbeat") == 2
+
+    def test_upsert_rows_notifies(self, backend, listener):
+        backend.upsert_rows("heartbeat", ["source_id"], [("m1", 5.0)])
+        assert listener.events == [("rows_upserted", ("source_id",), [("m1", 5.0)])]
+
+    def test_delete_emits_invalidation_event(self, backend, listener):
+        """Deletes must be announced eagerly — a materialized set that only
+        found out at the next lazy index rebuild could serve a tombstoned
+        source in the meantime."""
+        backend.upsert_heartbeat("m1", 1.0)
+        backend.upsert_heartbeat("m2", 2.0)
+        backend.delete_rows("heartbeat", ["source_id"], [("m2",)])
+        assert listener.events[-1] == ("deleted", ("source_id",), [("m2",)])
+
+    def test_delete_all_notifies_cleared(self, backend, listener):
+        backend.upsert_heartbeat("m1", 1.0)
+        backend.delete_all("heartbeat")
+        assert listener.events[-1] == ("cleared",)
+
+
+class TestTableEvents:
+    def test_monitored_table_mutations_notify_table_changed(self, backend, listener):
+        backend.insert_rows("activity", [("m1", "idle")])
+        backend.upsert_rows("activity", ["mach_id"], [("m1", "busy")])
+        backend.delete_rows("activity", ["mach_id"], [("m1",)])
+        backend.delete_all("activity")
+        assert listener.events == [("table_changed", "activity")] * 4
+
+
+class TestRegistry:
+    def test_remove_listener_stops_notifications(self, backend, listener):
+        backend.remove_change_listener(listener)
+        backend.upsert_heartbeat("m1", 1.0)
+        assert listener.events == []
+
+    def test_add_is_idempotent(self, backend, listener):
+        backend.add_change_listener(listener)
+        backend.upsert_heartbeat("m1", 1.0)
+        assert listener.events == [("upserted", "m1", 1.0)]
+
+    def test_partial_listeners_are_fine(self, backend):
+        class OnlyDeletes:
+            def __init__(self):
+                self.deleted = []
+
+            def heartbeat_rows_deleted(self, key_columns, keys):
+                self.deleted.append(list(keys))
+
+        only = OnlyDeletes()
+        backend.add_change_listener(only)
+        backend.upsert_heartbeat("m1", 1.0)  # no handler: silently skipped
+        backend.delete_rows("heartbeat", ["source_id"], [("m1",)])
+        assert only.deleted == [[("m1",)]]

@@ -1,0 +1,35 @@
+"""Tier-1 guard: incremental maintenance must keep steady-state hot
+reports >= 5x the from-scratch recompute path.
+
+Runs ``tools/check_incremental_speedup.py`` as a subprocess (tools/ is not
+a package) with reduced sizes to keep the suite fast. Deselect with
+``-m "not incremental"`` when iterating.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_incremental_speedup.py")
+
+
+@pytest.mark.incremental
+def test_incremental_speedup_at_least_5x():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, TOOL, "--runs", "9", "--num-sources", "4000",
+         "--threshold", "5.0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+    assert "speedup" in completed.stdout

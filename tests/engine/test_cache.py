@@ -25,14 +25,24 @@ class TestResolvedQueryCache:
         assert second is first  # the identical resolved object
         assert cache.stats() == {"hits": 1, "misses": 1, "size": 1, "maxsize": 4}
 
-    def test_generation_invalidation(self):
+    def test_unrelated_table_change_keeps_entry(self):
         cache = ResolvedQueryCache(maxsize=4)
         catalog = Catalog([schema()])
         first = cache.resolve(Q, catalog)
-        catalog.add(schema("extra"))  # bumps the generation
+        catalog.add(schema("extra"))  # bumps catalog.generation, not t's
+        second = cache.resolve(Q, catalog)
+        assert second is first
+        assert cache.hits == 1
+
+    def test_referenced_table_change_invalidates(self):
+        cache = ResolvedQueryCache(maxsize=4)
+        catalog = Catalog([schema()])
+        first = cache.resolve(Q, catalog)
+        catalog.replace(schema("t"))  # t's schema generation changes
         second = cache.resolve(Q, catalog)
         assert second is not first
         assert cache.misses == 2
+        assert len(cache) == 1  # the stale entry was dropped, not kept
 
     def test_distinct_catalogs_never_collide(self):
         cache = ResolvedQueryCache(maxsize=4)
