@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -38,6 +39,17 @@ class MemoryBackend(Backend):
     Session temp tables are kept in a side dictionary and consulted during
     query execution, mirroring how real engines resolve temp names before
     permanent ones.
+
+    Thread safety
+    -------------
+    Mutations and snapshot open/close serialize on one backend lock: the
+    engine's copy-on-write share counting (``Relation.share`` /
+    ``release_share``) is deliberately unsynchronized, so the backend is
+    the layer that makes ``snapshot()`` safe against concurrent ingest.
+    Queries running *inside* an open snapshot never take the lock — a
+    frozen view's row lists are immutable by construction (writers copy),
+    which is what lets the serving front end run hundreds of concurrent
+    readers against one backend while a simulator keeps writing.
 
     ``cow_snapshots`` (default True) opens snapshots as O(#tables)
     copy-on-write views; ``False`` restores the pre-fast-path O(#rows)
@@ -80,6 +92,9 @@ class MemoryBackend(Backend):
         self._heartbeat_index: Dict[str, int] = {}
         self._heartbeat_index_valid = True
         self._listeners: List[object] = []
+        # Serializes writers against snapshot open/close (see class
+        # docstring). RLock: a change listener may call back into reads.
+        self._mutate_lock = threading.RLock()
 
     # -- change listeners ----------------------------------------------------
 
@@ -110,14 +125,15 @@ class MemoryBackend(Backend):
         heartbeat = table.lower() == HEARTBEAT_TABLE
         if self._listeners and heartbeat:
             rows = [tuple(r) for r in rows]
-        self.db.insert_many(table, rows)
-        if heartbeat:
-            self._heartbeat_index_valid = False
-        if self._listeners:
+        with self._mutate_lock:
+            self.db.insert_many(table, rows)
             if heartbeat:
-                self._notify("heartbeat_rows_inserted", rows)
-            else:
-                self._notify("table_changed", table)
+                self._heartbeat_index_valid = False
+            if self._listeners:
+                if heartbeat:
+                    self._notify("heartbeat_rows_inserted", rows)
+                else:
+                    self._notify("table_changed", table)
 
     def upsert_rows(
         self,
@@ -130,18 +146,21 @@ class MemoryBackend(Backend):
         heartbeat = table.lower() == HEARTBEAT_TABLE
         if self._listeners and heartbeat:
             rows = [tuple(r) for r in rows]
-        for row in rows:
-            row = tuple(row)
-            key = tuple(row[i] for i in key_indexes)
-            relation.delete_where(lambda r, key=key: tuple(r[i] for i in key_indexes) == key)
-            relation.insert(row)
-        if heartbeat:
-            self._heartbeat_index_valid = False
-        if self._listeners:
+        with self._mutate_lock:
+            for row in rows:
+                row = tuple(row)
+                key = tuple(row[i] for i in key_indexes)
+                relation.delete_where(
+                    lambda r, key=key: tuple(r[i] for i in key_indexes) == key
+                )
+                relation.insert(row)
             if heartbeat:
-                self._notify("heartbeat_rows_upserted", tuple(key_columns), rows)
-            else:
-                self._notify("table_changed", table)
+                self._heartbeat_index_valid = False
+            if self._listeners:
+                if heartbeat:
+                    self._notify("heartbeat_rows_upserted", tuple(key_columns), rows)
+                else:
+                    self._notify("table_changed", table)
 
     def delete_rows(
         self,
@@ -152,47 +171,50 @@ class MemoryBackend(Backend):
         relation = self.db.relation(table)
         key_indexes = [relation.schema.column_index(k) for k in key_columns]
         wanted = {tuple(k) for k in keys}
-        relation.delete_where(lambda r: tuple(r[i] for i in key_indexes) in wanted)
-        if table.lower() == HEARTBEAT_TABLE:
-            # Deleting shifts positions; the index is rebuilt lazily on the
-            # next upsert_heartbeat (previously it silently went stale).
-            self._heartbeat_index_valid = False
-            if self._listeners:
-                # Deletes must be announced eagerly: a lazily rebuilt index
-                # is fine for the backend itself, but any materialized set
-                # downstream would keep serving the tombstoned source.
-                self._notify(
-                    "heartbeat_rows_deleted", tuple(key_columns), sorted(wanted)
-                )
-        elif self._listeners:
-            self._notify("table_changed", table)
+        with self._mutate_lock:
+            relation.delete_where(lambda r: tuple(r[i] for i in key_indexes) in wanted)
+            if table.lower() == HEARTBEAT_TABLE:
+                # Deleting shifts positions; the index is rebuilt lazily on the
+                # next upsert_heartbeat (previously it silently went stale).
+                self._heartbeat_index_valid = False
+                if self._listeners:
+                    # Deletes must be announced eagerly: a lazily rebuilt index
+                    # is fine for the backend itself, but any materialized set
+                    # downstream would keep serving the tombstoned source.
+                    self._notify(
+                        "heartbeat_rows_deleted", tuple(key_columns), sorted(wanted)
+                    )
+            elif self._listeners:
+                self._notify("table_changed", table)
 
     def delete_all(self, table: str) -> None:
         relation = self.db.relation(table)
-        relation.clear()
-        if table.lower() == HEARTBEAT_TABLE:
-            self._heartbeat_index.clear()
-            self._heartbeat_index_valid = True
-            if self._listeners:
-                self._notify("heartbeat_cleared")
-        elif self._listeners:
-            self._notify("table_changed", table)
+        with self._mutate_lock:
+            relation.clear()
+            if table.lower() == HEARTBEAT_TABLE:
+                self._heartbeat_index.clear()
+                self._heartbeat_index_valid = True
+                if self._listeners:
+                    self._notify("heartbeat_cleared")
+            elif self._listeners:
+                self._notify("table_changed", table)
 
     def upsert_heartbeat(self, source_id: str, recency: float) -> None:
         relation = self.db.relation(HEARTBEAT_TABLE)
-        if not self._heartbeat_index_valid:
-            self._heartbeat_index = {
-                str(row[0]): position for position, row in enumerate(relation.rows)
-            }
-            self._heartbeat_index_valid = True
-        position = self._heartbeat_index.get(source_id)
-        if position is None:
-            self._heartbeat_index[source_id] = len(relation.rows)
-            relation.insert((source_id, recency))
-        else:
-            relation.replace_row(position, (source_id, recency))
-        if self._listeners:
-            self._notify("heartbeat_upserted", source_id, recency)
+        with self._mutate_lock:
+            if not self._heartbeat_index_valid:
+                self._heartbeat_index = {
+                    str(row[0]): position for position, row in enumerate(relation.rows)
+                }
+                self._heartbeat_index_valid = True
+            position = self._heartbeat_index.get(source_id)
+            if position is None:
+                self._heartbeat_index[source_id] = len(relation.rows)
+                relation.insert((source_id, recency))
+            else:
+                relation.replace_row(position, (source_id, recency))
+            if self._listeners:
+                self._notify("heartbeat_upserted", source_id, recency)
 
     # -- querying ---------------------------------------------------------------
 
@@ -247,20 +269,22 @@ class MemoryBackend(Backend):
                 extended.add(schema)
         shadow = Database(extended)
         shared: List[Tuple[object, object]] = []
-        for name in shadow.tables():
-            if db.has(name):
-                source = db.relation(name)
-                view = source.share()
-                shadow.attach(name, view)
-                shared.append((source, view))
+        with self._mutate_lock:
+            for name in shadow.tables():
+                if db.has(name):
+                    source = db.relation(name)
+                    view = source.share()
+                    shadow.attach(name, view)
+                    shared.append((source, view))
         for name, (columns, rows) in self._temp.items():
             schema = TableSchema(name, [Column(c, "TEXT") for c in columns])
             shadow.add_table(schema, rows)
         try:
             return execute_sql(shadow, sql, cache=False)
         finally:
-            for source, view in shared:
-                source.release_share(view)
+            with self._mutate_lock:
+                for source, view in shared:
+                    source.release_share(view)
 
     @contextlib.contextmanager
     def snapshot(self) -> Iterator[Snapshot]:
@@ -269,12 +293,14 @@ class MemoryBackend(Backend):
         if enabled:
             obs.record_snapshot_open(tel, self.kind)
             opened = time.perf_counter()
-        frozen = self.db.snapshot_view() if self._cow_snapshots else self.db.copy()
+        with self._mutate_lock:
+            frozen = self.db.snapshot_view() if self._cow_snapshots else self.db.copy()
         try:
             yield _MemorySnapshot(self, frozen)
         finally:
             if self._cow_snapshots:
-                self.db.release_view(frozen)
+                with self._mutate_lock:
+                    self.db.release_view(frozen)
             if enabled:
                 obs.record_snapshot_close(tel, self.kind, time.perf_counter() - opened)
 

@@ -248,6 +248,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this many wall seconds, then exit (default: forever)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=8, help="query worker threads for POST /v1/query"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission queue depth; a full queue returns 429",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=200.0,
+        help="per-tenant sustained requests/second (token-bucket refill)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=400.0,
+        help="per-tenant burst allowance (token-bucket capacity)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="per-tenant ceiling on admitted-but-unfinished requests",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="default per-request deadline in seconds (expired queued work "
+        "is cancelled with HTTP 504)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     top = sub.add_parser("top", help="live dashboard polling an observatory server")
@@ -750,11 +784,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro import obs
     from repro.obs.server import ObservatoryServer
+    from repro.serve import QueryService, ServeConfig, mirror_into_memory
 
     backend = SQLiteBackend.open(args.db)
     tel = obs.enable()
     server = None
+    service = None
     try:
+        # SQLite connections are single-threaded; serving mirrors the DB
+        # into a memory backend whose CoW snapshots carry concurrent load.
+        memory = mirror_into_memory(backend)
+        service = QueryService(
+            memory,
+            ServeConfig(
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                max_inflight=args.max_inflight,
+                default_deadline=args.deadline,
+            ),
+            telemetry=tel,
+        )
 
         def status() -> dict:
             heartbeats = backend.heartbeat_rows()
@@ -779,9 +830,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return {"now": newest, "sources": by_source}
 
         server = ObservatoryServer(
-            tel, host=args.host, port=args.port, status_provider=status
+            tel,
+            host=args.host,
+            port=args.port,
+            status_provider=status,
+            query_service=service,
         ).start()
-        print(f"observatory serving {args.db} on {server.url} (ctrl-C to stop)")
+        print(
+            f"observatory serving {args.db} on {server.url} "
+            f"(POST /v1/query, {args.workers} workers; ctrl-C to stop)"
+        )
         try:
             if args.duration is not None:
                 _time.sleep(args.duration)
@@ -794,6 +852,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if server is not None:
             server.stop()
+        if service is not None:
+            service.close()
         backend.close()
         obs.disable()
 

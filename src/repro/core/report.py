@@ -17,6 +17,7 @@ Three methods are supported, matching the experimental setup of Section 5.2:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Set
 
@@ -335,6 +336,9 @@ class RecencyReporter:
         self.incremental = incremental
         self.incremental_verify = incremental_verify
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
+        # The serving layer gives each worker its own reporter, but a
+        # shared reporter must not corrupt its LRU under concurrent use.
+        self._plan_cache_lock = threading.Lock()
         self.plan_cache_hits = 0
         self.session = Session(backend)
 
@@ -347,10 +351,12 @@ class RecencyReporter:
     def plan_for(self, sql: str) -> RelevancePlan:
         """Parse + resolve + plan (through the LRU cache when enabled)."""
         if self.plan_cache_size > 0:
-            cached = self._plan_cache.get(sql)
+            with self._plan_cache_lock:
+                cached = self._plan_cache.get(sql)
+                if cached is not None:
+                    self._plan_cache.move_to_end(sql)
+                    self.plan_cache_hits += 1
             if cached is not None:
-                self._plan_cache.move_to_end(sql)
-                self.plan_cache_hits += 1
                 tel = self._tel()
                 if tel.enabled:
                     obs.record_plan_cache_hit(tel)
@@ -366,9 +372,10 @@ class RecencyReporter:
             use_constraints=self.use_constraints,
         )
         if self.plan_cache_size > 0:
-            self._plan_cache[sql] = plan
-            while len(self._plan_cache) > self.plan_cache_size:
-                self._plan_cache.popitem(last=False)
+            with self._plan_cache_lock:
+                self._plan_cache[sql] = plan
+                while len(self._plan_cache) > self.plan_cache_size:
+                    self._plan_cache.popitem(last=False)
         return plan
 
     # -- reporting ------------------------------------------------------------

@@ -194,6 +194,29 @@ def render_top(status: dict, width: int = 16) -> str:
         )
     lines.append(header)
 
+    serving = status.get("serving")
+    if serving:
+        # The observatory injects this block when a query service is wired
+        # (req/s and p99 come from the trac_serve_request_seconds histogram).
+        requests = serving.get("requests") or {}
+        p99 = serving.get("p99_ms")
+        rejected = (
+            requests.get("rejected_quota", 0)
+            + requests.get("rejected_inflight", 0)
+            + requests.get("rejected_queue", 0)
+        )
+        p99_text = f"{p99:.1f}ms" if p99 is not None else "-"
+        lines.append(
+            f"serve: {serving.get('req_per_s', 0.0):g} req/s"
+            f"  p99={p99_text}"
+            f"  ok={requests.get('ok', 0)}"
+            f"  429={rejected}"
+            f"  deadline={requests.get('deadline', 0)}"
+            f"  err={requests.get('error', 0)}"
+            f"  inflight={serving.get('inflight', 0)}"
+            f"  queue={serving.get('queue_depth', 0)}/{serving.get('queue_capacity', 0)}"
+        )
+
     sources = status.get("sources") or []
     if not sources:
         lines.append("  (no sources reporting yet)")

@@ -81,6 +81,11 @@ RECOVERY_RUNS = "trac_recovery_runs_total"
 RECOVERY_REPLAYED = "trac_recovery_replayed_total"
 RECOVERY_TORN_SEGMENTS = "trac_recovery_torn_segments_total"
 HTTP_REQUEST_SECONDS = "trac_http_request_seconds"
+SERVE_REQUEST_SECONDS = "trac_serve_request_seconds"
+SERVE_REQUESTS = "trac_serve_requests_total"
+SERVE_REJECTIONS = "trac_serve_rejections_total"
+SERVE_INFLIGHT = "trac_serve_inflight"
+SERVE_QUEUE_DEPTH = "trac_serve_queue_depth"
 POLL_SECONDS = "trac_poll_seconds"
 SLOW_QUERIES = "trac_slow_queries_total"
 INCREMENTAL_HITS = "trac_incremental_hits_total"
@@ -93,6 +98,24 @@ COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
 
 #: Buckets for sniff->DB lag (seconds of simulated or wall time).
 LAG_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0, 900.0, 3600.0)
+
+#: Buckets for served-query latency: fine-grained under the 100 ms SLO the
+#: serve-load guard enforces, coarse above it.
+SERVE_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.075,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
 
 #: Default slow-query threshold (seconds); overridable per reporter or via
 #: the ``TRAC_SLOW_QUERY_SECONDS`` environment variable. ``0`` disables.
@@ -399,6 +422,46 @@ def record_http_request(
     ).observe(seconds, trace_id=trace_id)
 
 
+def record_serve_request(
+    tel, tenant: str, outcome: str, seconds: float, trace_id: Optional[str] = None
+) -> None:
+    """Count one served query and record its end-to-end latency (queue wait
+    included). ``outcome`` is ``"ok"`` or ``"error"``."""
+    tel.metrics.counter(
+        SERVE_REQUESTS,
+        {"tenant": tenant, "outcome": outcome},
+        help="Queries served through the serving front end",
+    ).inc()
+    tel.metrics.histogram(
+        SERVE_REQUEST_SECONDS,
+        {"tenant": tenant},
+        buckets=SERVE_BUCKETS,
+        help="Served-query latency from worker pickup to response built",
+    ).observe(seconds, trace_id=trace_id)
+
+
+def record_serve_rejection(tel, tenant: str, reason: str) -> None:
+    """Count one shed request; ``reason`` is ``"quota"``, ``"inflight"``,
+    ``"queue"`` or ``"deadline"``."""
+    tel.metrics.counter(
+        SERVE_REJECTIONS,
+        {"tenant": tenant, "reason": reason},
+        help="Requests shed by admission control, quotas or deadlines",
+    ).inc()
+
+
+def record_serve_inflight(tel, inflight: int) -> None:
+    tel.metrics.gauge(
+        SERVE_INFLIGHT, help="Admitted-but-unfinished serving requests"
+    ).set(inflight)
+
+
+def record_serve_queue_depth(tel, depth: int) -> None:
+    tel.metrics.gauge(
+        SERVE_QUEUE_DEPTH, help="Jobs waiting in the serving admission queue"
+    ).set(depth)
+
+
 def record_poll_latency(
     tel, machine: str, seconds: float, trace_id: Optional[str] = None
 ) -> None:
@@ -666,4 +729,5 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "COUNT_BUCKETS",
     "LAG_BUCKETS",
+    "SERVE_BUCKETS",
 ]

@@ -380,3 +380,40 @@ class NullRegistry:
 
 #: Shared no-op registry used by disabled telemetry.
 NULL_REGISTRY = NullRegistry()
+
+
+def histogram_quantile(
+    bucket_counts: Sequence[Tuple[float, int]], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``bucket_counts`` is the :meth:`Histogram.bucket_counts` shape —
+    cumulative ``(upper_bound, count)`` pairs ending with ``+Inf`` — or
+    the same merged across several label sets. Uses the Prometheus
+    ``histogram_quantile`` convention: linear interpolation within the
+    bucket the quantile falls in, with the lower bound of the first
+    bucket taken as 0. A quantile landing in the ``+Inf`` bucket returns
+    the last finite bound (the histogram cannot resolve beyond it).
+    Returns ``None`` when there are no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TracError(f"quantile must be in [0, 1], got {q}")
+    if not bucket_counts:
+        return None
+    total = bucket_counts[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_count = 0
+    for bound, count in bucket_counts:
+        if count >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            in_bucket = count - previous_count
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_count) / in_bucket
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = bound, count
+    return previous_bound if previous_bound != float("inf") else None

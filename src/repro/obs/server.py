@@ -29,11 +29,20 @@ path        content type                         body
                                                  requires a wired reporter)
 /status     application/json                     full dashboard payload
                                                  (what ``trac top`` polls)
+/v1/query   application/json                     POST: serve one query with
+                                                 admission control, tenant
+                                                 quotas and deadlines
+                                                 (requires a wired
+                                                 :class:`~repro.serve.QueryService`)
 =========== ==================================== ===========================
 
 A malformed ``limit`` (non-numeric, negative, or absurdly large) returns
 HTTP 400 rather than being silently ignored. Unknown paths return 404
-with a JSON body listing the endpoints.
+with a JSON body listing the endpoints. Method discipline is strict:
+a known path hit with the wrong verb gets 405 + ``Allow`` (HEAD works
+everywhere GET does), a POST without ``Content-Length`` gets 411, a body
+over :data:`MAX_BODY_BYTES` gets 413, malformed JSON gets 400 — never a
+traceback.
 
 **Distributed tracing.** When the exposed telemetry is enabled, every
 request runs inside an ``http.request`` span. A caller-supplied W3C
@@ -81,11 +90,55 @@ _ENDPOINTS = [
     "/trace/<id>",
     "/query",
     "/status",
+    "/v1/query",
 ]
+
+#: Allowed methods per fixed path (``/trace/<id>`` is handled by prefix).
+#: A known path hit with any other method gets 405 + ``Allow``, never a
+#: traceback; HEAD is honoured everywhere GET is (headers only).
+_METHODS = {
+    "/metrics": ("GET",),
+    "/healthz": ("GET",),
+    "/spans": ("GET",),
+    "/events": ("GET",),
+    "/profile": ("GET",),
+    "/query": ("GET",),
+    "/status": ("GET",),
+    "/v1/query": ("POST",),
+}
+
+#: Hard cap on accepted request bodies; larger gets 413.
+MAX_BODY_BYTES = 1024 * 1024
 
 
 class _BadRequest(Exception):
     """Client error surfaced as HTTP 400 (never a handler-thread crash)."""
+
+
+class _HttpError(Exception):
+    """Client error with an explicit status (405, 411, 413, ...) and
+    optional extra response headers (e.g. ``Allow``, ``Retry-After``)."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class _ObservatoryHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server tuned for per-request connections.
+
+    Serving traffic arrives as one HTTP/1.0 connection per request, so
+    connection-establishment bursts hit the listen backlog directly; the
+    socketserver default of 5 drops SYNs under a few hundred req/s and
+    clients see timeouts instead of 429s. 128 rides out the burst while
+    the accept loop catches up.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
 
 
 class _ObservatoryHandler(BaseHTTPRequestHandler):
@@ -98,14 +151,55 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # scrapers poll every few seconds; stderr must stay quiet
 
-    def _send(self, status: int, content_type: str, body: str) -> int:
+    def _send(
+        self,
+        status: int,
+        content_type: str,
+        body: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> int:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(payload)
+        if self.command != "HEAD":
+            self.wfile.write(payload)
         return status
+
+    def _send_json(
+        self,
+        status: int,
+        doc: object,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> int:
+        return self._send(
+            status, JSON_CONTENT_TYPE, json.dumps(doc, default=str), extra_headers
+        )
+
+    def _read_body(self) -> bytes:
+        """Read and bound the request body: 411 without a Content-Length,
+        400 when it isn't a number, 413 when it exceeds the cap."""
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            raise _HttpError(411, "Content-Length header is required")
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            raise _BadRequest(f"Content-Length must be an integer, got {raw!r}") from None
+        if length < 0:
+            raise _BadRequest(f"Content-Length must be >= 0, got {length}")
+        if length > MAX_BODY_BYTES:
+            # Refuse without reading: the connection closes after the 413
+            # (a client mid-upload sees a reset — the HTTP norm for this).
+            self.close_connection = True
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+            )
+        return self.rfile.read(length)
 
     def _limit(self, query: Dict[str, list]) -> int:
         raw = query.get("limit", [_DEFAULT_TAIL])[0]
@@ -119,32 +213,67 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
             raise _BadRequest(f"limit must be <= {_MAX_LIMIT}, got {limit}")
         return limit
 
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+    def _handle(self, method: str) -> None:
         obs = self.observatory
         tel = obs.telemetry
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
         path = parsed.path.rstrip("/") or "/"
         if not tel.enabled:
-            self._dispatch(path, parsed, query)
+            self._dispatch(method, path, parsed, query)
             return
         # Request-scoped root span: a caller-supplied traceparent header
         # makes its remote span this one's parent, so everything recorded
-        # while serving — including a /query report — joins its trace.
+        # while serving — including a /v1/query report — joins its trace.
         parent = extract_context(self.headers)
         start = time.perf_counter()
-        with tel.tracer.span("http.request", parent=parent, path=path) as span:
-            status = self._dispatch(path, parsed, query)
+        with tel.tracer.span(
+            "http.request", parent=parent, path=path, method=method
+        ) as span:
+            status = self._dispatch(method, path, parsed, query)
             span.set_attribute("status", status)
             trace_id = span.trace_id_hex
         record_http_request(
             tel, path, status, time.perf_counter() - start, trace_id=trace_id
         )
 
-    def _dispatch(self, path: str, parsed, query: Dict[str, list]) -> int:
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._handle("GET")  # identical routing; _send withholds the body
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._handle("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._handle("PATCH")
+
+    def _check_method(self, method: str, path: str) -> None:
+        """405 (with ``Allow``) for a known path hit with the wrong verb."""
+        allowed = _METHODS.get(path)
+        if allowed is None and path.startswith("/trace/"):
+            allowed = ("GET",)
+        if allowed is not None and method not in allowed:
+            raise _HttpError(
+                405,
+                f"method {method} is not allowed on {path}",
+                headers={"Allow": ", ".join(allowed)},
+            )
+
+    def _dispatch(self, method: str, path: str, parsed, query: Dict[str, list]) -> int:
         """Route one request; returns the HTTP status actually sent."""
         obs = self.observatory
         try:
+            self._check_method(method, path)
+            if path == "/v1/query":
+                return self._serve_query()
             if path == "/metrics":
                 return self._send(
                     200, PROMETHEUS_CONTENT_TYPE, prometheus_text(obs.telemetry.metrics)
@@ -199,6 +328,13 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
                 )
             except Exception:
                 return 400
+        except _HttpError as exc:
+            try:
+                return self._send_json(
+                    exc.status, {"error": str(exc)}, extra_headers=exc.headers
+                )
+            except Exception:
+                return exc.status
         except BrokenPipeError:
             return 499  # scraper hung up mid-response
         except Exception as exc:  # observability must not crash the host
@@ -243,6 +379,67 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
         }
         return self._send(200, JSON_CONTENT_TYPE, json.dumps(body, default=str))
 
+    def _serve_query(self) -> int:
+        """``POST /v1/query`` — the serving front end.
+
+        Body: ``{"sql": ..., "tenant"?: ..., "method"?: ...,
+        "deadline_seconds"?: ...}``. Responses: 200 with rows + recency
+        report + trace id; 400 for malformed requests or bad SQL; 429
+        with ``Retry-After`` when quotas or the admission queue shed the
+        request; 504 when the deadline expires first; 503 when no query
+        service is wired.
+        """
+        obs = self.observatory
+        service = obs.query_service
+        if service is None:
+            return self._send_json(
+                503, {"error": "no query service wired to this observatory"}
+            )
+        raw = self._read_body()
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise _BadRequest("request body must be a JSON object")
+        sql = doc.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise _BadRequest("field 'sql' must be a non-empty string")
+        tenant = doc.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise _BadRequest("field 'tenant' must be a non-empty string")
+        method = doc.get("method")
+        if method is not None and not isinstance(method, str):
+            raise _BadRequest("field 'method' must be a string")
+        deadline = doc.get("deadline_seconds")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise _BadRequest("field 'deadline_seconds' must be a number") from None
+            if deadline <= 0:
+                raise _BadRequest("field 'deadline_seconds' must be positive")
+
+        from repro.errors import TracError
+        from repro.serve.pool import DeadlineExceeded, QueueFull
+        from repro.serve.quota import QuotaExceeded
+
+        try:
+            response = service.query(
+                sql, tenant=tenant, method=method, deadline_seconds=deadline
+            )
+        except (QuotaExceeded, QueueFull) as exc:
+            raise _HttpError(
+                429,
+                str(exc),
+                headers={"Retry-After": f"{max(exc.retry_after, 0.05):.3f}"},
+            ) from None
+        except DeadlineExceeded as exc:
+            raise _HttpError(504, str(exc)) from None
+        except TracError as exc:
+            raise _BadRequest(str(exc)) from None
+        return self._send_json(200, response)
+
 
 class ObservatoryServer:
     """Threaded HTTP server exposing one telemetry instance.
@@ -265,6 +462,11 @@ class ObservatoryServer:
         Optional :class:`~repro.core.report.RecencyReporter`; when wired,
         ``/query?sql=...`` serves full recency reports over HTTP (503
         otherwise).
+    query_service:
+        Optional :class:`~repro.serve.QueryService`; when wired, ``POST
+        /v1/query`` serves admission-controlled, quota'd, deadline-bounded
+        recency reports (503 otherwise) and ``/status`` gains a
+        ``serving`` block.
     """
 
     def __init__(
@@ -276,17 +478,18 @@ class ObservatoryServer:
         breakers: Optional[Callable[[], Dict[str, str]]] = None,
         status_provider: Optional[Callable[[], dict]] = None,
         reporter=None,
+        query_service=None,
     ) -> None:
         self.telemetry = telemetry
         self.health = health
         self.breakers = breakers
         self.status_provider = status_provider
         self.reporter = reporter
+        self.query_service = query_service
         handler = type(
             "BoundObservatoryHandler", (_ObservatoryHandler,), {"observatory": self}
         )
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _ObservatoryHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -353,8 +556,12 @@ class ObservatoryServer:
     def status(self) -> dict:
         """The ``/status`` document (dashboard payload)."""
         if self.status_provider is not None:
-            return self.status_provider()
-        return {"healthz": self.healthz()}
+            doc = dict(self.status_provider())
+        else:
+            doc = {"healthz": self.healthz()}
+        if self.query_service is not None:
+            doc.setdefault("serving", self.query_service.serving_status())
+        return doc
 
     def profiles(self, limit: int = _DEFAULT_TAIL) -> list:
         """The ``/profile`` document: recent query profiles, oldest first."""
@@ -400,6 +607,7 @@ def serve(
     breakers: Optional[Callable[[], Dict[str, str]]] = None,
     status_provider: Optional[Callable[[], dict]] = None,
     reporter=None,
+    query_service=None,
 ) -> ObservatoryServer:
     """Start an :class:`ObservatoryServer` for ``telemetry`` (the process
     default when omitted) and return it already serving."""
@@ -415,5 +623,6 @@ def serve(
         breakers=breakers,
         status_provider=status_provider,
         reporter=reporter,
+        query_service=query_service,
     )
     return server.start()

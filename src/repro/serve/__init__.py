@@ -1,0 +1,36 @@
+"""``repro.serve``: the concurrent multi-tenant query-serving front end.
+
+TRAC's recency reports reach users through here: ``POST /v1/query`` on the
+observatory server hands SQL + tenant id to a :class:`QueryService`, which
+admits it through per-tenant quotas (:mod:`repro.serve.quota`), runs it on
+a bounded worker pool (:mod:`repro.serve.pool`) against a per-request
+copy-on-write snapshot, and returns rows + recency report + trace id in
+one consistent response. :mod:`repro.serve.loadgen` is the open-loop load
+generator the CI latency guard drives against it.
+"""
+
+from repro.serve.loadgen import LoadgenConfig, LoadResult, run_load
+from repro.serve.pool import DeadlineExceeded, QueueFull, WorkerPool
+from repro.serve.quota import QuotaExceeded, TenantQuotas, TokenBucket
+from repro.serve.service import (
+    DEFAULT_TENANT,
+    QueryService,
+    ServeConfig,
+    mirror_into_memory,
+)
+
+__all__ = [
+    "QueryService",
+    "ServeConfig",
+    "DEFAULT_TENANT",
+    "mirror_into_memory",
+    "WorkerPool",
+    "QueueFull",
+    "DeadlineExceeded",
+    "TenantQuotas",
+    "TokenBucket",
+    "QuotaExceeded",
+    "LoadgenConfig",
+    "LoadResult",
+    "run_load",
+]

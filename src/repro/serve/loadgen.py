@@ -1,0 +1,244 @@
+"""Open-loop HTTP load generation for the serving front end.
+
+**Open-loop** is the operative word. A closed-loop generator (send, wait
+for the response, send again) slows down exactly when the server does, so
+it under-reports tail latency precisely where it matters — the
+coordinated-omission trap. This generator fixes the *arrival* schedule up
+front: request ``i`` is due at ``t0 + i/rate`` whether or not request
+``i-1`` has returned, and each latency is measured **from the scheduled
+arrival time**, so time a request spends waiting behind a slow server
+counts against the server, not the schedule.
+
+Mechanics: ``senders`` threads split the schedule round-robin (sender
+``j`` owns requests ``i ≡ j (mod senders)``), each sleeping until its
+next request is due, then POSTing synchronously. With enough senders the
+schedule never blocks on a slow response; the guard and CLI size
+``senders`` generously relative to ``rate ×`` expected latency.
+
+Results aggregate into a :class:`LoadResult`: latency percentiles over
+successful responses, status-class counts (429s are *expected* under
+overload — they prove admission control sheds instead of queueing), and
+the raw schedule parameters for the JSON artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import TracError
+
+
+class LoadgenConfig:
+    """One load run: POST ``sql`` to ``url`` at ``rate``/s for ``duration``s."""
+
+    __slots__ = (
+        "url",
+        "sql",
+        "rate",
+        "duration",
+        "tenants",
+        "senders",
+        "timeout",
+        "method",
+    )
+
+    def __init__(
+        self,
+        url: str,
+        sql: str,
+        rate: float = 100.0,
+        duration: float = 5.0,
+        tenants: Sequence[str] = ("default",),
+        senders: int = 16,
+        timeout: float = 10.0,
+        method: Optional[str] = None,
+    ) -> None:
+        if rate <= 0:
+            raise TracError(f"arrival rate must be positive, got {rate}")
+        if duration <= 0:
+            raise TracError(f"duration must be positive, got {duration}")
+        if senders < 1:
+            raise TracError(f"need at least one sender thread, got {senders}")
+        if not tenants:
+            raise TracError("need at least one tenant")
+        self.url = url
+        self.sql = sql
+        self.rate = float(rate)
+        self.duration = float(duration)
+        self.tenants = tuple(tenants)
+        self.senders = int(senders)
+        self.timeout = float(timeout)
+        self.method = method
+
+    @property
+    def total_requests(self) -> int:
+        return int(self.rate * self.duration)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise TracError("cannot take a percentile of no observations")
+    if not 0.0 <= q <= 1.0:
+        raise TracError(f"quantile must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class LoadResult:
+    """Aggregated outcome of one load run."""
+
+    def __init__(
+        self,
+        config: LoadgenConfig,
+        statuses: List[int],
+        ok_latencies: List[float],
+        wall_seconds: float,
+    ) -> None:
+        self.config = config
+        self.statuses = statuses
+        self.ok_latencies = sorted(ok_latencies)
+        self.wall_seconds = wall_seconds
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return len(self.statuses)
+
+    def count(self, *statuses: int) -> int:
+        wanted = set(statuses)
+        return sum(1 for s in self.statuses if s in wanted)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for s in self.statuses if 200 <= s < 300)
+
+    @property
+    def rejected(self) -> int:
+        """429s — load the server *shed* rather than served."""
+        return self.count(429)
+
+    @property
+    def server_errors(self) -> int:
+        return sum(1 for s in self.statuses if s >= 500)
+
+    @property
+    def transport_errors(self) -> int:
+        """Requests that produced no HTTP status (timeout, refused...)."""
+        return self.count(0)
+
+    @property
+    def achieved_rate(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ok / self.wall_seconds
+
+    def latency_ms(self, q: float) -> Optional[float]:
+        if not self.ok_latencies:
+            return None
+        return percentile(self.ok_latencies, q) * 1000.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON document ``tools/loadgen.py`` writes and CI archives."""
+        status_counts: Dict[str, int] = {}
+        for status in self.statuses:
+            key = str(status) if status else "transport_error"
+            status_counts[key] = status_counts.get(key, 0) + 1
+        return {
+            "config": {
+                "url": self.config.url,
+                "rate": self.config.rate,
+                "duration": self.config.duration,
+                "tenants": list(self.config.tenants),
+                "senders": self.config.senders,
+            },
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected_429": self.rejected,
+            "server_errors": self.server_errors,
+            "transport_errors": self.transport_errors,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "achieved_ok_per_s": round(self.achieved_rate, 1),
+            "status_counts": status_counts,
+            "latency_ms": {
+                "p50": self.latency_ms(0.50),
+                "p90": self.latency_ms(0.90),
+                "p99": self.latency_ms(0.99),
+                "max": self.latency_ms(1.0),
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadResult(requests={self.requests}, ok={self.ok}, "
+            f"429={self.rejected}, 5xx={self.server_errors}, "
+            f"p99={self.latency_ms(0.99)}ms)"
+        )
+
+
+def _post_once(config: LoadgenConfig, tenant: str) -> int:
+    """POST one query; returns the HTTP status (0 = transport failure)."""
+    body: Dict[str, Any] = {"sql": config.sql, "tenant": tenant}
+    if config.method:
+        body["method"] = config.method
+    request = urllib.request.Request(
+        config.url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=config.timeout) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return 0
+
+
+def run_load(config: LoadgenConfig) -> LoadResult:
+    """Drive one open-loop run and block until every request resolved."""
+    total = config.total_requests
+    statuses: List[int] = [0] * total
+    latencies: List[Optional[float]] = [None] * total
+    start = time.monotonic()
+
+    def sender(offset: int) -> None:
+        for index in range(offset, total, config.senders):
+            scheduled = start + index / config.rate
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            tenant = config.tenants[index % len(config.tenants)]
+            status = _post_once(config, tenant)
+            # Latency from the *scheduled* arrival, not the actual send:
+            # schedule slip (a sender stuck behind a slow response) is
+            # server-induced queueing and must count against the server.
+            elapsed = time.monotonic() - scheduled
+            statuses[index] = status
+            if 200 <= status < 300:
+                latencies[index] = elapsed
+
+    threads = [
+        threading.Thread(target=sender, args=(j,), name=f"loadgen-{j}", daemon=True)
+        for j in range(config.senders)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+    ok_latencies = [value for value in latencies if value is not None]
+    return LoadResult(config, statuses, ok_latencies, wall)
+
+
+__all__ = ["LoadgenConfig", "LoadResult", "run_load", "percentile"]

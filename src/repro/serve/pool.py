@@ -1,0 +1,232 @@
+"""A bounded worker pool with admission control and request deadlines.
+
+``concurrent.futures.ThreadPoolExecutor`` queues unboundedly — exactly
+wrong for a serving front end, where an overloaded server must shed load
+*immediately* (fail fast with a retry hint) instead of building a queue
+whose latency grows without bound. This pool:
+
+* keeps a **bounded queue** (``queue_depth``); a submit against a full
+  queue raises :class:`QueueFull` with a ``retry_after`` estimated from
+  the recent mean service time (how long until a slot frees up);
+* enforces **deadlines**: a job whose deadline passed while it sat in the
+  queue is never executed — its future fails with
+  :class:`DeadlineExceeded` the moment a worker dequeues it, so queued
+  work a client has given up on is cancelled rather than wasting a worker;
+* gives each worker thread **private state** built once at thread start
+  by ``worker_state_factory`` (the query service builds one
+  :class:`~repro.core.report.RecencyReporter` per worker there, so
+  reporters never need cross-thread locking).
+
+Results travel on :class:`concurrent.futures.Future` objects, so callers
+compose with the stdlib (``result(timeout=...)``, done-callbacks).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, List, Optional
+
+from repro.errors import TracError
+
+
+class QueueFull(TracError):
+    """The pool's admission queue is full (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.kind = "queue"
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class DeadlineExceeded(TracError):
+    """The request's deadline passed before a worker could run it (HTTP 504)."""
+
+
+class _Stop:
+    """Sentinel telling a worker thread to exit."""
+
+
+_STOP = _Stop()
+
+
+class _Job:
+    __slots__ = ("fn", "future", "deadline", "enqueued_at")
+
+    def __init__(self, fn: Callable[[Any], Any], future: Future, deadline: Optional[float]) -> None:
+        self.fn = fn
+        self.future = future
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+
+
+class WorkerPool:
+    """Fixed worker threads draining one bounded queue.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker threads (started lazily on first submit).
+    queue_depth:
+        Maximum queued (not yet executing) jobs; further submits raise
+        :class:`QueueFull`.
+    worker_state_factory:
+        Zero-argument callable run once per worker thread; its return
+        value is passed as the single argument to every job function the
+        worker executes. ``None`` passes ``None``.
+    name:
+        Thread-name prefix (shows up in stack dumps and ``threading``).
+    """
+
+    def __init__(
+        self,
+        workers: int = 8,
+        queue_depth: int = 64,
+        worker_state_factory: Optional[Callable[[], Any]] = None,
+        name: str = "trac-serve",
+    ) -> None:
+        if workers < 1:
+            raise TracError(f"worker pool needs at least one worker, got {workers}")
+        if queue_depth < 1:
+            raise TracError(f"queue depth must be positive, got {queue_depth}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._factory = worker_state_factory
+        self._name = name
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        # EWMA of job service time, feeding the QueueFull retry hint.
+        self._mean_service = 0.01
+        self._expired = 0
+        self._executed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self._name}-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain accepted work, then stop every worker and join it."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        if not started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, fn: Callable[[Any], Any], deadline: Optional[float] = None) -> Future:
+        """Enqueue ``fn(worker_state)``; raises :class:`QueueFull` when the
+        queue is at capacity. ``deadline`` is an absolute
+        ``time.monotonic()`` instant after which the job must not run."""
+        if self._stopped:
+            raise TracError("worker pool is stopped")
+        if not self._started:
+            self.start()
+        future: Future = Future()
+        job = _Job(fn, future, deadline)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise QueueFull(
+                f"admission queue full ({self.queue_depth} queued)",
+                retry_after=self._retry_hint(),
+            ) from None
+        return future
+
+    def _retry_hint(self) -> float:
+        """Seconds until a queue slot plausibly frees: the full queue
+        drained by every worker at the recent mean service time."""
+        with self._lock:
+            mean = self._mean_service
+        return max(0.05, self.queue_depth * mean / self.workers)
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        state = self._factory() if self._factory is not None else None
+        try:
+            while True:
+                job = self._queue.get()
+                if job is _STOP:
+                    return
+                assert isinstance(job, _Job)
+                if not job.future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                if job.deadline is not None and time.monotonic() > job.deadline:
+                    with self._lock:
+                        self._expired += 1
+                    job.future.set_exception(
+                        DeadlineExceeded(
+                            "deadline passed after "
+                            f"{time.monotonic() - job.enqueued_at:.3f}s in queue"
+                        )
+                    )
+                    continue
+                started = time.monotonic()
+                try:
+                    result = job.fn(state)
+                except BaseException as exc:  # noqa: BLE001 — future carries it
+                    job.future.set_exception(exc)
+                else:
+                    job.future.set_result(result)
+                elapsed = time.monotonic() - started
+                with self._lock:
+                    self._executed += 1
+                    self._mean_service += 0.1 * (elapsed - self._mean_service)
+        finally:
+            close = getattr(state, "close", None)
+            if callable(close):
+                close()
+
+    # -- introspection -------------------------------------------------------
+
+    def queued(self) -> int:
+        """Jobs accepted but not yet picked up by a worker (approximate)."""
+        return self._queue.qsize()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "queue_depth": self.queued(),
+                "queue_capacity": self.queue_depth,
+                "executed": self._executed,
+                "expired": self._expired,
+                "mean_service_seconds": self._mean_service,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, queued={self.queued()}/"
+            f"{self.queue_depth}, executed={self._executed})"
+        )

@@ -1,0 +1,424 @@
+"""``QueryService``: concurrent, multi-tenant recency-report serving.
+
+This is the paper's front door grown to production shape: a user submits
+SQL (plus a tenant id) and gets back rows *and* the auto-generated
+recency report from one snapshot-consistent read. Every request:
+
+1. passes per-tenant admission (:class:`~repro.serve.quota.TenantQuotas`:
+   token-bucket rate + inflight ceiling) — rejected requests never touch
+   a worker;
+2. enters the bounded :class:`~repro.serve.pool.WorkerPool` — a full
+   queue sheds the request immediately with a retry hint, and a deadline
+   that expires while queued cancels the work before it wastes a worker;
+3. executes on a worker-private :class:`~repro.core.report.RecencyReporter`
+   whose ``report()`` opens a per-request copy-on-write snapshot
+   (``Database.snapshot_view``), so the rows and their recency report are
+   consistent with each other and isolated from concurrent ingest;
+4. lands in the observatory: a ``serve.request`` span (child of the HTTP
+   request span when called from the server), the
+   ``trac_serve_request_seconds`` histogram with the report's trace id as
+   exemplar, outcome counters, and queue/inflight gauges.
+
+The service is transport-agnostic — :meth:`query` blocks, :meth:`submit`
+returns a :class:`~concurrent.futures.Future` — and the observatory
+server mounts it at ``POST /v1/query``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.report import RecencyReporter
+from repro.errors import TracError
+from repro.obs import instrument as obs
+from repro.obs.events import EVT_SERVE_REJECTED
+from repro.obs.metrics import histogram_quantile
+from repro.serve.pool import DeadlineExceeded, QueueFull, WorkerPool
+from repro.serve.quota import QuotaExceeded, TenantQuotas
+
+#: Span name for one served query request.
+SPAN_SERVE = "serve.request"
+
+#: Default tenant when a request names none.
+DEFAULT_TENANT = "default"
+
+#: req/s is computed over this sliding window of completions (seconds).
+RATE_WINDOW_SECONDS = 10.0
+
+_REJECTION_OUTCOMES = {
+    "quota": "rejected_quota",
+    "inflight": "rejected_inflight",
+    "queue": "rejected_queue",
+}
+
+
+class ServeConfig:
+    """Tunables for one :class:`QueryService` (all keyword-overridable)."""
+
+    __slots__ = (
+        "workers",
+        "queue_depth",
+        "default_deadline",
+        "max_deadline",
+        "max_body_bytes",
+        "tenant_rate",
+        "tenant_burst",
+        "max_inflight",
+        "default_method",
+        "plan_cache_size",
+    )
+
+    def __init__(
+        self,
+        workers: int = 8,
+        queue_depth: int = 64,
+        default_deadline: float = 5.0,
+        max_deadline: float = 30.0,
+        max_body_bytes: int = 64 * 1024,
+        tenant_rate: float = 200.0,
+        tenant_burst: float = 400.0,
+        max_inflight: int = 64,
+        default_method: str = "focused",
+        plan_cache_size: int = 128,
+    ) -> None:
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.default_deadline = float(default_deadline)
+        self.max_deadline = float(max_deadline)
+        self.max_body_bytes = int(max_body_bytes)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst)
+        self.max_inflight = int(max_inflight)
+        self.default_method = default_method
+        self.plan_cache_size = int(plan_cache_size)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeConfig(workers={self.workers}, queue_depth={self.queue_depth}, "
+            f"rate={self.tenant_rate}/s, max_inflight={self.max_inflight})"
+        )
+
+
+class QueryService:
+    """Serves recency reports from a pool of per-worker reporters.
+
+    Parameters
+    ----------
+    backend:
+        The backend every worker reporter queries. For concurrent serving
+        use a :class:`~repro.backends.memory.MemoryBackend` — its
+        snapshots are copy-on-write views, opened and released under the
+        backend's snapshot lock so hundreds of concurrent readers never
+        race ingest.
+    config:
+        A :class:`ServeConfig`; defaults apply when omitted.
+    telemetry:
+        Explicit :class:`~repro.obs.Telemetry`; ``None`` follows the
+        process default. Serving works fine with telemetry disabled —
+        outcome counts are tracked on the service itself either way.
+    """
+
+    def __init__(
+        self,
+        backend,
+        config: Optional[ServeConfig] = None,
+        telemetry: Optional[object] = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry
+        self.quotas = TenantQuotas(
+            rate=self.config.tenant_rate,
+            burst=self.config.tenant_burst,
+            max_inflight=self.config.max_inflight,
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            worker_state_factory=self._make_reporter,
+        )
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            "ok": 0,
+            "error": 0,
+            "deadline": 0,
+            "cancelled": 0,
+            "rejected_quota": 0,
+            "rejected_inflight": 0,
+            "rejected_queue": 0,
+        }
+        self._completions: Deque[float] = deque()
+        self._closed = False
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
+
+    def _make_reporter(self) -> RecencyReporter:
+        """One private reporter per worker thread (no cross-thread state).
+
+        Temp-table materialization is off: a server answering hundreds of
+        requests per second must not pile up session temp tables; the
+        normal/exceptional splits travel in the response body instead.
+        """
+        return RecencyReporter(
+            self.backend,
+            telemetry=self.telemetry,
+            create_temp_tables=False,
+            plan_cache_size=self.config.plan_cache_size,
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        tenant: str = DEFAULT_TENANT,
+        method: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Future:
+        """Admit and enqueue one query; returns its :class:`Future`.
+
+        Raises :class:`~repro.serve.quota.QuotaExceeded` or
+        :class:`~repro.serve.pool.QueueFull` synchronously when the
+        request is shed at admission; the future fails with
+        :class:`~repro.serve.pool.DeadlineExceeded` when the deadline
+        passes while queued, or :class:`~repro.errors.TracError` for bad
+        SQL.
+        """
+        if self._closed:
+            raise TracError("query service is closed")
+        if not isinstance(sql, str) or not sql.strip():
+            raise TracError("sql must be a non-empty string")
+        if not isinstance(tenant, str) or not tenant:
+            raise TracError("tenant must be a non-empty string")
+        budget = self.config.default_deadline
+        if deadline_seconds is not None:
+            budget = min(max(0.001, float(deadline_seconds)), self.config.max_deadline)
+        method = method or self.config.default_method
+
+        try:
+            self.quotas.admit(tenant)
+        except QuotaExceeded as exc:
+            self._record_rejection(tenant, exc.kind)
+            raise
+        enqueued = time.monotonic()
+        deadline = enqueued + budget
+        try:
+            future = self.pool.submit(
+                lambda reporter: self._execute(reporter, sql, method, tenant, enqueued),
+                deadline=deadline,
+            )
+        except QueueFull as exc:
+            self.quotas.release(tenant)
+            self._record_rejection(tenant, exc.kind)
+            raise
+        future.add_done_callback(lambda f, t=tenant: self._on_done(t, f))
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_serve_queue_depth(tel, self.pool.queued())
+        return future
+
+    def query(
+        self,
+        sql: str,
+        tenant: str = DEFAULT_TENANT,
+        method: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Blocking convenience over :meth:`submit` (what the HTTP layer
+        calls); returns the response document."""
+        budget = deadline_seconds if deadline_seconds is not None else self.config.default_deadline
+        future = self.submit(
+            sql, tenant=tenant, method=method, deadline_seconds=deadline_seconds
+        )
+        # The worker enforces the deadline; the extra grace only covers a
+        # worker wedged mid-query, surfaced as DeadlineExceeded here too.
+        try:
+            return future.result(timeout=min(budget, self.config.max_deadline) + 5.0)
+        except TimeoutError:
+            future.cancel()
+            raise DeadlineExceeded("request timed out awaiting a worker") from None
+
+    # -- execution (worker thread) ------------------------------------------
+
+    def _execute(
+        self,
+        reporter: RecencyReporter,
+        sql: str,
+        method: str,
+        tenant: str,
+        enqueued: float,
+    ) -> Dict[str, Any]:
+        tel = self._tel()
+        queue_wait = time.monotonic() - enqueued
+        start = time.perf_counter()
+        with obs.PhaseTimer(tel, SPAN_SERVE, tenant=tenant, method=method) as timer:
+            timer.set_attribute("queue_wait_s", round(queue_wait, 6))
+            try:
+                report = reporter.report(sql, method=method)
+            except Exception:
+                seconds = time.perf_counter() - start
+                if tel.enabled:
+                    obs.record_serve_request(tel, tenant, "error", seconds)
+                raise
+            timer.set_attribute("rows", len(report.result.rows))
+        seconds = time.perf_counter() - start
+        if tel.enabled:
+            obs.record_serve_request(tel, tenant, "ok", seconds, trace_id=report.trace_id)
+        now = time.monotonic()
+        with self._lock:
+            self._completions.append(now)
+            self._prune_completions(now)
+        return {
+            "tenant": tenant,
+            "method": report.method,
+            "columns": list(report.result.columns),
+            "rows": [list(row) for row in report.result.rows],
+            "notices": report.notices(),
+            "relevant_sources": sorted(report.relevant_source_ids),
+            "exceptional_sources": sorted(
+                s.source_id for s in report.exceptional_sources
+            ),
+            "minimal": report.minimal,
+            "incremental": report.incremental,
+            "trace_id": report.trace_id,
+            "timings": report.timings.to_dict(),
+            "queue_wait_seconds": queue_wait,
+        }
+
+    # -- accounting ----------------------------------------------------------
+
+    def _record_rejection(self, tenant: str, kind: str) -> None:
+        outcome = _REJECTION_OUTCOMES.get(kind, "rejected_queue")
+        with self._lock:
+            self._counts[outcome] += 1
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_serve_rejection(tel, tenant, kind)
+            tel.emit(EVT_SERVE_REJECTED, severity="warning", tenant=tenant, reason=kind)
+
+    def _on_done(self, tenant: str, future: Future) -> None:
+        self.quotas.release(tenant)
+        tel = self._tel()
+        if tel.enabled:
+            obs.record_serve_inflight(tel, self.quotas.total_inflight())
+        if future.cancelled():
+            outcome = "cancelled"
+        else:
+            exc = future.exception()
+            if exc is None:
+                outcome = "ok"
+            elif isinstance(exc, DeadlineExceeded):
+                outcome = "deadline"
+                if tel.enabled:
+                    obs.record_serve_rejection(tel, tenant, "deadline")
+            else:
+                outcome = "error"
+        with self._lock:
+            self._counts[outcome] += 1
+
+    def _prune_completions(self, now: float) -> None:
+        horizon = now - RATE_WINDOW_SECONDS
+        while self._completions and self._completions[0] < horizon:
+            self._completions.popleft()
+
+    # -- introspection -------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def requests_per_second(self) -> float:
+        """Completed-OK rate over the last :data:`RATE_WINDOW_SECONDS`."""
+        now = time.monotonic()
+        with self._lock:
+            self._prune_completions(now)
+            if not self._completions:
+                return 0.0
+            # Floor the divisor at 1s so one fresh completion reads as
+            # ~1 req/s instead of an absurd burst extrapolation.
+            span = max(now - self._completions[0], 1.0)
+            return len(self._completions) / min(span, RATE_WINDOW_SECONDS)
+
+    def latency_quantile_ms(self, q: float = 0.99) -> Optional[float]:
+        """Latency quantile in milliseconds from the
+        ``trac_serve_request_seconds`` histogram, merged across tenants
+        (``None`` when telemetry is disabled or nothing served yet)."""
+        tel = self._tel()
+        if not tel.enabled:
+            return None
+        merged: Dict[float, int] = {}
+        for instrument in tel.metrics.collect():
+            if getattr(instrument, "name", None) != obs.SERVE_REQUEST_SECONDS:
+                continue
+            if getattr(instrument, "kind", None) != "histogram":
+                continue
+            for bound, count in instrument.bucket_counts():
+                merged[bound] = merged.get(bound, 0) + count
+        if not merged:
+            return None
+        buckets = sorted(merged.items())
+        value = histogram_quantile(buckets, q)
+        return None if value is None else value * 1000.0
+
+    def serving_status(self) -> Dict[str, Any]:
+        """The ``serving`` block of the ``/status`` document."""
+        pool_stats = self.pool.stats()
+        return {
+            "workers": pool_stats["workers"],
+            "queue_depth": pool_stats["queue_depth"],
+            "queue_capacity": pool_stats["queue_capacity"],
+            "inflight": self.quotas.total_inflight(),
+            "req_per_s": round(self.requests_per_second(), 2),
+            "p99_ms": self.latency_quantile_ms(0.99),
+            "requests": self.counts(),
+            "tenants": self.quotas.snapshot(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work and join the workers (reporters close with
+        their threads)."""
+        self._closed = True
+        self.pool.stop()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def mirror_into_memory(backend) -> "Any":
+    """Copy every cataloged table of ``backend`` into a fresh
+    :class:`~repro.backends.memory.MemoryBackend` — the serving mirror.
+
+    SQLite connections are bound to one thread and snapshot with file
+    locks; the memory backend snapshots as O(#tables) CoW views, which is
+    what lets one process serve hundreds of concurrent readers. ``trac
+    serve`` mirrors the monitoring database through this at startup.
+    """
+    from repro.backends.memory import MemoryBackend
+
+    memory = MemoryBackend(backend.catalog)
+    memory.create_tables()
+    for schema in backend.catalog:
+        rows = backend.execute(f"SELECT * FROM {schema.name}").rows
+        if rows:
+            memory.insert_rows(schema.name, rows)
+    return memory
+
+
+__all__ = [
+    "QueryService",
+    "ServeConfig",
+    "mirror_into_memory",
+    "SPAN_SERVE",
+    "DEFAULT_TENANT",
+]

@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
 )
 
 
@@ -206,3 +207,38 @@ class TestNullRegistry:
         assert len(NULL_REGISTRY) == 0
         assert NULL_REGISTRY.collect() == []
         assert NULL_REGISTRY.names() == []
+
+
+class TestHistogramQuantile:
+    """histogram_quantile: the serving p99 math, Prometheus-style."""
+
+    def make_buckets(self, observations, bounds=(0.1, 0.5, 1.0)):
+        h = Histogram("t", (), threading.Lock(), bounds)
+        for value in observations:
+            h.observe(value)
+        return h.bucket_counts()
+
+    def test_interpolates_within_a_bucket(self):
+        # 10 samples all in (0.1, 0.5]: p50 lands mid-bucket.
+        buckets = self.make_buckets([0.3] * 10)
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(0.3)
+
+    def test_spans_buckets(self):
+        buckets = self.make_buckets([0.05] * 50 + [0.4] * 50)
+        assert histogram_quantile(buckets, 0.25) == pytest.approx(0.05)
+        assert histogram_quantile(buckets, 0.75) == pytest.approx(0.3)
+
+    def test_overflow_bucket_returns_last_finite_bound(self):
+        buckets = self.make_buckets([5.0] * 10)  # all beyond the 1.0 bound
+        assert histogram_quantile(buckets, 0.99) == pytest.approx(1.0)
+
+    def test_empty_and_zero_total_return_none(self):
+        assert histogram_quantile([], 0.5) is None
+        assert histogram_quantile(self.make_buckets([]), 0.5) is None
+
+    def test_quantile_out_of_range_raises(self):
+        buckets = self.make_buckets([0.2])
+        with pytest.raises(TracError):
+            histogram_quantile(buckets, 1.5)
+        with pytest.raises(TracError):
+            histogram_quantile(buckets, -0.1)

@@ -243,3 +243,48 @@ class TestLifecycle:
             assert get(server.url + "/healthz")[0] == 200
         finally:
             server.stop()
+
+
+class TestMethodDiscipline:
+    """Wrong methods, bad bodies, HEAD: adversarial HTTP hygiene."""
+
+    def request(self, url, method, data=None):
+        req = urllib.request.Request(url, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=5.0) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    @pytest.mark.parametrize("method", ["POST", "PUT", "DELETE", "PATCH"])
+    def test_write_methods_on_read_endpoints_are_405(self, telemetry, method):
+        with ObservatoryServer(telemetry) as server:
+            for path in ("/metrics", "/status", "/healthz", "/events"):
+                status, headers, _ = self.request(
+                    server.url + path, method, data=b"{}"
+                )
+                assert status == 405, f"{method} {path}"
+                assert headers.get("Allow") == "GET"
+
+    def test_wrong_method_on_trace_prefix_is_405(self, telemetry):
+        trace_id = telemetry.tracer.finished_spans()[0].trace_id
+        with ObservatoryServer(telemetry) as server:
+            status, headers, _ = self.request(
+                server.url + f"/trace/{trace_id}", "POST", data=b"{}"
+            )
+        assert status == 405
+        assert headers.get("Allow") == "GET"
+
+    def test_head_mirrors_get_without_a_body(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            status, headers, body = self.request(server.url + "/healthz", "HEAD")
+        assert status == 200
+        assert headers.get("Content-Type", "").startswith("application/json")
+        assert body == b""
+
+    def test_unknown_path_is_still_404(self, telemetry):
+        with ObservatoryServer(telemetry) as server:
+            status, _, _ = self.request(server.url + "/nope", "GET")
+            post_status, _, _ = self.request(server.url + "/nope", "POST", data=b"{}")
+        assert status == 404
+        assert post_status == 404

@@ -1,0 +1,121 @@
+"""The open-loop load generator: schedule math, aggregation, a real run."""
+
+import pytest
+
+from repro.errors import TracError
+from repro.obs import Telemetry
+from repro.obs.server import ObservatoryServer
+from repro.serve import LoadgenConfig, LoadResult, QueryService, ServeConfig, run_load
+from repro.serve.loadgen import percentile
+
+SQL = "SELECT mach_id FROM activity"
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.75) == 3.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_single_observation(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(TracError):
+            percentile([], 0.5)
+        with pytest.raises(TracError):
+            percentile([1.0], 1.5)
+
+
+class TestLoadgenConfig:
+    def test_total_requests(self):
+        config = LoadgenConfig("http://x/v1/query", SQL, rate=50.0, duration=2.0)
+        assert config.total_requests == 100
+
+    def test_validation(self):
+        with pytest.raises(TracError):
+            LoadgenConfig("http://x", SQL, rate=0.0)
+        with pytest.raises(TracError):
+            LoadgenConfig("http://x", SQL, duration=-1.0)
+        with pytest.raises(TracError):
+            LoadgenConfig("http://x", SQL, senders=0)
+        with pytest.raises(TracError):
+            LoadgenConfig("http://x", SQL, tenants=())
+
+
+class TestLoadResult:
+    def make(self, statuses, latencies, wall=2.0):
+        config = LoadgenConfig("http://x/v1/query", SQL, rate=5.0, duration=2.0)
+        return LoadResult(config, statuses, latencies, wall)
+
+    def test_status_classification(self):
+        result = self.make([200, 200, 429, 500, 0], [0.01, 0.02])
+        assert result.requests == 5
+        assert result.ok == 2
+        assert result.rejected == 1
+        assert result.server_errors == 1
+        assert result.transport_errors == 1
+        assert result.achieved_rate == pytest.approx(1.0)
+
+    def test_to_dict_shape(self):
+        result = self.make([200, 429], [0.010])
+        doc = result.to_dict()
+        assert doc["ok"] == 1
+        assert doc["rejected_429"] == 1
+        assert doc["status_counts"] == {"200": 1, "429": 1}
+        assert doc["latency_ms"]["p99"] == pytest.approx(10.0)
+        assert doc["config"]["rate"] == 5.0
+
+    def test_no_successes_yields_null_latency(self):
+        result = self.make([429, 429], [])
+        assert result.latency_ms(0.99) is None
+        assert result.to_dict()["latency_ms"]["p50"] is None
+
+
+class TestRunLoad:
+    def test_against_a_live_server(self, paper_memory_backend):
+        tel = Telemetry()
+        config = ServeConfig(workers=4, queue_depth=128, tenant_rate=10_000.0,
+                             tenant_burst=10_000.0, max_inflight=128)
+        with QueryService(paper_memory_backend, config, telemetry=tel) as svc:
+            with ObservatoryServer(tel, query_service=svc) as server:
+                result = run_load(
+                    LoadgenConfig(
+                        url=server.url + "/v1/query",
+                        sql=SQL,
+                        rate=40.0,
+                        duration=1.0,
+                        tenants=("a", "b"),
+                        senders=8,
+                    )
+                )
+            counts = svc.counts()
+        assert result.requests == 40
+        assert result.ok == 40
+        assert result.server_errors == 0
+        assert result.transport_errors == 0
+        assert counts["ok"] == 40
+        assert result.latency_ms(0.99) > 0
+        # Both tenants took traffic (round-robin across the schedule).
+        status = svc.serving_status()
+        assert set(status["tenants"]) == {"a", "b"}
+
+    def test_rejections_are_counted_not_raised(self, paper_memory_backend):
+        config = ServeConfig(workers=1, tenant_rate=0.0, tenant_burst=3.0)
+        tel = Telemetry()
+        with QueryService(paper_memory_backend, config, telemetry=tel) as svc:
+            with ObservatoryServer(tel, query_service=svc) as server:
+                result = run_load(
+                    LoadgenConfig(
+                        url=server.url + "/v1/query",
+                        sql=SQL,
+                        rate=20.0,
+                        duration=0.5,
+                        senders=4,
+                    )
+                )
+        assert result.ok == 3  # the burst
+        assert result.rejected == 7
+        assert result.server_errors == 0

@@ -1,0 +1,146 @@
+"""The bounded worker pool: admission, deadlines, per-worker state."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TracError
+from repro.serve.pool import DeadlineExceeded, QueueFull, WorkerPool
+
+
+class TestExecution:
+    def test_submit_runs_and_returns_result(self):
+        with WorkerPool(workers=2, queue_depth=4) as pool:
+            future = pool.submit(lambda state: 21 * 2)
+            assert future.result(timeout=5.0) == 42
+
+    def test_exceptions_travel_on_the_future(self):
+        def boom(state):
+            raise ValueError("kaput")
+
+        with WorkerPool(workers=1, queue_depth=4) as pool:
+            future = pool.submit(boom)
+            with pytest.raises(ValueError, match="kaput"):
+                future.result(timeout=5.0)
+
+    def test_worker_state_factory_runs_once_per_thread(self):
+        built = []
+        lock = threading.Lock()
+
+        class State:
+            def __init__(self):
+                with lock:
+                    built.append(self)
+                self.closed = False
+
+            def close(self):
+                self.closed = True
+
+        pool = WorkerPool(workers=3, queue_depth=64, worker_state_factory=State)
+        with pool:
+            futures = [pool.submit(lambda s: id(s)) for _ in range(30)]
+            ids = {f.result(timeout=5.0) for f in futures}
+        assert len(built) == 3
+        assert ids <= {id(s) for s in built}
+        assert all(s.closed for s in built)  # stop() closes worker state
+
+    def test_stats_count_executed_jobs(self):
+        with WorkerPool(workers=1, queue_depth=4) as pool:
+            for _ in range(5):
+                pool.submit(lambda s: None).result(timeout=5.0)
+            stats = pool.stats()
+        assert stats["executed"] == 5
+        assert stats["queue_capacity"] == 4
+        assert stats["mean_service_seconds"] > 0
+
+
+class TestAdmission:
+    def test_full_queue_raises_queue_full_with_retry_hint(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def block(state):
+            started.set()
+            release.wait(timeout=10.0)
+
+        pool = WorkerPool(workers=1, queue_depth=2)
+        try:
+            pool.submit(block)
+            assert started.wait(timeout=5.0)
+            pool.submit(lambda s: None)
+            pool.submit(lambda s: None)  # queue now holds 2
+            with pytest.raises(QueueFull) as exc_info:
+                pool.submit(lambda s: None)
+            assert exc_info.value.retry_after > 0
+            assert exc_info.value.kind == "queue"
+        finally:
+            release.set()
+            pool.stop()
+
+    def test_expired_deadline_cancels_queued_work(self):
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+
+        def block(state):
+            started.set()
+            release.wait(timeout=10.0)
+
+        pool = WorkerPool(workers=1, queue_depth=8)
+        try:
+            pool.submit(block)
+            assert started.wait(timeout=5.0)
+            # Queued behind the blocker with an already-tight deadline.
+            doomed = pool.submit(
+                lambda s: ran.append(1), deadline=time.monotonic() + 0.05
+            )
+            time.sleep(0.2)
+            release.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=5.0)
+            assert not ran  # the job body never executed
+            assert pool.stats()["expired"] == 1
+        finally:
+            release.set()
+            pool.stop()
+
+    def test_cancelled_while_queued_never_runs(self):
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+
+        def block(state):
+            started.set()
+            release.wait(timeout=10.0)
+
+        pool = WorkerPool(workers=1, queue_depth=8)
+        try:
+            pool.submit(block)
+            assert started.wait(timeout=5.0)
+            queued = pool.submit(lambda s: ran.append(1))
+            assert queued.cancel()
+            release.set()
+            time.sleep(0.1)
+            assert not ran
+        finally:
+            release.set()
+            pool.stop()
+
+
+class TestLifecycle:
+    def test_submit_after_stop_raises(self):
+        pool = WorkerPool(workers=1, queue_depth=2)
+        pool.start()
+        pool.stop()
+        with pytest.raises(TracError):
+            pool.submit(lambda s: None)
+
+    def test_stop_without_start_is_fine(self):
+        WorkerPool(workers=1, queue_depth=1).stop()
+
+    def test_validation(self):
+        with pytest.raises(TracError):
+            WorkerPool(workers=0)
+        with pytest.raises(TracError):
+            WorkerPool(queue_depth=0)

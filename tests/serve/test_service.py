@@ -1,0 +1,135 @@
+"""QueryService: serving recency reports with admission control."""
+
+import pytest
+
+from repro.errors import TracError
+from repro.obs import Telemetry
+from repro.obs.instrument import SERVE_REQUEST_SECONDS
+from repro.serve import QueryService, ServeConfig
+from repro.serve.quota import QuotaExceeded
+from repro.serve.service import mirror_into_memory
+
+SQL = "SELECT mach_id FROM activity"
+
+
+@pytest.fixture
+def service(paper_memory_backend):
+    with QueryService(paper_memory_backend, ServeConfig(workers=2)) as svc:
+        yield svc
+
+
+class TestQuery:
+    def test_response_carries_rows_and_recency_report(self, service):
+        doc = service.query(SQL, tenant="alice")
+        assert doc["columns"] == ["mach_id"]
+        assert sorted(row[0] for row in doc["rows"]) == ["m1", "m2", "m3"]
+        assert doc["tenant"] == "alice"
+        assert doc["method"] == "focused"
+        # No predicate: every machine in the column domain is relevant.
+        assert doc["relevant_sources"] == sorted(
+            (f"m{i}" for i in range(1, 12)), key=str
+        )
+        assert doc["exceptional_sources"] == ["m2"]  # the month-stale source
+        # Serving skips temp tables, so the exceptional split travels in
+        # the structured field; the recency/consistency notices remain.
+        assert any("least recent" in notice for notice in doc["notices"])
+        assert any("Bound of inconsistency" in notice for notice in doc["notices"])
+        assert doc["timings"]["total"] >= 0
+        assert doc["queue_wait_seconds"] >= 0
+
+    def test_naive_method_passes_through(self, service):
+        doc = service.query(SQL, method="naive")
+        assert doc["method"] == "naive"
+        assert doc["minimal"] is False
+
+    def test_bad_sql_raises_trac_error(self, service):
+        with pytest.raises(TracError):
+            service.query("SELECT nope FROM nothing")
+        assert service.counts()["error"] == 1
+
+    def test_empty_sql_rejected_before_admission(self, service):
+        with pytest.raises(TracError):
+            service.submit("   ")
+        with pytest.raises(TracError):
+            service.submit(SQL, tenant="")
+
+    def test_counts_ok(self, service):
+        service.query(SQL)
+        service.query(SQL)
+        counts = service.counts()
+        assert counts["ok"] == 2
+        assert counts["error"] == 0
+
+    def test_submit_after_close_raises(self, paper_memory_backend):
+        svc = QueryService(paper_memory_backend)
+        svc.close()
+        with pytest.raises(TracError):
+            svc.submit(SQL)
+
+
+class TestQuotaIntegration:
+    def test_quota_rejections_surface_and_are_counted(self, paper_memory_backend):
+        config = ServeConfig(workers=1, tenant_rate=0.0, tenant_burst=2.0)
+        with QueryService(paper_memory_backend, config) as svc:
+            svc.query(SQL)
+            svc.query(SQL)
+            with pytest.raises(QuotaExceeded) as exc_info:
+                svc.submit(SQL)
+            assert exc_info.value.kind == "quota"
+            counts = svc.counts()
+        assert counts["ok"] == 2
+        assert counts["rejected_quota"] == 1
+
+    def test_quota_released_after_completion(self, paper_memory_backend):
+        config = ServeConfig(workers=1, max_inflight=1)
+        with QueryService(paper_memory_backend, config) as svc:
+            for _ in range(3):  # sequential: inflight never exceeds 1
+                svc.query(SQL)
+            assert svc.quotas.total_inflight() == 0
+
+
+class TestTelemetry:
+    def test_latency_histogram_and_trace_id(self, paper_memory_backend):
+        tel = Telemetry()
+        with QueryService(paper_memory_backend, telemetry=tel) as svc:
+            doc = svc.query(SQL, tenant="alice")
+            assert doc["trace_id"] is not None
+            histograms = [
+                m for m in tel.metrics.collect() if m.name == SERVE_REQUEST_SECONDS
+            ]
+            assert len(histograms) == 1
+            assert histograms[0].count == 1
+            assert dict(histograms[0].labels) == {"tenant": "alice"}
+            p99 = svc.latency_quantile_ms(0.99)
+            assert p99 is not None and p99 > 0
+            # The serve span landed in the tracer with the request's trace.
+            names = [s.name for s in tel.tracer.finished_spans()]
+            assert "serve.request" in names
+
+    def test_disabled_telemetry_still_serves(self, service):
+        doc = service.query(SQL)
+        assert doc["trace_id"] is None
+        assert service.latency_quantile_ms() is None
+
+
+class TestServingStatus:
+    def test_status_document_shape(self, service):
+        service.query(SQL, tenant="bob")
+        status = service.serving_status()
+        assert status["workers"] == 2
+        assert status["requests"]["ok"] == 1
+        assert status["inflight"] == 0
+        assert "bob" in status["tenants"]
+        assert status["req_per_s"] >= 0
+
+
+class TestMirror:
+    def test_mirror_into_memory_copies_all_tables(self, paper_sqlite_backend):
+        memory = mirror_into_memory(paper_sqlite_backend)
+        rows = memory.execute("SELECT mach_id FROM activity").rows
+        assert sorted(r[0] for r in rows) == ["m1", "m2", "m3"]
+        heartbeats = dict(memory.heartbeat_rows())
+        assert set(heartbeats) == {f"m{i}" for i in range(1, 12)}
+        with QueryService(memory) as svc:
+            doc = svc.query(SQL)
+            assert doc["exceptional_sources"] == ["m2"]

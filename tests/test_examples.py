@@ -96,6 +96,15 @@ class TestExamples:
         assert "query.slow events: 1" in out
         assert "done: every query is traceable from caller to operator" in out
 
+    def test_serving_tour(self):
+        out = run_example("serving_tour.py")
+        assert "POST /v1/query -> 200" in out
+        assert "NOTICE: Bound of inconsistency" in out
+        assert "trace_id:" in out
+        assert "429 Too Many Requests (Retry-After:" in out
+        assert "admission control is exact" in out
+        assert "serve:" in out and "p99=" in out
+
     def test_durability_tour(self):
         out = run_example("durability_tour.py")
         assert "crash and resume" in out

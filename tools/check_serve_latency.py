@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Guard: the serving front end holds its latency SLO under open-loop load.
+
+Two phases against an in-process ``POST /v1/query`` stack (memory backend,
+CoW snapshots, real HTTP through :class:`~repro.obs.server.ObservatoryServer`):
+
+1. **SLO phase** — open-loop load at ``--rate`` (default 200 req/s) for
+   ``--duration`` (default 10 s); asserts p99 latency ≤ ``--p99-ms``
+   (default 100 ms), zero 5xx, zero transport errors, and zero shed
+   requests (the server must actually *serve* in-capacity load).
+2. **Overload phase** — offered load far above an artificially small
+   admission capacity (tight tenant quota + tiny queue); asserts the
+   server sheds with 429s (``Retry-After`` present), never 5xx, and —
+   the "never hangs" clause — every request resolves and the phase
+   finishes within its schedule plus the request timeout.
+
+In the style of the fast-path and incremental guards: prints an aligned
+table, exits 0/1, ``--json`` writes the full latency document for the
+``serve-load`` CI job to upload as an artifact.
+
+Run: ``PYTHONPATH=src python tools/check_serve_latency.py``
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends.memory import MemoryBackend  # noqa: E402
+from repro.obs import instrument as obs  # noqa: E402
+from repro.obs.server import ObservatoryServer  # noqa: E402
+from repro.serve import QueryService, ServeConfig  # noqa: E402
+from repro.serve.loadgen import LoadgenConfig, run_load  # noqa: E402
+from repro.workload import (  # noqa: E402
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    paper_queries,
+    query_machine_indexes,
+    workload_catalog,
+)
+
+
+def build_backend(num_sources: int, data_ratio: int) -> MemoryBackend:
+    backend = MemoryBackend(workload_catalog(num_sources))
+    backend.create_tables()
+    data = generate_workload(
+        WorkloadConfig(num_sources=num_sources, data_ratio=data_ratio),
+        query_machine_indexes(num_sources),
+    )
+    load_workload(backend, data)
+    return backend
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rate", type=float, default=200.0, help="SLO-phase req/s")
+    parser.add_argument("--duration", type=float, default=10.0, help="SLO-phase seconds")
+    parser.add_argument("--p99-ms", type=float, default=100.0, help="p99 bound (ms)")
+    parser.add_argument("--sources", type=int, default=20, help="workload sources")
+    parser.add_argument("--ratio", type=int, default=20, help="rows per source")
+    parser.add_argument("--workers", type=int, default=8, help="SLO-phase workers")
+    parser.add_argument("--senders", type=int, default=64, help="loadgen sender threads")
+    parser.add_argument(
+        "--overload-rate", type=float, default=400.0, help="overload-phase req/s"
+    )
+    parser.add_argument(
+        "--overload-duration", type=float, default=3.0, help="overload-phase seconds"
+    )
+    parser.add_argument("--json", default=None, help="write both phase documents here")
+    args = parser.parse_args()
+
+    tel = obs.enable()
+    backend = build_backend(args.sources, args.ratio)
+    sql = paper_queries(args.sources)["Q1"]
+    failures = []
+    doc = {}
+
+    # -- phase 1: hold the SLO at the stated rate ---------------------------
+    slo_service = QueryService(
+        backend,
+        ServeConfig(
+            workers=args.workers,
+            queue_depth=max(64, int(args.rate)),
+            # Quotas stay out of this phase's way: it measures latency.
+            tenant_rate=args.rate * 4,
+            tenant_burst=args.rate * 8,
+            max_inflight=max(256, args.senders * 2),
+        ),
+        telemetry=tel,
+    )
+    with slo_service, ObservatoryServer(tel, query_service=slo_service) as server:
+        result = run_load(
+            LoadgenConfig(
+                url=server.url + "/v1/query",
+                sql=sql,
+                rate=args.rate,
+                duration=args.duration,
+                senders=args.senders,
+            )
+        )
+    slo = result.to_dict()
+    doc["slo_phase"] = slo
+    p99 = slo["latency_ms"]["p99"]
+
+    if slo["ok"] != slo["requests"]:
+        failures.append(
+            f"SLO phase: only {slo['ok']}/{slo['requests']} requests served "
+            f"(429={slo['rejected_429']}, 5xx={slo['server_errors']}, "
+            f"transport={slo['transport_errors']})"
+        )
+    if slo["server_errors"]:
+        failures.append(f"SLO phase: {slo['server_errors']} 5xx responses")
+    if p99 is None or p99 > args.p99_ms:
+        failures.append(f"SLO phase: p99 {p99} ms exceeds the {args.p99_ms:g} ms bound")
+
+    # -- phase 2: overload must shed with 429, never hang -------------------
+    overload_service = QueryService(
+        backend,
+        ServeConfig(
+            workers=2,
+            queue_depth=8,
+            # Capacity is the quota: ~50 req/s admitted of the offered load.
+            tenant_rate=50.0,
+            tenant_burst=50.0,
+            max_inflight=64,
+        ),
+        telemetry=tel,
+    )
+    timeout = 10.0
+    with overload_service, ObservatoryServer(tel, query_service=overload_service) as server:
+        result = run_load(
+            LoadgenConfig(
+                url=server.url + "/v1/query",
+                sql=sql,
+                rate=args.overload_rate,
+                duration=args.overload_duration,
+                senders=args.senders,
+                timeout=timeout,
+            )
+        )
+    over = result.to_dict()
+    doc["overload_phase"] = over
+
+    if over["rejected_429"] == 0:
+        failures.append("overload phase: no 429s — admission control never shed")
+    if over["server_errors"]:
+        failures.append(f"overload phase: {over['server_errors']} 5xx responses")
+    if over["transport_errors"]:
+        failures.append(
+            f"overload phase: {over['transport_errors']} requests never resolved"
+        )
+    hang_bound = args.overload_duration + timeout + 5.0
+    if over["wall_seconds"] > hang_bound:
+        failures.append(
+            f"overload phase: took {over['wall_seconds']:.1f}s "
+            f"(> {hang_bound:.1f}s) — a shed request hung"
+        )
+
+    # -- report -------------------------------------------------------------
+    rows = [
+        ("phase", "offered", "ok", "429", "5xx", "p50 ms", "p99 ms"),
+        (
+            "slo",
+            f"{args.rate:g}/s x {args.duration:g}s",
+            str(slo["ok"]),
+            str(slo["rejected_429"]),
+            str(slo["server_errors"]),
+            f"{slo['latency_ms']['p50']:.2f}" if slo["latency_ms"]["p50"] else "-",
+            f"{p99:.2f}" if p99 is not None else "-",
+        ),
+        (
+            "overload",
+            f"{args.overload_rate:g}/s x {args.overload_duration:g}s",
+            str(over["ok"]),
+            str(over["rejected_429"]),
+            str(over["server_errors"]),
+            "-",
+            "-",
+        ),
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+
+    if failures:
+        print("\nFAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: p99 {p99:.2f} ms <= {args.p99_ms:g} ms at {args.rate:g} req/s; "
+          f"overload shed {over['rejected_429']} requests with 429")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
