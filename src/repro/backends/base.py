@@ -30,8 +30,15 @@ class Snapshot(abc.ABC):
     """
 
     @abc.abstractmethod
-    def execute(self, sql: str) -> QueryResult:
-        """Run a SELECT inside the snapshot."""
+    def execute(self, sql: str, lineage: bool = False) -> QueryResult:
+        """Run a SELECT inside the snapshot.
+
+        ``lineage=True`` requests per-row source lineage on the result
+        (:attr:`~repro.engine.evaluate.QueryResult.lineage`). Backends
+        that cannot produce it (e.g. SQLite, which runs the SQL natively)
+        degrade gracefully by returning ``lineage=None``; callers must
+        treat missing lineage as "unattributed", never as an error.
+        """
 
     @abc.abstractmethod
     def create_temp_table(

@@ -24,8 +24,10 @@ class _MemorySnapshot(Snapshot):
         self._backend = backend
         self._frozen = frozen
 
-    def execute(self, sql: str) -> QueryResult:
-        return self._backend._execute_on(self._frozen, sql, in_snapshot=True)
+    def execute(self, sql: str, lineage: bool = False) -> QueryResult:
+        return self._backend._execute_on(
+            self._frozen, sql, in_snapshot=True, lineage=lineage
+        )
 
     def create_temp_table(
         self, name: str, columns: Sequence[str], rows: Iterable[Sequence[object]]
@@ -221,9 +223,17 @@ class MemoryBackend(Backend):
     def execute(self, sql: str) -> QueryResult:
         return self._execute_on(self.db, sql)
 
-    def _execute_on(self, db: Database, sql: str, in_snapshot: bool = False) -> QueryResult:
+    def _execute_on(
+        self,
+        db: Database,
+        sql: str,
+        in_snapshot: bool = False,
+        lineage: bool = False,
+    ) -> QueryResult:
         tel = self._tel()
         if self._references_temp_table(sql):
+            # Temp tables carry no source column, so lineage over them
+            # would be vacuous; the shadow-database path skips it.
             result = self._execute_with_temp(db, sql)
         else:
             result = execute_sql(
@@ -231,6 +241,7 @@ class MemoryBackend(Backend):
                 sql,
                 telemetry=tel if tel.enabled else None,
                 in_snapshot=in_snapshot,
+                lineage=lineage,
             )
         if tel.enabled:
             obs.record_backend_query(tel, self.kind, len(result.rows))

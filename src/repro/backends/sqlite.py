@@ -45,7 +45,9 @@ class _SQLiteSnapshot(Snapshot):
     def __init__(self, backend: "SQLiteBackend") -> None:
         self._backend = backend
 
-    def execute(self, sql: str) -> QueryResult:
+    def execute(self, sql: str, lineage: bool = False) -> QueryResult:
+        # SQLite runs the SQL natively and cannot attribute rows to
+        # sources; results degrade gracefully to ``lineage=None``.
         return self._backend._run_select(sql)
 
     def create_temp_table(

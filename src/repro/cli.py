@@ -189,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--z-threshold", type=float, default=3.0)
     report.add_argument("--no-constraints", action="store_true")
     report.add_argument("--show-plan", action="store_true", help="print recency subqueries")
+    report.add_argument(
+        "--lineage",
+        action="store_true",
+        help="annotate each result row with its contributing sources and a "
+        "staleness-derived quality score (mirrors the DB into memory: the "
+        "SQLite engine cannot attribute rows)",
+    )
     report.set_defaults(handler=_cmd_report)
 
     replay = sub.add_parser("replay", help="rebuild a DB from a directory of logs")
@@ -206,6 +213,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute the query and print its per-operator profile "
         "(rows in/out, selectivity, wall ms)",
+    )
+    explain.add_argument(
+        "--lineage",
+        action="store_true",
+        help="with --analyze, annotate each operator with its row-provenance "
+        "fan-in and list the contributing sources",
     )
     explain.set_defaults(handler=_cmd_explain)
 
@@ -281,6 +294,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="default per-request deadline in seconds (expired queued work "
         "is cancelled with HTTP 504)",
+    )
+    serve.add_argument(
+        "--lineage",
+        action="store_true",
+        help="annotate every served row with its provenance block "
+        "(contributing sources + staleness-derived quality)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -565,10 +584,18 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     backend = SQLiteBackend.open(args.db)
     try:
+        query_backend = backend
+        if args.lineage:
+            # SQLite runs the SQL natively and cannot attribute rows to
+            # sources; lineage needs the mini engine, so mirror first.
+            from repro.serve import mirror_into_memory
+
+            query_backend = mirror_into_memory(backend)
         reporter = RecencyReporter(
-            backend,
+            query_backend,
             z_threshold=args.z_threshold,
             use_constraints=not args.no_constraints,
+            lineage=args.lineage,
         )
         report = reporter.report(args.sql, method=args.method)
         for notice in report.notices():
@@ -580,6 +607,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(" | ".join(str(v) for v in row))
         print(f"({len(report.result.rows)} rows)")
         print()
+        if report.row_provenance is not None:
+            quality = report.quality_summary
+            qualities = quality.row_quality if quality is not None else []
+            print("provenance       :")
+            for index, sources in enumerate(report.row_provenance):
+                q = qualities[index] if index < len(qualities) else None
+                score = f"{q:.3f}" if q is not None else "unattributed"
+                names = ", ".join(sources) if sources else "(none)"
+                print(f"  row {index + 1}: {names}  [quality {score}]")
+            if quality is not None and quality.worst_row_quality is not None:
+                print(f"  worst row quality: {quality.worst_row_quality:.3f}")
         print(f"method           : {report.method}")
         print(f"relevant sources : {len(report.relevant_source_ids)}")
         print(f"provably minimal : {report.minimal}")
@@ -636,7 +674,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             from repro.engine.profile import database_from_backend, profile_query
 
             db = database_from_backend(backend)
-            print(profile_query(db, args.sql).render())
+            print(profile_query(db, args.sql, lineage=args.lineage).render())
         else:
             print(
                 explain_sql(
@@ -803,11 +841,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 tenant_burst=args.tenant_burst,
                 max_inflight=args.max_inflight,
                 default_deadline=args.deadline,
+                lineage=args.lineage,
             ),
             telemetry=tel,
         )
 
         def status() -> dict:
+            from repro.core.quality import QualityModel
+
+            model = QualityModel()
             heartbeats = backend.heartbeat_rows()
             sources = [SourceRecency(sid, rec) for sid, rec in heartbeats]
             split = zscore_split(sources)
@@ -815,6 +857,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             newest = max((rec for _, rec in heartbeats), default=0.0)
             by_source = []
             for source in sorted(sources, key=lambda s: s.source_id):
+                age = newest - source.recency
+                quality = model.freshness(age)
+                if source.source_id in exceptional:
+                    quality *= model.exceptional_penalty
                 by_source.append(
                     {
                         "id": source.source_id,
@@ -822,8 +868,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         if source.source_id in exceptional
                         else "healthy",
                         "recency": source.recency,
-                        "age": newest - source.recency,
+                        "age": age,
                         "z": 0.0,
+                        "quality": quality,
                         "lag_series": [],
                     }
                 )

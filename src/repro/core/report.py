@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.backends.base import Backend, Snapshot
 from repro.core.health import SourceHealth
+from repro.core.quality import ProvenanceRecord, QualityModel, QualitySummary
 from repro.core.recency_query import build_all_sources_query, subquery_sql
 from repro.core.relevance import RelevancePlan, build_naive_plan, build_relevance_plan
 from repro.core.session import Session, TempTablePair
@@ -134,6 +135,8 @@ class RecencyReport:
         slo_status: Optional[object] = None,
         profile: Optional[object] = None,
         incremental: Optional[str] = None,
+        row_provenance: Optional[List[List[str]]] = None,
+        quality_summary: Optional[QualitySummary] = None,
     ) -> None:
         self.sql = sql
         self.method = method
@@ -156,6 +159,14 @@ class RecencyReport:
         #: scratch, now registered) or ``"bypass"`` (plan ineligible);
         #: ``None`` when the reporter has no maintainer.
         self.incremental = incremental
+        #: Per-row provenance: one sorted source-id list per result row
+        #: when the producing reporter ran with ``lineage=True`` and the
+        #: backend can attribute rows; ``None`` otherwise.
+        self.row_provenance = row_provenance
+        #: The :class:`~repro.core.quality.QualitySummary` rollup (worst
+        #: row score, per-source contribution counts, rows touched by
+        #: exceptional/degraded sources); ``None`` without lineage.
+        self.quality_summary = quality_summary
 
     @property
     def trace_id(self) -> Optional[str]:
@@ -206,6 +217,20 @@ class RecencyReport:
             lines.append(
                 "NOTICE: Degraded data sources (supervisor-quarantined, not "
                 f"merely stale): {', '.join(self.degraded_sources)}"
+            )
+        quality = self.quality_summary
+        if quality is not None and (
+            quality.rows_from_exceptional or quality.rows_from_degraded
+        ):
+            worst = (
+                f"{quality.worst_row_quality:.3f}"
+                if quality.worst_row_quality is not None
+                else "unknown"
+            )
+            lines.append(
+                f"NOTICE: {quality.rows_from_exceptional} result row(s) cite "
+                f"exceptional sources and {quality.rows_from_degraded} cite "
+                f"degraded sources (worst row quality: {worst})"
             )
         slo = self.slo_status
         if slo is not None and getattr(slo, "breached", None):
@@ -304,6 +329,18 @@ class RecencyReporter:
         in the same snapshot and raises :class:`~repro.errors.TracError`
         on any divergence — the differential oracle used by the tests.
         Leave False in production use; it removes the speedup.
+    lineage:
+        When True, the user query runs with row-level lineage enabled and
+        every report carries ``row_provenance`` (per-row source sets) and
+        ``quality_summary`` (staleness-derived per-row quality, see
+        :mod:`repro.core.quality`). Strictly opt-in: the default path
+        never touches the lineage machinery. Backends that cannot
+        attribute rows (SQLite) degrade to ``row_provenance=None``.
+    quality_model:
+        The :class:`~repro.core.quality.QualityModel` scoring contributing
+        sources when ``lineage`` is on. ``None`` builds one from the
+        reporter's SLO tracker (half-life = the SLO's p95 target) or the
+        defaults.
     """
 
     def __init__(
@@ -321,6 +358,8 @@ class RecencyReporter:
         slow_query_seconds: Optional[float] = None,
         incremental: Optional[object] = None,
         incremental_verify: bool = False,
+        lineage: bool = False,
+        quality_model: Optional[QualityModel] = None,
     ) -> None:
         self.backend = backend
         self.z_threshold = z_threshold
@@ -335,6 +374,8 @@ class RecencyReporter:
         self.slow_query_seconds = slow_query_seconds
         self.incremental = incremental
         self.incremental_verify = incremental_verify
+        self.lineage = lineage
+        self.quality_model = quality_model
         self._plan_cache: "OrderedDict[str, RelevancePlan]" = OrderedDict()
         # The serving layer gives each worker its own reporter, but a
         # shared reporter must not corrupt its LRU under concurrent use.
@@ -408,7 +449,10 @@ class RecencyReporter:
 
             with self.backend.snapshot() as snapshot:
                 with PhaseTimer(tel, SPAN_USER) as user_phase:
-                    result = snapshot.execute(sql)
+                    if self.lineage:
+                        result = snapshot.execute(sql, lineage=True)
+                    else:
+                        result = snapshot.execute(sql)
                     user_phase.set_attribute("rows", len(result.rows))
                 # The engine records a QueryProfile into tel.profiles for
                 # every telemetry-enabled execution; grab the user query's
@@ -464,9 +508,41 @@ class RecencyReporter:
             root.duration,
         )
         root_span = root.span if tel.enabled else None
+        degraded: List[str] = []
+        if self.source_health is not None:
+            degraded = self.source_health.degraded_sources()
+
+        row_provenance: Optional[List[List[str]]] = None
+        quality_summary: Optional[QualitySummary] = None
+        if self.lineage and getattr(result, "lineage", None) is not None:
+            row_provenance = [sorted(lin) for lin in result.lineage]
+            model = self.quality_model
+            if model is None:
+                model = (
+                    QualityModel.from_slo(self.slo)
+                    if self.slo is not None
+                    else QualityModel()
+                )
+            scores = model.score_sources(
+                sources,
+                exceptional={s.source_id for s in split.exceptional},
+                degraded=set(degraded),
+            )
+            quality_summary = model.summarize(result.lineage, scores)
+
         if tel.enabled:
             trace_id = root_span.trace_id_hex if root_span is not None else None
             obs.record_report(tel, method, root.duration, trace_id=trace_id)
+            if quality_summary is not None:
+                obs.record_row_quality(tel, method, quality_summary.row_quality)
+                obs.record_rows_from_exceptional(
+                    tel, method, quality_summary.rows_from_exceptional
+                )
+                tel.provenance.record(
+                    ProvenanceRecord(
+                        sql, trace_id, method, result.lineage, quality_summary
+                    )
+                )
             threshold = (
                 self.slow_query_seconds
                 if self.slow_query_seconds is not None
@@ -474,6 +550,15 @@ class RecencyReporter:
             )
             if threshold > 0 and root.duration >= threshold:
                 obs.record_slow_query(tel, method)
+                # A slow dump should answer "was the answer trustworthy?"
+                # without a second query, so attach the quality rollup.
+                slow_attrs: Dict[str, object] = {}
+                if quality_summary is not None:
+                    slow_attrs["worst_row_quality"] = quality_summary.worst_row_quality
+                    slow_attrs["top_sources"] = [
+                        [source_id, count]
+                        for source_id, count in quality_summary.top_sources(3)
+                    ]
                 # Correlate with the (already finished) root span so the
                 # flight recorder's dump carries the whole span tree.
                 tel.emit(
@@ -484,10 +569,8 @@ class RecencyReporter:
                     method=method,
                     seconds=root.duration,
                     threshold=threshold,
+                    **slow_attrs,
                 )
-        degraded: List[str] = []
-        if self.source_health is not None:
-            degraded = self.source_health.degraded_sources()
         return RecencyReport(
             sql,
             method,
@@ -502,6 +585,8 @@ class RecencyReporter:
             slo_status=self.slo.status() if self.slo is not None else None,
             profile=user_profile,
             incremental=verdict,
+            row_provenance=row_provenance,
+            quality_summary=quality_summary,
         )
 
     def run_plain(self, sql: str) -> QueryResult:

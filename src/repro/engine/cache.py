@@ -4,7 +4,7 @@ Every recency report re-executes the same generated subquery and guard SQL
 strings (and ``trac stats`` / the bench sweeps repeat user queries
 verbatim), and each execution used to pay a full lex + parse + resolve.
 This module keeps a process-wide LRU of :class:`ResolvedQuery` objects
-keyed by ``(catalog.identity, sql)``.
+keyed by ``(catalog.identity, sql, lineage)``.
 
 The cache used to key on ``catalog.generation`` — a ticket bumped on
 *every* catalog mutation — which meant registering table ``U`` evicted
@@ -26,6 +26,14 @@ while every one still matches. This gives:
 Cached :class:`ResolvedQuery` objects are shared, which is safe because
 resolution annotates the tree once and everything downstream (executor,
 relevance planner, constraints) treats resolved trees as read-only.
+
+The lineage flag is part of the key: a lineage-enabled resolution carries
+an attached :class:`~repro.engine.lineage.LineagePlan` (the per-binding
+source-column probes the executor reads per output row), which a
+lineage-free resolution deliberately lacks. Serving one where the other
+was requested would either drop lineage from a lineage-requesting
+execution or tax every plain execution with a plan it never uses, so the
+two populations never share entries.
 
 Hits and misses are counted on the cache itself (always, cheaply) and
 additionally recorded as telemetry counters when a live
@@ -49,14 +57,15 @@ DEFAULT_MAXSIZE = 256
 
 class ResolvedQueryCache:
     """A thread-safe LRU of resolved queries keyed by (catalog identity,
-    SQL), validated by the referenced tables' schema generations."""
+    SQL, lineage flag), validated by the referenced tables' schema
+    generations."""
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
         self.maxsize = max(0, int(maxsize))
         self.hits = 0
         self.misses = 0
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Tuple[int, str], Tuple[ResolvedQuery, Tuple[Tuple[str, int], ...]]]" = (
+        self._entries: "OrderedDict[Tuple[int, str, bool], Tuple[ResolvedQuery, Tuple[Tuple[str, int], ...]]]" = (
             OrderedDict()
         )
 
@@ -71,12 +80,22 @@ class ResolvedQueryCache:
         )
 
     def resolve(
-        self, sql: str, catalog: Catalog, telemetry: Optional[object] = None
+        self,
+        sql: str,
+        catalog: Catalog,
+        telemetry: Optional[object] = None,
+        lineage: bool = False,
     ) -> ResolvedQuery:
-        """Parse + resolve ``sql`` against ``catalog``, through the cache."""
+        """Parse + resolve ``sql`` against ``catalog``, through the cache.
+
+        ``lineage`` requests a lineage-enabled resolution: the returned
+        (and cached) :class:`ResolvedQuery` carries a ``lineage_plan``
+        attribute, and the entry is keyed apart from lineage-free
+        resolutions of the same SQL — the two are not interchangeable.
+        """
         if self.maxsize == 0:
-            return resolve(parse_query(sql), catalog)
-        key = (catalog.identity, sql)
+            return self._resolve_fresh(sql, catalog, lineage)
+        key = (catalog.identity, sql, lineage)
         cached: Optional[ResolvedQuery] = None
         with self._lock:
             entry = self._entries.get(key)
@@ -96,7 +115,7 @@ class ResolvedQueryCache:
         if cached is not None:
             self._record(telemetry, hit=True)
             return cached
-        resolved = resolve(parse_query(sql), catalog)
+        resolved = self._resolve_fresh(sql, catalog, lineage)
         evicted = []
         with self._lock:
             self.misses += 1
@@ -107,13 +126,23 @@ class ResolvedQueryCache:
         if evicted and telemetry is not None and getattr(telemetry, "enabled", False):
             from repro.obs.events import EVT_CACHE_EVICTED
 
-            for identity, evicted_sql in evicted:
+            for identity, evicted_sql, evicted_lineage in evicted:
                 telemetry.emit(
                     EVT_CACHE_EVICTED,
                     severity="debug",
                     catalog=identity,
                     sql=evicted_sql[:200],
+                    lineage=evicted_lineage,
                 )
+        return resolved
+
+    @staticmethod
+    def _resolve_fresh(sql: str, catalog: Catalog, lineage: bool) -> ResolvedQuery:
+        resolved = resolve(parse_query(sql), catalog)
+        if lineage:
+            from repro.engine.lineage import build_lineage_plan
+
+            resolved.lineage_plan = build_lineage_plan(resolved)
         return resolved
 
     @staticmethod
@@ -185,10 +214,13 @@ def configure(maxsize: int) -> ResolvedQueryCache:
 
 
 def resolve_cached(
-    sql: str, catalog: Catalog, telemetry: Optional[object] = None
+    sql: str,
+    catalog: Catalog,
+    telemetry: Optional[object] = None,
+    lineage: bool = False,
 ) -> ResolvedQuery:
     """Module-level convenience over :meth:`ResolvedQueryCache.resolve`."""
-    return _global_cache.resolve(sql, catalog, telemetry)
+    return _global_cache.resolve(sql, catalog, telemetry, lineage=lineage)
 
 
 __all__ = [

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.engine import compile as compile_mod
 from repro.engine.cache import get_cache, resolve_cached
@@ -53,13 +53,25 @@ _Env = Dict[str, Row]
 
 
 class QueryResult:
-    """Result of executing a query: column names plus rows of tuples."""
+    """Result of executing a query: column names plus rows of tuples.
 
-    __slots__ = ("columns", "rows")
+    ``lineage`` is ``None`` unless the query ran with lineage enabled
+    (``execute_sql(..., lineage=True)``); then it is a list parallel to
+    ``rows`` of frozensets naming the data sources whose tuples produced
+    each row (see :mod:`repro.engine.lineage`).
+    """
 
-    def __init__(self, columns: List[str], rows: List[Tuple[object, ...]]) -> None:
+    __slots__ = ("columns", "rows", "lineage")
+
+    def __init__(
+        self,
+        columns: List[str],
+        rows: List[Tuple[object, ...]],
+        lineage: Optional[List[FrozenSet[str]]] = None,
+    ) -> None:
         self.columns = columns
         self.rows = rows
+        self.lineage = lineage
 
     def scalar(self) -> object:
         """The single value of a single-row, single-column result."""
@@ -90,6 +102,7 @@ def execute_sql(
     compiled: Optional[bool] = None,
     cache: bool = True,
     in_snapshot: bool = False,
+    lineage: bool = False,
 ) -> QueryResult:
     """Parse, resolve and execute a SQL string against ``db``.
 
@@ -105,18 +118,21 @@ def execute_sql(
     resolved-query cache; pass False for throwaway catalogs (e.g. the
     temp-table shadow database) whose generations would only pollute it.
     ``compiled`` overrides the compiled/interpreted default for this call.
+    ``lineage`` (default False) attaches per-row source lineage to the
+    result (:attr:`QueryResult.lineage`, see :mod:`repro.engine.lineage`);
+    the disabled path never touches the lineage machinery.
     """
     profiling = telemetry is not None and telemetry.enabled
     cache_hit: Optional[bool] = None
     if cache:
         hits_before = get_cache().stats()["hits"] if profiling else 0
-        resolved = resolve_cached(sql, db.catalog, telemetry)
+        resolved = resolve_cached(sql, db.catalog, telemetry, lineage=lineage)
         if profiling:
             cache_hit = get_cache().stats()["hits"] > hits_before
     else:
         resolved = resolve(parse_query(sql), db.catalog)
     if not profiling:
-        return execute_query(db, resolved, compiled=compiled)
+        return execute_query(db, resolved, compiled=compiled, lineage=lineage)
 
     from repro.obs import instrument as obs
 
@@ -133,7 +149,9 @@ def execute_sql(
     if span is not None and span.trace_id:
         profile.trace_id = span.trace_id_hex
     start = time.perf_counter()
-    result = execute_query(db, resolved, compiled=compiled, profile=profile)
+    result = execute_query(
+        db, resolved, compiled=compiled, profile=profile, lineage=lineage
+    )
     profile.finish(result, time.perf_counter() - start)
     telemetry.profiles.record(profile)
     return result
@@ -146,6 +164,7 @@ def execute_query(
     trace: Optional[List[str]] = None,
     compiled: Optional[bool] = None,
     profile: Optional[QueryProfile] = None,
+    lineage: bool = False,
 ) -> QueryResult:
     """Execute a resolved query.
 
@@ -172,6 +191,10 @@ def execute_query(
         one structured operator record (rows in/out, wall seconds,
         selectivity) per executed plan step — the structured EXPLAIN
         ANALYZE. ``None`` (default) skips all profiling work.
+    lineage:
+        When True, attach per-row source lineage to the result
+        (:attr:`QueryResult.lineage`); see :mod:`repro.engine.lineage`.
+        The default (False) path never touches the lineage machinery.
     """
     if compiled is None:
         compiled = compile_mod.compiled_default()
@@ -194,7 +217,7 @@ def execute_query(
                 time.perf_counter() - t0, "ORDER BY before projection",
             )
     t0 = time.perf_counter() if profile is not None else 0.0
-    result = _project(resolved, envs, index_of, compiled)
+    result = _project(resolved, envs, index_of, compiled, lineage)
     if profile is not None:
         op = OP_AGGREGATE if (query.has_aggregates or query.group_by) else OP_PROJECT
         detail = "aggregate/group" if op == OP_AGGREGATE else (
@@ -216,9 +239,15 @@ def execute_query(
     if query.limit is not None:
         before = len(result.rows)
         result.rows = result.rows[: query.limit]
+        if result.lineage is not None:
+            result.lineage = result.lineage[: query.limit]
         if profile is not None:
             profile.add(OP_LIMIT, "output", before, len(result.rows), 0.0,
                         f"LIMIT {query.limit}")
+    if lineage and profile is not None:
+        from repro.engine.lineage import annotate_profile, lineage_plan_for
+
+        annotate_profile(profile, lineage_plan_for(resolved), result.lineage)
     return result
 
 
@@ -301,6 +330,14 @@ def _sort_rows(query: ast.Query, result: QueryResult) -> None:
                 "select list of an aggregated or DISTINCT query"
             )
         indexes.append((lowered.index(name), item.descending))
+    if result.lineage is not None:
+        # Lineage is positional: co-sort it with the rows it annotates.
+        paired = list(zip(result.rows, result.lineage))
+        for index, descending in reversed(indexes):
+            paired.sort(key=lambda pair: _SortKey(pair[0][index]), reverse=descending)
+        result.rows = [row for row, _ in paired]
+        result.lineage = [lin for _, lin in paired]
+        return
     for index, descending in reversed(indexes):
         result.rows.sort(key=lambda row: _SortKey(row[index]), reverse=descending)
 
@@ -610,14 +647,15 @@ def _project(
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
     compiled: bool = False,
+    lineage: bool = False,
 ) -> QueryResult:
     query = resolved.query
 
     if query.select_items and query.select_items[0].is_star:
-        return _project_star(resolved, envs)
+        return _project_star(resolved, envs, lineage)
 
     if query.has_aggregates or query.group_by:
-        return _project_aggregates(resolved, envs, index_of, compiled)
+        return _project_aggregates(resolved, envs, index_of, compiled, lineage)
 
     columns = [_output_name(item) for item in query.select_items]
     rows: List[Tuple[object, ...]] = []
@@ -632,9 +670,13 @@ def _project(
             rows.append(
                 tuple(_scalar_value(item.expr, lookup) for item in query.select_items)  # type: ignore[arg-type]
             )
+    lineages = _env_lineages(resolved, envs) if lineage else None
     if query.distinct:
-        rows = _distinct(rows)
-    return QueryResult(columns, rows)
+        if lineages is not None:
+            rows, lineages = _distinct_with_lineage(rows, lineages)
+        else:
+            rows = _distinct(rows)
+    return QueryResult(columns, rows, lineages)
 
 
 def _scalar_value(expr: ast.Expr, lookup: Callable[[ast.ColumnRef], object]) -> object:
@@ -645,7 +687,9 @@ def _scalar_value(expr: ast.Expr, lookup: Callable[[ast.ColumnRef], object]) -> 
     raise EngineError(f"cannot project expression {expr!r}")
 
 
-def _project_star(resolved: ResolvedQuery, envs: List[_Env]) -> QueryResult:
+def _project_star(
+    resolved: ResolvedQuery, envs: List[_Env], lineage: bool = False
+) -> QueryResult:
     columns: List[str] = []
     for binding in resolved.bindings:
         prefix = f"{binding.key}." if len(resolved.bindings) > 1 else ""
@@ -656,9 +700,13 @@ def _project_star(resolved: ResolvedQuery, envs: List[_Env]) -> QueryResult:
         for binding in resolved.bindings:
             row.extend(env[binding.key])
         rows.append(tuple(row))
+    lineages = _env_lineages(resolved, envs) if lineage else None
     if resolved.query.distinct:
-        rows = _distinct(rows)
-    return QueryResult(columns, rows)
+        if lineages is not None:
+            rows, lineages = _distinct_with_lineage(rows, lineages)
+        else:
+            rows = _distinct(rows)
+    return QueryResult(columns, rows, lineages)
 
 
 def _project_aggregates(
@@ -666,6 +714,7 @@ def _project_aggregates(
     envs: List[_Env],
     index_of: Dict[Tuple[str, str], int],
     compiled: bool = False,
+    lineage: bool = False,
 ) -> QueryResult:
     query = resolved.query
     group_exprs = list(query.group_by)
@@ -698,7 +747,13 @@ def _project_aggregates(
         order.append(())
 
     columns = [_output_name(item) for item in query.select_items]
+    probes = None
+    if lineage:
+        from repro.engine.lineage import env_lineage, lineage_plan_for, union_lineage
+
+        probes = lineage_plan_for(resolved).probes
     rows: List[Tuple[object, ...]] = []
+    lineages: Optional[List[FrozenSet[str]]] = [] if lineage else None
     for group_key in order:
         member_envs = groups[group_key]
         out_row: List[object] = []
@@ -711,9 +766,17 @@ def _project_aggregates(
             else:
                 out_row.append(group_key[group_exprs.index(expr)])  # type: ignore[arg-type]
         rows.append(tuple(out_row))
+        if lineages is not None:
+            # An aggregate row derives from every member of its group.
+            lineages.append(
+                union_lineage(env_lineage(env, probes) for env in member_envs)
+            )
     if query.distinct:
-        rows = _distinct(rows)
-    return QueryResult(columns, rows)
+        if lineages is not None:
+            rows, lineages = _distinct_with_lineage(rows, lineages)
+        else:
+            rows = _distinct(rows)
+    return QueryResult(columns, rows, lineages)
 
 
 def _aggregate(
@@ -777,3 +840,30 @@ def _distinct(rows: List[Tuple[object, ...]]) -> List[Tuple[object, ...]]:
         seen.add(row)
         out.append(row)
     return out
+
+
+def _env_lineages(
+    resolved: ResolvedQuery, envs: List[_Env]
+) -> List[FrozenSet[str]]:
+    from repro.engine.lineage import env_lineage, lineage_plan_for
+
+    probes = lineage_plan_for(resolved).probes
+    return [env_lineage(env, probes) for env in envs]
+
+
+def _distinct_with_lineage(
+    rows: List[Tuple[object, ...]], lineages: List[FrozenSet[str]]
+) -> Tuple[List[Tuple[object, ...]], List[FrozenSet[str]]]:
+    """DISTINCT that unions the lineages of the duplicates it collapses."""
+    position: Dict[Tuple[object, ...], int] = {}
+    out_rows: List[Tuple[object, ...]] = []
+    merged: List[Set[str]] = []
+    for row, lineage in zip(rows, lineages):
+        at = position.get(row)
+        if at is None:
+            position[row] = len(out_rows)
+            out_rows.append(row)
+            merged.append(set(lineage))
+        else:
+            merged[at] |= lineage
+    return out_rows, [frozenset(s) for s in merged]

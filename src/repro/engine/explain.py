@@ -28,14 +28,16 @@ from repro.sqlparser.resolver import resolve
 __all__ = ["explain_query", "profile_query", "QueryProfile"]
 
 
-def explain_query(db: Database, sql: str, analyze: bool = False) -> str:
+def explain_query(db: Database, sql: str, analyze: bool = False, lineage: bool = False) -> str:
     """Run ``sql`` and return its execution trace plus the result size.
 
     ``analyze=True`` returns the structured per-operator profile instead
-    of the flat trace (rows in/out, selectivity, wall milliseconds).
+    of the flat trace (rows in/out, selectivity, wall milliseconds);
+    ``lineage=True`` additionally annotates each operator with its
+    row-provenance fan-in (implies nothing without ``analyze``).
     """
     if analyze:
-        return profile_query(db, sql).render()
+        return profile_query(db, sql, lineage=lineage).render()
     resolved = resolve(parse_query(sql), db.catalog)
     trace: List[str] = []
     result = execute_query(db, resolved, trace=trace)

@@ -39,9 +39,18 @@ OP_LIMIT = "limit"
 
 
 class OperatorProfile:
-    """One executed plan operator: rows in/out, wall seconds, detail."""
+    """One executed plan operator: rows in/out, wall seconds, detail.
 
-    __slots__ = ("op", "target", "rows_in", "rows_out", "seconds", "detail")
+    ``lineage_fanin`` is stamped only on lineage-enabled executions (see
+    :func:`repro.engine.lineage.annotate_profile`): the number of data
+    sources feeding this operator — 0/1 on scans, cumulative source-bearing
+    bindings on joins, the max per-row source-set size on the output
+    operators. ``None`` means the query ran without lineage.
+    """
+
+    __slots__ = (
+        "op", "target", "rows_in", "rows_out", "seconds", "detail", "lineage_fanin",
+    )
 
     def __init__(
         self,
@@ -51,6 +60,7 @@ class OperatorProfile:
         rows_out: int,
         seconds: float,
         detail: str = "",
+        lineage_fanin: Optional[int] = None,
     ) -> None:
         self.op = op
         self.target = target
@@ -58,6 +68,7 @@ class OperatorProfile:
         self.rows_out = rows_out
         self.seconds = seconds
         self.detail = detail
+        self.lineage_fanin = lineage_fanin
 
     @property
     def selectivity(self) -> Optional[float]:
@@ -67,7 +78,7 @@ class OperatorProfile:
         return self.rows_out / self.rows_in
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "op": self.op,
             "target": self.target,
             "rows_in": self.rows_in,
@@ -76,6 +87,9 @@ class OperatorProfile:
             "selectivity": self.selectivity,
             "detail": self.detail,
         }
+        if self.lineage_fanin is not None:
+            out["lineage_fanin"] = self.lineage_fanin
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -102,6 +116,10 @@ class QueryProfile:
         #: Incremental-maintenance verdict for the report this query headed
         #: ("hit" / "miss" / "bypass"); None when no maintainer was wired.
         self.incremental: Optional[str] = None
+        #: Lineage summary (``{"enabled", "sources", "max_fanin"}``) stamped
+        #: by :func:`repro.engine.lineage.annotate_profile`; None when the
+        #: query ran without lineage.
+        self.lineage: Optional[Dict[str, Any]] = None
 
     def add(
         self,
@@ -132,27 +150,33 @@ class QueryProfile:
             "snapshot": self.snapshot,
             "trace_id": self.trace_id,
             "incremental": self.incremental,
+            "lineage": self.lineage,
             "operators": [op.to_dict() for op in self.operators],
         }
 
     def render(self) -> str:
         """Aligned plain text (what ``trac explain --analyze`` prints)."""
         lines = [f"profile: {self.sql}"]
+        with_lineage = any(op.lineage_fanin is not None for op in self.operators)
         headers = ("operator", "target", "rows_in", "rows_out", "sel", "ms", "detail")
+        if with_lineage:
+            headers = headers + ("fanin",)
         rows: List[tuple] = []
         for op in self.operators:
             sel = f"{op.selectivity:.3f}" if op.selectivity is not None else "-"
-            rows.append(
-                (
-                    op.op,
-                    op.target,
-                    str(op.rows_in),
-                    str(op.rows_out),
-                    sel,
-                    f"{op.seconds * 1000:.3f}",
-                    op.detail,
-                )
+            row = (
+                op.op,
+                op.target,
+                str(op.rows_in),
+                str(op.rows_out),
+                sel,
+                f"{op.seconds * 1000:.3f}",
+                op.detail,
             )
+            if with_lineage:
+                fanin = op.lineage_fanin
+                row = row + (str(fanin) if fanin is not None else "-",)
+            rows.append(row)
         widths = [len(h) for h in headers]
         for row in rows:
             for i, cell in enumerate(row):
@@ -166,6 +190,11 @@ class QueryProfile:
             flags.append(f"cache={'hit' if self.cache_hit else 'miss'}")
         if self.snapshot:
             flags.append("snapshot=yes")
+        if self.lineage is not None:
+            flags.append(
+                f"lineage={len(self.lineage.get('sources', []))} source(s), "
+                f"fan-in<={self.lineage.get('max_fanin', 0)}"
+            )
         if self.trace_id:
             flags.append(f"trace_id={self.trace_id}")
         suffix = f" [{', '.join(flags)}]" if flags else ""
@@ -182,8 +211,16 @@ class QueryProfile:
         )
 
 
-def profile_query(db: Database, sql: str, compiled: Optional[bool] = None) -> QueryProfile:
-    """Execute ``sql`` against ``db`` with per-operator profiling enabled."""
+def profile_query(
+    db: Database,
+    sql: str,
+    compiled: Optional[bool] = None,
+    lineage: bool = False,
+) -> QueryProfile:
+    """Execute ``sql`` against ``db`` with per-operator profiling enabled.
+
+    ``lineage=True`` additionally runs the query with row-level lineage and
+    stamps per-operator fan-in plus the profile-level lineage summary."""
     import time
 
     from repro.engine.evaluate import execute_query
@@ -193,7 +230,9 @@ def profile_query(db: Database, sql: str, compiled: Optional[bool] = None) -> Qu
     resolved = resolve(parse_query(sql), db.catalog)
     profile = QueryProfile(sql)
     start = time.perf_counter()
-    result = execute_query(db, resolved, compiled=compiled, profile=profile)
+    result = execute_query(
+        db, resolved, compiled=compiled, profile=profile, lineage=lineage
+    )
     profile.finish(result, time.perf_counter() - start)
     return profile
 

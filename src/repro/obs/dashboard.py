@@ -3,8 +3,10 @@
 A terminal dashboard in the spirit of ``top``: one row per source showing
 its health state, last reported recency, current lag, a unicode sparkline
 of the recent lag series, the z-score against the fleet, SLO burn, the
-ingest-poll latency distribution (p50/p95 milliseconds), and the
-supervisor's retry/restart/breaker counters. It renders from a plain
+staleness-derived quality score (``qual``, the same decay curve the
+provenance layer applies per row), the ingest-poll latency distribution
+(p50/p95 milliseconds), and the supervisor's retry/restart/breaker
+counters. It renders from a plain
 **status document** — the same JSON the observatory server serves at
 ``/status`` — so the one renderer works both in-process (polling a
 :class:`~repro.grid.simulator.GridSimulator` directly via
@@ -23,6 +25,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 from urllib.request import urlopen
 
+from repro.core.quality import QualityModel
 from repro.core.statistics import format_interval, mean_stddev
 from repro.errors import TracError
 
@@ -83,6 +86,7 @@ def status_from_simulator(sim, slo=None) -> dict:
     )
 
     poll_fn = getattr(sim, "poll_latency_ms", None)
+    quality_model = QualityModel.from_slo(slo) if slo is not None else QualityModel()
     sources: List[dict] = []
     for mid in sorted(sim.sniffers):
         supervisor = sim.supervisors.get(mid)
@@ -93,14 +97,25 @@ def status_from_simulator(sim, slo=None) -> dict:
         source_slo = slo_by_source.get(mid)
         series = slo.series(mid) if slo is not None else []
         poll_series = list(poll_fn(mid)) if callable(poll_fn) else []
+        state = entry.status if entry is not None else "healthy"
+        lag = source_slo.latest if source_slo is not None else age
+        quality: Optional[float] = None
+        if lag is not None:
+            # Same staleness-decay curve the reporter applies per row
+            # (docs/PROVENANCE.md), so the dashboard and the provenance
+            # block agree on what a source is currently worth.
+            quality = quality_model.freshness(lag)
+            if state == "degraded":
+                quality *= quality_model.degraded_penalty
         sources.append(
             {
                 "id": mid,
-                "state": entry.status if entry is not None else "healthy",
+                "state": state,
                 "reason": entry.reason if entry is not None else None,
                 "recency": recencies.get(mid),
                 "age": age,
                 "z": z,
+                "quality": quality,
                 "retries": stats.get("retries", 0),
                 "restarts": stats.get("restarts", 0),
                 "breaker": stats.get("breaker", "closed"),
@@ -223,7 +238,7 @@ def render_top(status: dict, width: int = 16) -> str:
         return "\n".join(lines) + "\n"
 
     headers = (
-        "source", "state", "recency", "age", "z", "burn",
+        "source", "state", "recency", "age", "z", "burn", "qual",
         "lag " + "·" * max(0, width - 4), "poll ms", "retry", "restart", "breaker",
     )
     rows: List[tuple] = []
@@ -233,6 +248,7 @@ def render_top(status: dict, width: int = 16) -> str:
     )
     for src in ordered:
         burn = src.get("burn")
+        quality = src.get("quality")
         rows.append(
             (
                 str(src.get("id", "?")),
@@ -242,6 +258,7 @@ def render_top(status: dict, width: int = 16) -> str:
                 _fmt_age(src.get("age")),
                 f"{src.get('z', 0.0):+.2f}",
                 f"{burn:.2f}" if burn is not None else "-",
+                f"{quality:.2f}" if quality is not None else "-",
                 sparkline(src.get("lag_series") or [], width),
                 _fmt_poll_ms(src.get("poll_ms_series") or []),
                 str(src.get("retries", 0)),

@@ -15,6 +15,9 @@ an investigation needs into one timestamped JSON file:
 * recent per-operator query profiles plus the trigger's ``trace_id``
   (a ``query.slow`` dump therefore carries both the span tree and the
   operator-level profile of the offending query);
+* recent row-provenance records with their quality summaries, when the
+  reporter runs with lineage enabled (so a slow dump also answers *which
+  sources fed the answer and how stale were they*);
 * the health registry's view of each source, when wired;
 * the SLO tracker's status and each source's retained lag series, when
   wired.
@@ -197,6 +200,11 @@ class FlightRecorder:
         if profile_log is not None:
             payload["profiles"] = [
                 p.to_dict() for p in profile_log.tail(self.max_events)
+            ]
+        provenance_log = getattr(self.telemetry, "provenance", None)
+        if provenance_log is not None:
+            payload["provenance"] = [
+                p.to_dict() for p in provenance_log.tail(self.max_events)
             ]
         if self.health is not None:
             payload["health"] = self.health.to_dict()

@@ -92,6 +92,8 @@ INCREMENTAL_HITS = "trac_incremental_hits_total"
 INCREMENTAL_MISSES = "trac_incremental_misses_total"
 INCREMENTAL_INVALIDATIONS = "trac_incremental_invalidations_total"
 INCREMENTAL_MAINTENANCE_SECONDS = "trac_incremental_maintenance_seconds"
+ROW_QUALITY = "trac_row_quality"
+ROWS_FROM_EXCEPTIONAL = "trac_rows_from_exceptional_total"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -116,6 +118,10 @@ SERVE_BUCKETS = (
     2.5,
     5.0,
 )
+
+#: Buckets for row quality scores, which live in (0, 1]: fine near 1
+#: (healthy rows cluster there) and a coarse low tail.
+QUALITY_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
 
 #: Default slow-query threshold (seconds); overridable per reporter or via
 #: the ``TRAC_SLOW_QUERY_SECONDS`` environment variable. ``0`` disables.
@@ -229,15 +235,23 @@ NULL_PROFILE_LOG = NullProfileLog()
 
 
 class Telemetry:
-    """A live tracer + metrics registry + event log + profile log bundle."""
+    """A live tracer + metrics registry + event log + profile log bundle.
 
-    __slots__ = ("tracer", "metrics", "events", "profiles", "enabled")
+    ``provenance`` is a second :class:`ProfileLog` ring holding
+    :class:`~repro.core.quality.ProvenanceRecord` documents — one per
+    lineage-enabled report — served by the observatory's
+    ``/provenance/<trace_id>`` view (the ring is duck-typed on
+    ``sql``/``trace_id``/``to_dict()``, which the records provide).
+    """
+
+    __slots__ = ("tracer", "metrics", "events", "profiles", "provenance", "enabled")
 
     def __init__(self) -> None:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.events = EventLog()
         self.profiles = ProfileLog()
+        self.provenance = ProfileLog()
         self.enabled = True
 
     def emit(
@@ -279,6 +293,7 @@ class Telemetry:
         self.metrics.reset()
         self.events.clear()
         self.profiles.clear()
+        self.provenance.clear()
 
     def __repr__(self) -> str:
         return (
@@ -296,6 +311,7 @@ class _NullTelemetry:
     metrics = NULL_REGISTRY
     events = NULL_EVENT_LOG
     profiles = NULL_PROFILE_LOG
+    provenance = NULL_PROFILE_LOG
     enabled = False
 
     def emit(
@@ -478,6 +494,32 @@ def record_slow_query(tel, method: str) -> None:
         {"method": method},
         help="Reports exceeding the slow-query threshold",
     ).inc()
+
+
+def record_row_quality(
+    tel, method: str, qualities: Iterable[Optional[float]]
+) -> None:
+    """Observe the quality score of every attributed result row."""
+    histogram = tel.metrics.histogram(
+        ROW_QUALITY,
+        {"method": method},
+        buckets=QUALITY_BUCKETS,
+        help="Staleness-derived quality scores of provenance-annotated rows",
+    )
+    for quality in qualities:
+        if quality is not None:
+            histogram.observe(quality)
+
+
+def record_rows_from_exceptional(tel, method: str, count: int) -> None:
+    """Count result rows whose lineage touches an exceptional or degraded
+    source (rows the report says not to trust)."""
+    if count > 0:
+        tel.metrics.counter(
+            ROWS_FROM_EXCEPTIONAL,
+            {"method": method},
+            help="Result rows citing an exceptional or degraded source",
+        ).inc(count)
 
 
 def record_plan_cache_hit(tel) -> None:
@@ -730,4 +772,5 @@ __all__ = [
     "COUNT_BUCKETS",
     "LAG_BUCKETS",
     "SERVE_BUCKETS",
+    "QUALITY_BUCKETS",
 ]

@@ -24,6 +24,10 @@ path        content type                         body
 /trace/<id> application/json                     every span, event and
                                                  profile stamped with the
                                                  32-hex trace id
+/provenance/<id> application/json                the provenance record
+                                                 (row-level source sets +
+                                                 quality summary) of the
+                                                 report with that trace id
 /query      application/json                     run a recency report
                                                  (``?sql=...&method=...``;
                                                  requires a wired reporter)
@@ -88,6 +92,7 @@ _ENDPOINTS = [
     "/events",
     "/profile",
     "/trace/<id>",
+    "/provenance/<trace_id>",
     "/query",
     "/status",
     "/v1/query",
@@ -258,7 +263,9 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
     def _check_method(self, method: str, path: str) -> None:
         """405 (with ``Allow``) for a known path hit with the wrong verb."""
         allowed = _METHODS.get(path)
-        if allowed is None and path.startswith("/trace/"):
+        if allowed is None and (
+            path.startswith("/trace/") or path.startswith("/provenance/")
+        ):
             allowed = ("GET",)
         if allowed is not None and method not in allowed:
             raise _HttpError(
@@ -309,6 +316,16 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
                         404,
                         JSON_CONTENT_TYPE,
                         json.dumps({"error": f"no telemetry for trace {trace_id!r}"}),
+                    )
+                return self._send(200, JSON_CONTENT_TYPE, json.dumps(doc, default=str))
+            if path.startswith("/provenance/"):
+                trace_id = path[len("/provenance/") :].strip().lower()
+                doc = obs.provenance(trace_id)
+                if doc is None:
+                    return self._send(
+                        404,
+                        JSON_CONTENT_TYPE,
+                        json.dumps({"error": f"no provenance for trace {trace_id!r}"}),
                     )
                 return self._send(200, JSON_CONTENT_TYPE, json.dumps(doc, default=str))
             if path == "/query":
@@ -377,6 +394,15 @@ class _ObservatoryHandler(BaseHTTPRequestHandler):
             "timings": report.timings.to_dict(),
             "profile": report.profile.to_dict() if report.profile is not None else None,
         }
+        if report.row_provenance is not None:
+            body["provenance"] = {
+                "row_sources": report.row_provenance,
+                "quality": (
+                    report.quality_summary.to_dict()
+                    if report.quality_summary is not None
+                    else None
+                ),
+            }
         return self._send(200, JSON_CONTENT_TYPE, json.dumps(body, default=str))
 
     def _serve_query(self) -> int:
@@ -593,6 +619,19 @@ class ObservatoryServer:
             "events": events,
             "profiles": profiles,
         }
+
+    def provenance(self, trace_id: str) -> Optional[dict]:
+        """The ``/provenance/<trace_id>`` document: the provenance records
+        (row-level source sets + quality summary) of the report(s) stamped
+        with that trace id, or None when none is retained (reports run
+        without lineage enabled, or the record aged out of the ring)."""
+        log = getattr(self.telemetry, "provenance", None)
+        if log is None:
+            return None
+        records = [record.to_dict() for record in log.for_trace(trace_id)]
+        if not records:
+            return None
+        return {"trace_id": trace_id, "provenance": records}
 
     def __repr__(self) -> str:
         running = "running" if self._thread is not None else "stopped"

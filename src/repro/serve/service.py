@@ -70,6 +70,7 @@ class ServeConfig:
         "max_inflight",
         "default_method",
         "plan_cache_size",
+        "lineage",
     )
 
     def __init__(
@@ -84,6 +85,7 @@ class ServeConfig:
         max_inflight: int = 64,
         default_method: str = "focused",
         plan_cache_size: int = 128,
+        lineage: bool = False,
     ) -> None:
         self.workers = int(workers)
         self.queue_depth = int(queue_depth)
@@ -95,6 +97,8 @@ class ServeConfig:
         self.max_inflight = int(max_inflight)
         self.default_method = default_method
         self.plan_cache_size = int(plan_cache_size)
+        #: Annotate every served row with its provenance + quality block.
+        self.lineage = bool(lineage)
 
     def __repr__(self) -> str:
         return (
@@ -170,6 +174,7 @@ class QueryService:
             telemetry=self.telemetry,
             create_temp_tables=False,
             plan_cache_size=self.config.plan_cache_size,
+            lineage=self.config.lineage,
         )
 
     # -- submission ----------------------------------------------------------
@@ -274,7 +279,7 @@ class QueryService:
         with self._lock:
             self._completions.append(now)
             self._prune_completions(now)
-        return {
+        response: Dict[str, Any] = {
             "tenant": tenant,
             "method": report.method,
             "columns": list(report.result.columns),
@@ -290,6 +295,19 @@ class QueryService:
             "timings": report.timings.to_dict(),
             "queue_wait_seconds": queue_wait,
         }
+        if report.row_provenance is not None:
+            # The trace_id above pivots to /trace/<id> and /provenance/<id>
+            # on the observatory; the inline block answers "why trust this
+            # row" without a second round trip.
+            response["provenance"] = {
+                "row_sources": report.row_provenance,
+                "quality": (
+                    report.quality_summary.to_dict()
+                    if report.quality_summary is not None
+                    else None
+                ),
+            }
+        return response
 
     # -- accounting ----------------------------------------------------------
 

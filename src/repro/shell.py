@@ -137,11 +137,16 @@ class Shell:
             self._say(f"unknown command {command!r}; try .help")
 
     def _profile(self, sql: str) -> None:
-        """Run ``sql`` on the backend and print its per-operator profile."""
+        """Run ``sql`` on the backend and print its per-operator profile.
+
+        Lineage is on so the table carries the ``fanin`` column and the
+        totals line names the contributing sources — the shell is the
+        interactive "why should I trust this row?" surface.
+        """
         from repro.engine.profile import database_from_backend, profile_query
 
         db = database_from_backend(self.backend)
-        self._say(profile_query(db, sql).render())
+        self._say(profile_query(db, sql, lineage=True).render())
 
     def _events(self, rest: str) -> None:
         try:

@@ -96,6 +96,17 @@ class TestExamples:
         assert "query.slow events: 1" in out
         assert "done: every query is traceable from caller to operator" in out
 
+    def test_provenance_tour(self):
+        out = run_example("provenance_tour.py")
+        assert "from ['m1']  quality 1.000" in out
+        assert "from ['m3', 'registry']  quality 0.500" in out
+        assert "fanin" in out
+        assert "monotone: 0.500 > 0.125 > 0.000" in out
+        assert "row_sources=[['m1'], ['m2'], ['m3']]" in out
+        assert "1 record(s) under this trace" in out
+        assert 'trac_row_quality_count{method="focused"}' in out
+        assert "every row's trust is explainable" in out
+
     def test_serving_tour(self):
         out = run_example("serving_tour.py")
         assert "POST /v1/query -> 200" in out

@@ -19,14 +19,18 @@ first-principles bound instead of a before/after diff:
    (the ``enabled`` branch in front of every ``tel.emit`` call — with
    telemetry disabled the ``NullEventLog`` is never even reached),
    a disabled histogram observation (``NullInstrument.observe`` with a
-   trace-id exemplar), and the trace-propagation guard (the
+   trace-id exemplar), the trace-propagation guard (the
    ``enabled`` branch in front of context inject/extract — disabled
-   telemetry never builds a SpanContext or touches a carrier);
+   telemetry never builds a SpanContext or touches a carrier), and the
+   disabled lineage guard (the ``lineage=False`` keyword forward plus
+   falsy branch the engine pays per operator when row provenance is off
+   — the lineage module is never even imported on that path);
 3. overhead_bound = (timers_per_report * t_timer
                      + checks_per_report * t_check
                      + events_per_report * t_event
                      + histograms_per_report * t_histogram
-                     + propagations_per_report * t_propagation) / t_report
+                     + propagations_per_report * t_propagation
+                     + lineage_checks_per_report * t_lineage) / t_report
 
 The per-report primitive counts are deliberate over-estimates, so the
 reported percentage is an upper bound. Enabled-telemetry timing is printed
@@ -70,6 +74,10 @@ HISTOGRAMS_PER_REPORT = 8
 #: Trace-propagation guard sites per report (context inject on outbound
 #: carriers, extract on inbound, profile trace stamping), over-estimated.
 PROPAGATIONS_PER_REPORT = 8
+#: Disabled-lineage guard sites per report: one ``lineage=False`` keyword
+#: forward + falsy branch per engine operator, times 3 queries per report,
+#: over-estimated.
+LINEAGE_CHECKS_PER_REPORT = 32
 
 MICRO_LOOPS = 200_000
 
@@ -163,6 +171,28 @@ def time_propagation_guard() -> float:
     return (time.perf_counter() - start) / MICRO_LOOPS
 
 
+def time_lineage_guard() -> float:
+    """Seconds per disabled lineage site.
+
+    Row provenance is strictly opt-in: with ``lineage=False`` (the
+    default) the execution path pays one keyword-argument forward plus
+    one falsy branch per operator — the lineage module is never imported
+    and no per-row set is ever built. This times that forward+branch,
+    mirroring the ``_project``/``execute_query`` call sites.
+    """
+
+    def probe(rows, lineage: bool = False):
+        if lineage:
+            raise AssertionError("lineage unexpectedly enabled during microbench")
+        return rows
+
+    payload: list = []
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        probe(payload, lineage=False)
+    return (time.perf_counter() - start) / MICRO_LOOPS
+
+
 def assert_null_event_log() -> None:
     """Structural check: disabled telemetry shares the inert event log."""
     assert isinstance(NULL_TELEMETRY.events, NullEventLog), (
@@ -205,6 +235,7 @@ def main(argv=None) -> int:
     t_event = time_event_guard()
     t_histogram = time_histogram_observe()
     t_propagation = time_propagation_guard()
+    t_lineage = time_lineage_guard()
 
     bound = (
         TIMERS_PER_REPORT * t_timer
@@ -212,6 +243,7 @@ def main(argv=None) -> int:
         + EVENTS_PER_REPORT * t_event
         + HISTOGRAMS_PER_REPORT * t_histogram
         + PROPAGATIONS_PER_REPORT * t_propagation
+        + LINEAGE_CHECKS_PER_REPORT * t_lineage
     )
     overhead_pct = 100.0 * bound / t_report
 
@@ -229,10 +261,12 @@ def main(argv=None) -> int:
     print(f"  disabled event-emit guard   : {t_event * 1e9:9.1f} ns")
     print(f"  disabled histogram observe  : {t_histogram * 1e9:9.1f} ns")
     print(f"  disabled trace propagation  : {t_propagation * 1e9:9.1f} ns")
+    print(f"  disabled lineage guard      : {t_lineage * 1e9:9.1f} ns")
     print(
         f"  bound ({TIMERS_PER_REPORT} timers + {CHECKS_PER_REPORT} checks"
         f" + {EVENTS_PER_REPORT} events + {HISTOGRAMS_PER_REPORT} histograms"
-        f" + {PROPAGATIONS_PER_REPORT} propagations) : {bound * 1e6:9.2f} us/report"
+        f" + {PROPAGATIONS_PER_REPORT} propagations"
+        f" + {LINEAGE_CHECKS_PER_REPORT} lineage guards) : {bound * 1e6:9.2f} us/report"
     )
     print(f"  disabled-path overhead bound: {overhead_pct:9.3f} %  (budget {args.threshold}%)")
     print(f"  enabled report time (info)  : {t_enabled * 1e3:9.3f} ms")
