@@ -16,6 +16,18 @@ Subcommands::
         checkpoints rotate it; --resume continues a previous (possibly
         killed) run from the journal instead of starting over.
 
+    trac simulate --shards 3 --machines 12 --duration 60 --db grid.sqlite
+        Sharded mode: split the machines over N shard-server subprocesses
+        and answer *federated* recency reports through a coordinator with
+        per-shard deadlines, retries, hedging and circuit breakers. The
+        report states its own completeness (shards_ok / missing shards).
+
+    trac shard-serve --shard-id s0 --machines 4 --machine-id-start 1
+        Run one grid shard behind the federation RPC (used by simulate
+        --shards; also standalone for chaos testing). Prints a
+        ``SHARD READY ...`` announce line once the socket is bound and
+        shuts down gracefully on SIGTERM (drain, flush WAL, checkpoint).
+
     trac recover --data-dir DIR [--db out.sqlite]
         Inspect (and optionally rebuild a database from) a durability
         directory: latest checkpoint + WAL tail replay, exactly-once.
@@ -171,7 +183,66 @@ def _build_parser() -> argparse.ArgumentParser:
         default=60.0,
         help="simulated seconds between checkpoints (with --data-dir)",
     )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="federated mode: split the machines over N shard-server "
+        "subprocesses and report through the federation coordinator "
+        "(--duration then counts wall seconds; --db is not written)",
+    )
+    simulate.add_argument(
+        "--report-interval",
+        type=float,
+        default=2.0,
+        help="wall seconds between federated reports (with --shards)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    shard = sub.add_parser("shard-serve", help="run one grid shard behind the federation RPC")
+    shard.add_argument("--shard-id", required=True, help="stable shard name (e.g. s0)")
+    shard.add_argument("--machines", type=int, default=4, help="machines on this shard")
+    shard.add_argument(
+        "--machine-id-start",
+        type=int,
+        default=1,
+        help="first machine id number; give each shard a disjoint range",
+    )
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--host", default="127.0.0.1")
+    shard.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    shard.add_argument(
+        "--data-dir", default=None, metavar="DIR", help="crash-safe WAL + checkpoints"
+    )
+    shard.add_argument(
+        "--resume", action="store_true", help="resume from --data-dir after a crash"
+    )
+    shard.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="always",
+        help="WAL fsync policy (shards default to always: they exist to be killed)",
+    )
+    shard.add_argument("--fsync-interval", type=float, default=1.0)
+    shard.add_argument("--checkpoint-interval", type=float, default=30.0)
+    shard.add_argument(
+        "--faults",
+        help="JSON fault plan; rpc_* kinds target this shard's replies by shard id",
+    )
+    shard.add_argument(
+        "--step-interval",
+        type=float,
+        default=0.02,
+        help="wall seconds between simulator ticks",
+    )
+    shard.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many wall seconds, then exit (default: until signalled)",
+    )
+    shard.set_defaults(handler=_cmd_shard_serve)
 
     recover_p = sub.add_parser("recover", help="inspect/rebuild from a durability dir")
     recover_p.add_argument("--data-dir", required=True, help="durability directory")
@@ -328,12 +399,47 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
+import contextlib
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Install a SIGTERM handler that sets (and yields) a stop event.
+
+    The long-running commands (simulate, serve, shard-serve) poll the event
+    and fall through their normal teardown — drain in-flight work, flush the
+    WAL, final checkpoint — instead of dying mid-write. Outside the main
+    thread (in-process tests) signals cannot be hooked; the event is then
+    simply never set.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    except ValueError:
+        pass  # not the main thread
+    try:
+        yield stop
+    finally:
+        if previous is not None:
+            import signal as _signal
+
+            _signal.signal(_signal.SIGTERM, previous)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.grid.simulator import GridSimulator, SimulationConfig
     from repro.grid.supervisor import SupervisorPolicy
 
     if args.resume and not args.data_dir:
         raise TracError("--resume requires --data-dir")
+    if args.shards is not None:
+        if args.shards < 1:
+            raise TracError(f"--shards must be >= 1, got {args.shards}")
+        return _cmd_simulate_sharded(args)
 
     durability = None
     if args.data_dir:
@@ -441,20 +547,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"simulating {config.num_machines} machines for {remaining:.0f}s "
         f"(seed {config.seed})..."
     )
-    if args.top and observing:
-        from repro.obs.dashboard import render_top
-
-        frame_every = max(args.top_interval, config.tick)
-        next_frame = 0.0
+    with _graceful_sigterm() as stop:
         target = sim.now + remaining
-        while sim.now < target:
-            sim.step()
-            if sim.now >= next_frame:
-                sys.stdout.write(render_top(status_from_simulator(sim, slo)))
-                sys.stdout.write("\n")
-                next_frame = sim.now + frame_every
-    else:
-        sim.run(remaining)
+        if args.top and observing:
+            from repro.obs.dashboard import render_top
+
+            frame_every = max(args.top_interval, config.tick)
+            next_frame = 0.0
+            while sim.now < target and not stop.is_set():
+                sim.step()
+                if sim.now >= next_frame:
+                    sys.stdout.write(render_top(status_from_simulator(sim, slo)))
+                    sys.stdout.write("\n")
+                    next_frame = sim.now + frame_every
+        else:
+            while sim.now < target and not stop.is_set():
+                sim.step()
+        if stop.is_set():
+            print(
+                f"SIGTERM: stopping early at t={sim.now:.0f}s "
+                "(flushing WAL, final checkpoint)"
+            )
 
     backend = sim.backend
     print(f"done at t={sim.now:.0f}s:")
@@ -524,6 +637,217 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         obs.disable()
     return 0
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    from repro.federation.process import format_ready_line
+    from repro.federation.shard import ShardServer
+    from repro.grid.simulator import SimulationConfig
+    from repro.grid.supervisor import SupervisorPolicy
+
+    if args.resume and not args.data_dir:
+        raise TracError("--resume requires --data-dir")
+
+    durability = None
+    if args.data_dir:
+        from repro.durable import DurabilityManager, DurabilityPolicy
+
+        durability = DurabilityManager(
+            args.data_dir,
+            policy=DurabilityPolicy(
+                fsync=args.fsync,
+                fsync_interval=args.fsync_interval,
+                checkpoint_interval=args.checkpoint_interval,
+            ),
+            resume=args.resume,
+        )
+
+    config = None
+    if args.resume:
+        saved = durability.saved_config()
+        if saved is not None:
+            config = SimulationConfig.from_dict(saved)
+    if config is None:
+        config = SimulationConfig(
+            num_machines=args.machines,
+            seed=args.seed,
+            machine_id_start=args.machine_id_start,
+        )
+
+    fault_plan = None
+    supervisor_policy = None
+    if args.faults:
+        from repro.faults import plan_from_json
+
+        try:
+            with open(args.faults) as handle:
+                plan_text = handle.read()
+        except OSError as exc:
+            raise TracError(f"cannot read fault plan {args.faults!r}: {exc}") from exc
+        fault_plan = plan_from_json(plan_text)
+        supervisor_policy = SupervisorPolicy()
+
+    shard = ShardServer(
+        args.shard_id,
+        config,
+        host=args.host,
+        port=args.port,
+        durability=durability,
+        fault_plan=fault_plan,
+        supervisor_policy=supervisor_policy,
+        step_interval=args.step_interval,
+    )
+    shard.start()
+    # The announce line the launcher/chaos harness parses; flushed so a
+    # pipe-buffered parent sees it immediately.
+    print(
+        format_ready_line(shard.shard_id, shard.host, shard.port, shard.sim.machine_ids)
+    )
+    sys.stdout.flush()
+    try:
+        with _graceful_sigterm() as stop:
+            deadline = None
+            if args.duration is not None:
+                import time as _time
+
+                deadline = _time.monotonic() + args.duration
+            while not stop.is_set() and not shard.stopping:
+                if deadline is not None:
+                    import time as _time
+
+                    if _time.monotonic() >= deadline:
+                        break
+                stop.wait(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        # Graceful shutdown on every exit path: drain the in-flight
+        # fragment, flush the WAL, write the final checkpoint.
+        shard.close()
+    print(f"shard {shard.shard_id} stopped at t={shard.sim.now:.0f}s")
+    return 0
+
+
+def _cmd_simulate_sharded(args: argparse.Namespace) -> int:
+    import os
+    import time as _time
+
+    from repro import obs
+    from repro.federation import FederationCoordinator, ShardRegistry
+    from repro.federation.process import launch_shard
+
+    if args.top:
+        raise TracError("--top is not supported with --shards (use --serve + trac top)")
+    if args.db:
+        print(f"note: --shards mode does not write {args.db}; state lives per shard")
+
+    shards_n = args.shards
+    if args.machines < shards_n:
+        raise TracError(
+            f"need at least one machine per shard ({args.machines} machines, "
+            f"{shards_n} shards)"
+        )
+    base, extra = divmod(args.machines, shards_n)
+    counts = [base + (1 if k < extra else 0) for k in range(shards_n)]
+
+    telemetry = obs.enable() if args.serve is not None else None
+    processes = []
+    registry = ShardRegistry(telemetry=telemetry)
+    server = None
+    try:
+        start_id = 1
+        for k, count in enumerate(counts):
+            data_dir = (
+                os.path.join(args.data_dir, f"shard-{k}") if args.data_dir else None
+            )
+            proc = launch_shard(
+                f"s{k}",
+                machines=count,
+                machine_id_start=start_id,
+                seed=args.seed,
+                data_dir=data_dir,
+                resume=args.resume,
+                fsync=args.fsync,
+                faults=args.faults,
+            )
+            processes.append(proc)
+            registry.register(proc.host, proc.port)
+            start_id += count
+        print(
+            f"federation: {shards_n} shard(s), {args.machines} machines "
+            f"({', '.join(f'{p.shard_id}:{len(p.machines)}' for p in processes)})"
+        )
+
+        coordinator = FederationCoordinator(
+            registry, stale_fallback=True, seed=args.seed, telemetry=telemetry
+        )
+        if args.serve is not None:
+            from repro.obs.server import ObservatoryServer
+
+            def status() -> dict:
+                by_source = []
+                newest = 0.0
+                for info in registry.shards():
+                    for mid, recency in sorted(info.recency.items()):
+                        newest = max(newest, recency)
+                        by_source.append(
+                            {
+                                "id": mid,
+                                "state": "healthy" if info.alive else "unknown",
+                                "recency": recency,
+                                "age": 0.0,
+                                "z": 0.0,
+                                "quality": 1.0,
+                                "lag_series": [],
+                            }
+                        )
+                for entry in by_source:
+                    entry["age"] = newest - entry["recency"]
+                return {
+                    "now": newest,
+                    "sources": by_source,
+                    "federation": coordinator.federation_status(),
+                }
+
+            server = ObservatoryServer(
+                telemetry,
+                host=args.serve_host,
+                port=args.serve,
+                status_provider=status,
+            ).start()
+            print(f"observatory serving on {server.url}")
+
+        sql = "SELECT * FROM activity"
+        report = None
+        with _graceful_sigterm() as stop:
+            deadline = _time.monotonic() + args.duration
+            while not stop.is_set() and _time.monotonic() < deadline:
+                stop.wait(min(args.report_interval, max(0.0, deadline - _time.monotonic())))
+                registry.refresh()
+                report = coordinator.report(sql, method="naive")
+            if stop.is_set():
+                print("SIGTERM: stopping the federation")
+        if report is not None:
+            print(
+                f"federated report: {report.shards_ok}/{report.shards_total} "
+                f"shard(s), {len(report.relevant_source_ids)} relevant source(s)"
+            )
+            for line in report.notices():
+                print(f"  {line}")
+        status_doc = coordinator.federation_status()
+        print(
+            f"federation: reports={status_doc['reports_total']} "
+            f"partial={status_doc['partial_reports']} "
+            f"breakers={status_doc['breakers']}"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+        for proc in processes:
+            proc.terminate()
+        if telemetry is not None:
+            obs.disable()
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -818,8 +1142,6 @@ def _cmd_shell(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import time as _time
-
     from repro import obs
     from repro.obs.server import ObservatoryServer
     from repro.serve import QueryService, ServeConfig, mirror_into_memory
@@ -888,11 +1210,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(POST /v1/query, {args.workers} workers; ctrl-C to stop)"
         )
         try:
-            if args.duration is not None:
-                _time.sleep(args.duration)
-            else:
-                while True:
-                    _time.sleep(3600)
+            with _graceful_sigterm() as stop:
+                if stop.wait(args.duration):  # None waits forever
+                    print("SIGTERM: draining in-flight queries and stopping")
         except KeyboardInterrupt:
             pass
         return 0

@@ -37,6 +37,7 @@ from repro.core.session import Session
 from repro.core.constraints import augmented_where, all_constraint_exprs
 from repro.core.explain import explain, explain_sql
 from repro.core.monitor import Alert, RecencyMonitor, WatchRule
+from repro.core.breaker import CircuitBreaker
 from repro.core.health import (
     BACKING_OFF,
     DEGRADED,
@@ -68,6 +69,7 @@ __all__ = [
     "Alert",
     "RecencyMonitor",
     "WatchRule",
+    "CircuitBreaker",
     "SourceHealth",
     "SourceStatus",
     "HEALTHY",

@@ -1,0 +1,52 @@
+"""The shared three-state circuit breaker.
+
+Extracted from ``repro.grid.supervisor`` so the sniffer supervision ladder
+and the shard-federation coordinator (``repro.federation``) trip the same
+breaker: ``threshold`` consecutive failures open it, calls are refused
+until ``reset_timeout`` elapses, then a single half-open probe decides
+between closing it again and re-opening. The breaker is driven entirely by
+an external clock passed to :meth:`CircuitBreaker.allow` — simulation time
+for supervisors, wall time for federation RPCs — which keeps it trivially
+testable and free of hidden ``time.time()`` calls.
+"""
+
+from __future__ import annotations
+
+
+class CircuitBreaker:
+    """The classic three-state breaker, driven by an external clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = ("threshold", "reset_timeout", "state", "consecutive_failures", "opened_at")
+
+    def __init__(self, threshold: int, reset_timeout: float) -> None:
+        self.threshold = threshold
+        self.reset_timeout = reset_timeout
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = float("-inf")
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at ``now`` (may move open→half-open)."""
+        if self.state == self.OPEN:
+            if now - self.opened_at >= self.reset_timeout:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or self.consecutive_failures >= self.threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, failures={self.consecutive_failures})"

@@ -21,7 +21,7 @@ The :class:`~repro.grid.supervisor.SnifferSupervisor` consumes all three;
 see docs/ROBUSTNESS.md for the full fault model.
 """
 
-from repro.faults.plan import FaultPlan, InjectedFault, plan_from_json
+from repro.faults.plan import KINDS, RPC_KINDS, FaultPlan, InjectedFault, plan_from_json
 from repro.faults.backend import FaultyBackend
 from repro.faults.log import FaultyLog
 
@@ -30,5 +30,7 @@ __all__ = [
     "FaultyBackend",
     "FaultyLog",
     "InjectedFault",
+    "KINDS",
+    "RPC_KINDS",
     "plan_from_json",
 ]

@@ -34,6 +34,12 @@ Fault kinds (the channels):
 ``silence``
     The machine stops writing its log between ``start`` and ``end`` — the
     "silent source" whose recency freezes.
+``rpc_drop`` / ``rpc_delay`` / ``rpc_duplicate`` / ``rpc_garbage``
+    Federation RPC misbehaviour, injected by the shard server *below* the
+    protocol layer: the reply vanishes, stalls, arrives twice, or arrives
+    as a non-JSON frame. ``source`` is the shard id here, and the decision
+    query is :meth:`FaultPlan.check_rpc` (returns the kind instead of
+    raising — dropping a reply is not an exception on the server side).
 """
 
 from __future__ import annotations
@@ -59,7 +65,9 @@ _ERROR_KINDS = (
     "checkpoint_write",
 )
 _RECORD_KINDS = ("drop_records", "duplicate_records")
-KINDS = _ERROR_KINDS + _RECORD_KINDS + ("silence",)
+#: Federation RPC fault channels (source = shard id, not machine id).
+RPC_KINDS = ("rpc_drop", "rpc_delay", "rpc_duplicate", "rpc_garbage")
+KINDS = _ERROR_KINDS + _RECORD_KINDS + RPC_KINDS + ("silence",)
 
 
 class InjectedFault(SimulationError):
@@ -233,6 +241,21 @@ class FaultPlan:
         self._rules.append(_Rule(kind, source, probability, at, transient=transient))
         return self
 
+    def rpc_fault(
+        self,
+        source: str = "*",
+        kind: str = "rpc_drop",
+        probability: float = 0.0,
+        at: Sequence[float] = (),
+    ) -> "FaultPlan":
+        """Misbehave on a shard's RPC replies; ``source`` is the shard id."""
+        if kind not in RPC_KINDS:
+            raise SimulationError(
+                f"rpc fault kind must be one of {RPC_KINDS}, got {kind!r}"
+            )
+        self._rules.append(_Rule(kind, source, probability, at))
+        return self
+
     def silence(self, source: str, start: float, end: Optional[float] = None) -> "FaultPlan":
         """Stall the machine's log from ``start`` (to ``end``, or forever)."""
         self._silences.append(_Silence(source, start, end))
@@ -309,6 +332,19 @@ class FaultPlan:
                 kind,
                 transient=rule.transient,
             )
+
+    def check_rpc(self, source: str, now: float) -> Optional[str]:
+        """The RPC fault kind due for this shard's reply, or ``None``.
+
+        Consulted once per request by the shard's RPC server; returns the
+        first due kind in :data:`RPC_KINDS` order (drop beats delay beats
+        duplicate beats garbage when several are due the same instant).
+        """
+        for kind in RPC_KINDS:
+            if self._error_due(kind, source, now) is not None:
+                self._record(kind, source)
+                return kind
+        return None
 
     def filter_events(
         self, source: str, now: float, events: Sequence["LogEvent"]
@@ -454,6 +490,8 @@ def plan_from_json(text: str) -> FaultPlan:
                 source, op=kind.split("_", 1)[1], probability=probability, at=at,
                 transient=transient,
             )
+        elif kind in RPC_KINDS:
+            plan.rpc_fault(source, kind, probability, at)
         elif kind in ("wal_append", "checkpoint_write"):
             plan.durability_error(
                 source,

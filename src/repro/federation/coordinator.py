@@ -1,0 +1,751 @@
+"""The federation coordinator: partial-failure-safe recency reports.
+
+The :class:`FederationCoordinator` answers the sharded deployment's version
+of TRAC's question — *how recent and how consistent is this answer?* — with
+one extra axis the single-process reporter never needed: **completeness**.
+A federated report always returns within its deadline and always says
+exactly which shards it heard from (``shards_ok``), which it did not
+(``missing_shards``), and which were served stale from the fragment cache
+(``stale_shards``), in the same honest-disclosure spirit as the paper's
+NOTICE lines.
+
+Fan-out discipline, per shard and per report:
+
+* a **per-shard circuit breaker** (:class:`repro.core.breaker.CircuitBreaker`,
+  the same class the sniffer supervisors use) skips shards that have been
+  failing, with a half-open probe after ``breaker_reset`` wall seconds;
+* **bounded retries** with exponential backoff and seeded jitter
+  (decorrelated per shard, like the supervisor fleet's);
+* a **hedged request** fired at stragglers after ``hedge_delay`` seconds —
+  first reply wins, the loser's socket just times out;
+* a hard **deadline**: whatever has not arrived when it expires is merged
+  as missing (or stale-cached), never waited for.
+
+Correctness of the merge (the split-identity property the differential
+test enforces): shards return raw per-subquery ``(source, recency)`` rows
+plus per-guard verdicts, computed *unconditionally*. The coordinator ORs
+each guard across shards — a guard asks "does this query return rows?",
+and the union has rows iff some shard does — keeps a subquery's rows iff
+all its guards hold globally, unions the surviving rows (shard id spaces
+are disjoint by construction) and computes the one global z-score split.
+Guard filtering or outlier-splitting per shard would both be unsound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.core.breaker import CircuitBreaker
+from repro.core.relevance import RelevancePlan, build_naive_plan, build_relevance_plan
+from repro.core.statistics import (
+    DEFAULT_Z_THRESHOLD,
+    RecencySplit,
+    RecencyStatistics,
+    SourceRecency,
+    describe,
+    format_interval,
+    format_timestamp,
+    zscore_split,
+)
+from repro.engine.cache import resolve_cached
+from repro.errors import TracError
+from repro.federation import rpc
+from repro.federation.rpc import RPCError
+from repro.grid.simulator import monitoring_catalog
+from repro.obs import instrument as obs
+from repro.obs.events import (
+    EVT_FEDERATION_PARTIAL,
+    EVT_SHARD_DEAD,
+    EVT_SHARD_HEDGE,
+    EVT_SHARD_REJOINED,
+    EVT_SHARD_RPC_RETRY,
+)
+
+_METHODS = ("focused", "naive")
+
+
+def _stable_seed(seed: int, shard_id: str) -> int:
+    digest = hashlib.sha256(f"{seed}:{shard_id}:federation".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardInfo:
+    """Registry entry for one shard."""
+
+    __slots__ = (
+        "shard_id",
+        "host",
+        "port",
+        "machines",
+        "alive",
+        "last_seen",
+        "last_error",
+        "recency",
+    )
+
+    def __init__(self, shard_id: str, host: str, port: int, machines: List[str]) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.machines = list(machines)
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.last_error: Optional[str] = None
+        #: Last heartbeat's per-machine reported recency map.
+        self.recency: Dict[str, float] = {}
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "host": self.host,
+            "port": self.port,
+            "machines": list(self.machines),
+            "alive": self.alive,
+            "last_error": self.last_error,
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"ShardInfo({self.shard_id!r}, {self.host}:{self.port}, {state})"
+
+
+class ShardRegistry:
+    """Tracks shard membership and health via heartbeat RPCs.
+
+    Registration performs a ``hello`` RPC to learn the shard's id and
+    machine set; :meth:`refresh` heartbeats every member and flips
+    ``alive`` (emitting ``federation.shard_dead`` / ``shard_rejoined``
+    events on transitions). Thread-safe: the coordinator reads a snapshot
+    while a background heartbeat loop refreshes.
+    """
+
+    def __init__(self, telemetry: Optional[object] = None) -> None:
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._shards: Dict[str, ShardInfo] = {}
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
+
+    def register(self, host: str, port: int, timeout: float = 2.0) -> ShardInfo:
+        """Hello a shard and add it to the membership."""
+        reply = rpc.call(host, port, {"op": "hello"}, timeout=timeout)
+        if not reply.get("ok"):
+            raise RPCError(f"shard at {host}:{port} refused hello: {reply.get('error')}")
+        shard_id = str(reply["shard_id"])
+        info = ShardInfo(shard_id, host, port, [str(m) for m in reply["machines"]])
+        info.recency = {str(k): float(v) for k, v in reply.get("recency", {}).items()}
+        with self._lock:
+            existing = self._shards.get(shard_id)
+            if existing is not None:
+                # A restarted shard re-registers (possibly on a new port).
+                info.alive = True
+            self._shards[shard_id] = info
+        return info
+
+    def add(self, info: ShardInfo) -> None:
+        """Add a pre-built entry (tests and static topologies)."""
+        with self._lock:
+            self._shards[info.shard_id] = info
+
+    def remove(self, shard_id: str) -> None:
+        with self._lock:
+            self._shards.pop(shard_id, None)
+
+    def shards(self) -> List[ShardInfo]:
+        """A point-in-time membership snapshot, ordered by shard id."""
+        with self._lock:
+            return [self._shards[sid] for sid in sorted(self._shards)]
+
+    def machines(self) -> List[str]:
+        """The union machine-id space across every registered shard."""
+        seen: Set[str] = set()
+        for info in self.shards():
+            seen.update(info.machines)
+        return sorted(seen)
+
+    def refresh(self, timeout: float = 0.5) -> Dict[str, bool]:
+        """Heartbeat every shard; returns ``{shard_id: alive}``."""
+        tel = self._tel()
+        verdicts: Dict[str, bool] = {}
+        for info in self.shards():
+            was_alive = info.alive
+            try:
+                reply = rpc.call(
+                    info.host, info.port, {"op": "heartbeat"}, timeout=timeout
+                )
+                alive = bool(reply.get("ok"))
+                if alive:
+                    info.machines = [str(m) for m in reply.get("machines", info.machines)]
+                    info.recency = {
+                        str(k): float(v) for k, v in reply.get("recency", {}).items()
+                    }
+                    info.last_seen = time.monotonic()
+                    info.last_error = None
+            except RPCError as exc:
+                alive = False
+                info.last_error = str(exc)
+            info.alive = alive
+            verdicts[info.shard_id] = alive
+            if tel.enabled and alive != was_alive:
+                tel.emit(
+                    EVT_SHARD_REJOINED if alive else EVT_SHARD_DEAD,
+                    source=info.shard_id,
+                    severity="info" if alive else "error",
+                    error=info.last_error,
+                )
+        return verdicts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+
+class FederatedRecencyReport:
+    """The union of per-shard fragments plus completeness metadata.
+
+    Mirrors the shape of :class:`~repro.core.report.RecencyReport` for the
+    recency/consistency side (split, statistics, suspect sources, NOTICE
+    lines) and adds the federation's honesty fields: ``shards_total`` /
+    ``shards_ok`` / ``missing_shards`` / ``stale_shards``.
+    """
+
+    def __init__(
+        self,
+        sql: str,
+        method: str,
+        split: RecencySplit,
+        statistics: RecencyStatistics,
+        plan: RelevancePlan,
+        degraded_sources: List[str],
+        shards_total: int,
+        shards_ok: int,
+        missing_shards: List[str],
+        stale_shards: Dict[str, float],
+        elapsed: float,
+    ) -> None:
+        self.sql = sql
+        self.method = method
+        self.split = split
+        self.statistics = statistics
+        self.plan = plan
+        self.degraded_sources = list(degraded_sources)
+        self.shards_total = shards_total
+        self.shards_ok = shards_ok
+        self.missing_shards = list(missing_shards)
+        #: Shards answered from the last-good fragment cache, mapped to the
+        #: age (wall seconds) of the cached fragment.
+        self.stale_shards = dict(stale_shards)
+        self.elapsed = elapsed
+
+    @property
+    def complete(self) -> bool:
+        """True when every shard contributed a fresh fragment."""
+        return not self.missing_shards and not self.stale_shards
+
+    @property
+    def normal_sources(self) -> List[SourceRecency]:
+        return self.split.normal
+
+    @property
+    def exceptional_sources(self) -> List[SourceRecency]:
+        return self.split.exceptional
+
+    @property
+    def relevant_source_ids(self) -> Set[str]:
+        return {s.source_id for s in self.split.normal} | {
+            s.source_id for s in self.split.exceptional
+        }
+
+    @property
+    def suspect_sources(self) -> Set[str]:
+        return {s.source_id for s in self.split.exceptional} | set(
+            self.degraded_sources
+        )
+
+    def notices(self) -> List[str]:
+        """NOTICE lines: the single-process report's plus completeness."""
+        lines: List[str] = []
+        if self.missing_shards or self.stale_shards:
+            lines.append(
+                "NOTICE: Degraded federated report: "
+                f"{self.shards_ok} of {self.shards_total} shard(s) reporting"
+                + (
+                    f"; missing: {', '.join(self.missing_shards)}"
+                    if self.missing_shards
+                    else ""
+                )
+            )
+        if self.stale_shards:
+            served = ", ".join(
+                f"{sid} (age {format_interval(age)})"
+                for sid, age in sorted(self.stale_shards.items())
+            )
+            lines.append(f"NOTICE: Stale cached fragment(s) served for: {served}")
+        if self.degraded_sources:
+            lines.append(
+                "NOTICE: Degraded data sources (supervisor-quarantined, not "
+                f"merely stale): {', '.join(self.degraded_sources)}"
+            )
+        stats = self.statistics
+        if stats.least_recent is not None and stats.most_recent is not None:
+            lines.append(
+                "NOTICE: The least recent data source: "
+                f"{stats.least_recent.source_id}, "
+                f"{format_timestamp(stats.least_recent.recency)}"
+            )
+            lines.append(
+                "NOTICE: The most recent data source: "
+                f"{stats.most_recent.source_id}, "
+                f"{format_timestamp(stats.most_recent.recency)}"
+            )
+            lines.append(
+                "NOTICE: Bound of inconsistency: "
+                f"{format_interval(stats.inconsistency_bound or 0.0)}"
+            )
+        else:
+            lines.append("NOTICE: No relevant data sources have reported in")
+        return lines
+
+    def to_dict(self) -> dict:
+        """JSON document (the chaos harness's assertion surface)."""
+        return {
+            "sql": self.sql,
+            "method": self.method,
+            "shards_total": self.shards_total,
+            "shards_ok": self.shards_ok,
+            "missing_shards": list(self.missing_shards),
+            "stale_shards": dict(self.stale_shards),
+            "complete": self.complete,
+            "elapsed": self.elapsed,
+            "relevant": sorted(self.relevant_source_ids),
+            "normal": [[s.source_id, s.recency] for s in self.split.normal],
+            "exceptional": [
+                [s.source_id, s.recency] for s in self.split.exceptional
+            ],
+            "degraded": list(self.degraded_sources),
+            "bound_of_inconsistency": self.statistics.inconsistency_bound,
+            "notices": self.notices(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FederatedRecencyReport(shards={self.shards_ok}/{self.shards_total}, "
+            f"missing={self.missing_shards}, relevant={len(self.relevant_source_ids)})"
+        )
+
+
+class _CachedFragment:
+    __slots__ = ("reply", "wall")
+
+    def __init__(self, reply: dict, wall: float) -> None:
+        self.reply = reply
+        self.wall = wall
+
+
+class FederationCoordinator:
+    """Fan out recency-report fragments and merge them, failure-first.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ShardRegistry` to fan out over.
+    deadline:
+        Hard wall-clock budget per report; the merge runs with whatever
+        has arrived when it expires.
+    attempt_timeout:
+        Per-RPC-attempt budget (clamped to the remaining deadline).
+    retries:
+        Retry budget per shard per report, on top of the first attempt.
+    hedge_delay:
+        Fire a duplicate request at a shard whose attempt is still pending
+        after this many seconds; ``None`` disables hedging.
+    breaker_threshold / breaker_reset:
+        Per-shard circuit breaker: consecutive failed *reports* to open,
+        wall seconds before the half-open probe.
+    stale_fallback / stale_max_age:
+        Serve a failed shard's last good fragment when it is younger than
+        ``stale_max_age`` wall seconds (tagged in ``stale_shards``).
+    """
+
+    def __init__(
+        self,
+        registry: ShardRegistry,
+        deadline: float = 2.0,
+        attempt_timeout: float = 0.5,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        jitter: float = 0.5,
+        hedge_delay: Optional[float] = 0.25,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 5.0,
+        stale_fallback: bool = False,
+        stale_max_age: float = 60.0,
+        z_threshold: float = DEFAULT_Z_THRESHOLD,
+        seed: int = 0,
+        telemetry: Optional[object] = None,
+    ) -> None:
+        if deadline <= 0:
+            raise TracError("deadline must be positive")
+        if attempt_timeout <= 0:
+            raise TracError("attempt_timeout must be positive")
+        if retries < 0:
+            raise TracError("retries cannot be negative")
+        self.registry = registry
+        self.deadline = deadline
+        self.attempt_timeout = attempt_timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_multiplier = backoff_multiplier
+        self.jitter = jitter
+        self.hedge_delay = hedge_delay
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self.stale_fallback = stale_fallback
+        self.stale_max_age = stale_max_age
+        self.z_threshold = z_threshold
+        self.seed = seed
+        self.telemetry = telemetry
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._rngs: Dict[str, random.Random] = {}
+        self._fragments: Dict[str, _CachedFragment] = {}
+        self._lock = threading.Lock()
+        self.reports_total = 0
+        self.partial_reports = 0
+
+    def _tel(self):
+        tel = self.telemetry
+        return tel if tel is not None else obs.get_default()
+
+    def _breaker(self, shard_id: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(shard_id)
+            if breaker is None:
+                breaker = CircuitBreaker(self.breaker_threshold, self.breaker_reset)
+                self._breakers[shard_id] = breaker
+            return breaker
+
+    def _rng(self, shard_id: str) -> random.Random:
+        with self._lock:
+            rng = self._rngs.get(shard_id)
+            if rng is None:
+                rng = random.Random(_stable_seed(self.seed, shard_id))
+                self._rngs[shard_id] = rng
+            return rng
+
+    # -- planning -----------------------------------------------------------
+
+    def plan_for(self, sql: str, method: str = "focused") -> RelevancePlan:
+        """Plan ``sql`` against the union catalog of every shard's machines."""
+        if method == "naive":
+            return build_naive_plan()
+        machines = self.registry.machines()
+        if not machines:
+            raise TracError("no shards registered; cannot build the union catalog")
+        catalog = monitoring_catalog(machines)
+        resolved = resolve_cached(sql, catalog)
+        return build_relevance_plan(resolved)
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(
+        self,
+        sql: str,
+        method: str = "focused",
+        plan: Optional[RelevancePlan] = None,
+    ) -> FederatedRecencyReport:
+        """Produce one federated recency report, inside the deadline."""
+        if method not in _METHODS:
+            raise TracError(f"unknown method {method!r}; expected one of {_METHODS}")
+        start = time.monotonic()
+        deadline_at = start + self.deadline
+        tel = self._tel()
+        if plan is None:
+            plan = self.plan_for(sql, method=method)
+        shards = self.registry.shards()
+
+        request = {
+            "op": "fragment",
+            "mode": plan.mode,
+            "subqueries": [
+                {"sql": sub.sql, "guards": list(sub.guards)}
+                for sub in plan.subqueries
+            ],
+        }
+
+        outcomes: Dict[str, Optional[dict]] = {}
+        if plan.mode != "empty" and shards:
+            outcomes = self._fan_out(shards, request, deadline_at)
+
+        ok_shards: List[str] = []
+        missing: List[str] = []
+        stale: Dict[str, float] = {}
+        replies: List[dict] = []
+        now_wall = time.monotonic()
+        for info in shards:
+            reply = outcomes.get(info.shard_id)
+            if plan.mode == "empty":
+                # Nothing to fetch: every reachable shard trivially agrees.
+                ok_shards.append(info.shard_id)
+                continue
+            if reply is not None:
+                ok_shards.append(info.shard_id)
+                replies.append(reply)
+                with self._lock:
+                    self._fragments[info.shard_id] = _CachedFragment(reply, now_wall)
+                continue
+            cached = None
+            if self.stale_fallback:
+                with self._lock:
+                    cached = self._fragments.get(info.shard_id)
+                if cached is not None and now_wall - cached.wall > self.stale_max_age:
+                    cached = None
+            if cached is not None and cached.reply.get("mode") == plan.mode:
+                stale[info.shard_id] = now_wall - cached.wall
+                replies.append(cached.reply)
+            else:
+                missing.append(info.shard_id)
+
+        sources, degraded = self._merge(plan, replies)
+        split = zscore_split(sources, self.z_threshold)
+        stats = describe(split.normal)
+        elapsed = time.monotonic() - start
+
+        report = FederatedRecencyReport(
+            sql,
+            method,
+            split,
+            stats,
+            plan,
+            degraded,
+            shards_total=len(shards),
+            shards_ok=len(ok_shards),
+            missing_shards=missing,
+            stale_shards=stale,
+            elapsed=elapsed,
+        )
+        self.reports_total += 1
+        if not report.complete:
+            self.partial_reports += 1
+        if tel.enabled:
+            obs.record_federation_report(tel, partial=not report.complete)
+            for info in shards:
+                obs.record_shard_breaker_state(
+                    tel, info.shard_id, self._breaker(info.shard_id).state
+                )
+            if not report.complete:
+                tel.emit(
+                    EVT_FEDERATION_PARTIAL,
+                    severity="warning",
+                    missing=list(missing),
+                    stale=sorted(stale),
+                    shards_ok=len(ok_shards),
+                    shards_total=len(shards),
+                )
+        return report
+
+    # -- fan-out ------------------------------------------------------------
+
+    def _fan_out(
+        self, shards: List[ShardInfo], request: dict, deadline_at: float
+    ) -> Dict[str, Optional[dict]]:
+        results: Dict[str, Optional[dict]] = {}
+        results_lock = threading.Lock()
+
+        def worker(info: ShardInfo) -> None:
+            reply = self._call_shard(info, request, deadline_at)
+            with results_lock:
+                results[info.shard_id] = reply
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(info,), name=f"fed-call:{info.shard_id}", daemon=True
+            )
+            for info in shards
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            remaining = deadline_at - time.monotonic()
+            thread.join(timeout=max(0.0, remaining) + 0.1)
+        return results
+
+    def _call_shard(
+        self, info: ShardInfo, request: dict, deadline_at: float
+    ) -> Optional[dict]:
+        """One shard's attempt loop: breaker, retries, backoff, hedging.
+
+        Returns the reply dict, or ``None`` when the shard is unreachable
+        within the deadline. Never raises.
+        """
+        tel = self._tel()
+        breaker = self._breaker(info.shard_id)
+        if not breaker.allow(time.monotonic()):
+            return None  # open breaker: don't even burn a connect on it
+        attempt = 0
+        while True:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                return None
+            timeout = min(self.attempt_timeout, remaining)
+            started = time.monotonic()
+            try:
+                reply = self._attempt_with_hedge(info, request, timeout)
+            except RPCError as exc:
+                breaker.record_failure(time.monotonic())
+                if tel.enabled:
+                    outcome = "timeout" if "timed out" in str(exc) else "error"
+                    obs.record_shard_rpc(
+                        tel, info.shard_id, outcome, time.monotonic() - started
+                    )
+                attempt += 1
+                if attempt > self.retries:
+                    return None
+                if tel.enabled:
+                    tel.emit(
+                        EVT_SHARD_RPC_RETRY,
+                        source=info.shard_id,
+                        severity="warning",
+                        attempt=attempt,
+                        error=str(exc),
+                    )
+                delay = self._backoff(info.shard_id, attempt)
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    return None
+                time.sleep(min(delay, remaining))
+                continue
+            if not reply.get("ok"):
+                breaker.record_failure(time.monotonic())
+                return None  # shard answered but refused; don't retry
+            breaker.record_success()
+            if tel.enabled:
+                obs.record_shard_rpc(
+                    tel, info.shard_id, "ok", time.monotonic() - started
+                )
+            return reply
+
+    def _attempt_with_hedge(
+        self, info: ShardInfo, request: dict, timeout: float
+    ) -> dict:
+        """One attempt, with an optional hedged duplicate for stragglers."""
+        hedge_delay = self.hedge_delay
+        if hedge_delay is None or hedge_delay >= timeout:
+            return rpc.call(info.host, info.port, request, timeout=timeout)
+
+        start = time.monotonic()
+        lock = threading.Lock()
+        state: Dict[str, object] = {"reply": None, "errors": 0, "launched": 1}
+        done = threading.Event()
+
+        def attempt(budget: float) -> None:
+            try:
+                reply = rpc.call(info.host, info.port, request, timeout=budget)
+            except RPCError as exc:
+                with lock:
+                    state["errors"] = int(state["errors"]) + 1
+                    state["last_error"] = exc
+                    if state["errors"] >= state["launched"]:
+                        done.set()
+                return
+            with lock:
+                if state["reply"] is None:
+                    state["reply"] = reply
+            done.set()
+
+        threading.Thread(
+            target=attempt, args=(timeout,), name=f"fed-rpc:{info.shard_id}", daemon=True
+        ).start()
+        if not done.wait(hedge_delay):
+            remaining = timeout - (time.monotonic() - start)
+            if remaining > 0:
+                with lock:
+                    state["launched"] = int(state["launched"]) + 1
+                threading.Thread(
+                    target=attempt,
+                    args=(remaining,),
+                    name=f"fed-hedge:{info.shard_id}",
+                    daemon=True,
+                ).start()
+                tel = self._tel()
+                if tel.enabled:
+                    obs.record_shard_hedge(tel, info.shard_id)
+                    tel.emit(
+                        EVT_SHARD_HEDGE, source=info.shard_id, severity="info"
+                    )
+        done.wait(max(0.0, timeout - (time.monotonic() - start)) + 0.05)
+        with lock:
+            reply = state["reply"]
+            if reply is not None:
+                return reply  # type: ignore[return-value]
+            error = state.get("last_error")
+        if isinstance(error, RPCError):
+            raise error
+        raise RPCError(
+            f"shard {info.shard_id} at {info.host}:{info.port} "
+            f"did not answer within {timeout:g}s"
+        )
+
+    def _backoff(self, shard_id: str, attempt: int) -> float:
+        delay = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng(shard_id).random() - 1.0)
+        return delay
+
+    # -- merging ------------------------------------------------------------
+
+    def _merge(self, plan: RelevancePlan, replies: List[dict]):
+        """Union fragments into the global source set (see module doc)."""
+        degraded: Set[str] = set()
+        found: Dict[str, float] = {}
+        if plan.mode == "empty" or not replies:
+            for reply in replies:
+                degraded.update(str(s) for s in reply.get("degraded", ()))
+            return [], sorted(degraded)
+
+        guard_or: Dict[str, bool] = {}
+        for reply in replies:
+            degraded.update(str(s) for s in reply.get("degraded", ()))
+            for guard, verdict in reply.get("guards", {}).items():
+                guard_or[guard] = guard_or.get(guard, False) or bool(verdict)
+
+        if plan.mode == "all":
+            for reply in replies:
+                for rows in reply.get("results", ()):
+                    for sid, rec in rows:
+                        found[str(sid)] = float(rec)
+        else:
+            for index, sub in enumerate(plan.subqueries):
+                if any(not guard_or.get(guard, False) for guard in sub.guards):
+                    continue
+                for reply in replies:
+                    results = reply.get("results", ())
+                    if index >= len(results):
+                        continue  # malformed/short fragment: skip, don't crash
+                    for sid, rec in results[index]:
+                        found[str(sid)] = float(rec)
+        sources = [SourceRecency(sid, rec) for sid, rec in sorted(found.items())]
+        return sources, sorted(degraded)
+
+    # -- status -------------------------------------------------------------
+
+    def federation_status(self) -> dict:
+        """The ``federation`` block for ``/status`` and ``trac top``."""
+        shards = self.registry.shards()
+        missing = [info.shard_id for info in shards if not info.alive]
+        return {
+            "shards_total": len(shards),
+            "shards_ok": len(shards) - len(missing),
+            "missing": missing,
+            "breakers": {
+                info.shard_id: self._breaker(info.shard_id).state for info in shards
+            },
+            "reports_total": self.reports_total,
+            "partial_reports": self.partial_reports,
+        }

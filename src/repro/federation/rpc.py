@@ -1,0 +1,219 @@
+"""Length-prefixed JSON socket RPC for the shard federation.
+
+The wire format is deliberately tiny: every message is a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+One request/response pair per connection keeps the failure model simple —
+a dead shard is a refused connect or a timed-out read, never a
+half-poisoned multiplexed stream.
+
+The server side is a daemon-threaded TCP acceptor with one handler thread
+per connection. A ``fault_hook`` lets the shard server inject the
+federation fault kinds from :mod:`repro.faults.plan` (drop the reply,
+delay it, send it twice, or send a garbage frame) *below* the protocol
+layer, which is exactly where a real network would corrupt things; the
+client is written to survive all four (timeouts, retries, and ignoring
+trailing bytes on a one-shot connection).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import TracError
+
+#: Upper bound on one frame; a length prefix beyond this is garbage.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class RPCError(TracError):
+    """A shard RPC failed: connect/timeout/protocol garbage."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise RPCError(f"connection closed mid-frame ({count - remaining}/{count} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and write one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise RPCError(f"frame too large: {len(payload)} bytes")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one length-prefixed frame and parse it as a JSON object."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise RPCError(f"bad frame length {length}")
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RPCError(f"garbage frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise RPCError("frame payload is not a JSON object")
+    return message
+
+
+def call(
+    host: str,
+    port: int,
+    request: dict,
+    timeout: float = 5.0,
+) -> dict:
+    """One-shot RPC: connect, send ``request``, return the reply.
+
+    ``timeout`` is a wall-clock budget covering connect + send + receive.
+    Raises :class:`RPCError` on refusal, timeout, or a garbage reply —
+    *including* ``ConnectionRefusedError``/``ConnectionResetError``, so
+    callers see one exception type for "that shard is unreachable".
+    """
+    deadline = time.monotonic() + timeout
+    try:
+        sock = socket.create_connection((host, port), timeout=max(0.001, timeout))
+    except OSError as exc:
+        raise RPCError(f"connect {host}:{port} failed: {exc}") from exc
+    try:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RPCError(f"deadline exhausted before send to {host}:{port}")
+        sock.settimeout(remaining)
+        send_frame(sock, request)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RPCError(f"deadline exhausted awaiting {host}:{port}")
+        sock.settimeout(remaining)
+        # A duplicated response (rpc_duplicate fault) leaves a trailing
+        # frame on the socket; one-shot connections make it harmless —
+        # we read exactly one reply and close.
+        return recv_frame(sock)
+    except socket.timeout as exc:
+        raise RPCError(f"rpc to {host}:{port} timed out after {timeout:g}s") from exc
+    except OSError as exc:
+        raise RPCError(f"rpc to {host}:{port} failed: {exc}") from exc
+    finally:
+        sock.close()
+
+
+class RPCServer:
+    """A threaded one-request-per-connection frame server.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(request) -> response`` mapping one JSON object to
+        another; exceptions become ``{"ok": False, "error": ...}`` replies.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after construction).
+    fault_hook:
+        Optional ``fault_hook(request) -> kind`` consulted per request,
+        returning ``None`` or one of the ``rpc_*`` fault kinds from
+        :mod:`repro.faults.plan`; the server then misbehaves accordingly.
+    fault_delay:
+        Seconds to stall when the hook answers ``rpc_delay``.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[dict], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_hook: Optional[Callable[[dict], Optional[str]]] = None,
+        fault_delay: float = 1.0,
+    ) -> None:
+        self.handler = handler
+        self.fault_hook = fault_hook
+        self.fault_delay = fault_delay
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        # A blocking accept() would NOT be woken by close() from another
+        # thread (the kernel pins the open file description for the
+        # duration of the syscall, so the "closed" server keeps accepting).
+        # A short accept timeout lets the loop re-check the stop flag.
+        self._sock.settimeout(0.25)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "RPCServer":
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"rpc-accept:{self.port}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        try:
+            self._sock.close()  # after the join: see the accept-timeout note
+        except OSError:
+            pass
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue  # periodic stop-flag check
+            except OSError:
+                return  # socket closed: shutting down
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(10.0)
+            request = recv_frame(conn)
+            fault = self.fault_hook(request) if self.fault_hook is not None else None
+            if fault == "rpc_drop":
+                return  # close without replying; the client times out / resets
+            try:
+                response = self.handler(request)
+            except Exception as exc:  # a handler bug must not kill the acceptor
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            if fault == "rpc_delay":
+                time.sleep(self.fault_delay)
+            if fault == "rpc_garbage":
+                conn.sendall(_LENGTH.pack(12) + b"\xff\xfenot json\x00\x01")
+                return
+            send_frame(conn, response)
+            if fault == "rpc_duplicate":
+                send_frame(conn, response)
+        except (RPCError, OSError):
+            pass  # client went away or sent garbage; nothing to salvage
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RPCServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

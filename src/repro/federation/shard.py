@@ -1,0 +1,255 @@
+"""One shard of the federated grid: a ``GridSimulator`` partition behind RPC.
+
+A :class:`ShardServer` owns a :class:`~repro.grid.simulator.GridSimulator`
+over a *disjoint* slice of the machine-id space (``machine_id_start`` gives
+shard ``k`` the ids ``m{k*M+1}..m{(k+1)*M}``), steps it on a wall-clock
+cadence in a background thread, and answers the federation RPC ops:
+
+``hello`` / ``heartbeat``
+    Membership and liveness: shard id, owned machines, simulated clock and
+    the per-source reported recency map (the registry's health signal).
+``fragment``
+    The recency-report fragment: executes the coordinator's recency
+    subqueries *and* guard queries verbatim inside one backend snapshot
+    and returns raw ``(source, recency)`` rows plus per-guard verdicts.
+    The shard never computes its own z-score split — a per-shard split
+    would not compose into the global one — and never decides guard
+    outcomes alone, because a guard can be satisfied by another shard's
+    rows. Both decisions belong to the coordinator.
+``status``
+    Everything ``heartbeat`` carries plus degraded sources, durability
+    acked watermarks and fault counters (the chaos harness's oracle).
+``stop``
+    Graceful shutdown: stop stepping, flush the WAL, final checkpoint.
+
+With ``data_dir`` the shard reuses the :mod:`repro.durable` WAL/checkpoint
+layer unchanged, so a SIGKILLed shard restarted with ``resume=True`` comes
+back with every acked heartbeat intact.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.recency_query import build_all_sources_query, subquery_sql
+from repro.errors import TracError
+from repro.faults.plan import FaultPlan
+from repro.federation.rpc import RPCServer
+from repro.grid.simulator import GridSimulator, SimulationConfig
+from repro.grid.supervisor import SupervisorPolicy
+from repro.obs import instrument as obs
+
+
+class ShardServer:
+    """Serve one grid partition's recency-report fragments over RPC.
+
+    Parameters
+    ----------
+    shard_id:
+        Stable name of this shard (e.g. ``"s0"``); the registry keys
+        membership, breakers and fragment caches by it.
+    config:
+        The shard's :class:`~repro.grid.simulator.SimulationConfig`. Use
+        ``machine_id_start`` to give each shard a disjoint id range.
+    host / port:
+        RPC bind address; ``port=0`` picks an ephemeral port.
+    durability:
+        An optional :class:`~repro.durable.DurabilityManager` for
+        crash-safe per-shard state (WAL + checkpoints, exactly as the
+        single-process simulator uses it).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`. Its ingest fault kinds
+        drive the shard's supervisors as usual; its ``rpc_*`` kinds are
+        injected below the RPC protocol layer on this shard's replies.
+    step_interval:
+        Wall seconds between simulator ticks in the stepping thread.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: Optional[SimulationConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        durability: Optional[object] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
+        telemetry: Optional[object] = None,
+        step_interval: float = 0.02,
+    ) -> None:
+        if not shard_id:
+            raise TracError("shard_id must be non-empty")
+        self.shard_id = shard_id
+        self.telemetry = telemetry
+        self.step_interval = step_interval
+        self.fault_plan = fault_plan
+        self.durability = durability
+        self.sim = GridSimulator(
+            config,
+            fault_plan=fault_plan,
+            supervisor_policy=supervisor_policy,
+            telemetry=telemetry,
+            durability=durability,
+        )
+        # One lock serializes simulator steps against RPC reads; fragment
+        # queries additionally run inside one backend snapshot, so a reply
+        # is consistent even mid-step.
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._sim_thread: Optional[threading.Thread] = None
+        self.server = RPCServer(
+            self._handle,
+            host=host,
+            port=port,
+            fault_hook=self._rpc_fault,
+        )
+        self.host = self.server.host
+        self.port = self.server.port
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ShardServer":
+        self.server.start()
+        self._sim_thread = threading.Thread(
+            target=self._step_loop, name=f"shard-sim:{self.shard_id}", daemon=True
+        )
+        self._sim_thread.start()
+        return self
+
+    def _step_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                self.sim.step()
+            self._stop.wait(self.step_interval)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def close(self) -> None:
+        """Graceful shutdown: drain, flush the WAL, final checkpoint.
+
+        Safe to call twice. Ordering matters: stop the stepping thread and
+        the RPC acceptor first, then take the simulator lock (which drains
+        any in-flight fragment), then let the durability manager write its
+        final checkpoint and sync/close the WAL.
+        """
+        self._stop.set()
+        if self._sim_thread is not None:
+            self._sim_thread.join(timeout=5.0)
+            self._sim_thread = None
+        self.server.stop()
+        with self._lock:
+            if self.durability is not None:
+                self.durability.close(self.sim.now)
+                self.durability = None
+            self.sim.backend.close()
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- RPC ----------------------------------------------------------------
+
+    def _rpc_fault(self, request: dict) -> Optional[str]:
+        if self.fault_plan is None:
+            return None
+        with self._lock:
+            now = self.sim.now
+        return self.fault_plan.check_rpc(self.shard_id, now)
+
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op in ("hello", "heartbeat"):
+            return self._info()
+        if op == "status":
+            return self._info(full=True)
+        if op == "fragment":
+            return self._fragment(request)
+        if op == "stop":
+            # Reply first (the flag only stops the step loop); the caller
+            # or signal handler runs close() for the WAL/checkpoint flush.
+            self._stop.set()
+            return {"ok": True, "shard_id": self.shard_id, "stopping": True}
+        return {"ok": False, "shard_id": self.shard_id, "error": f"unknown op {op!r}"}
+
+    def _info(self, full: bool = False) -> dict:
+        with self._lock:
+            recency: Dict[str, float] = {}
+            for mid, sniffer in self.sim.sniffers.items():
+                reported = sniffer._reported_recency
+                if reported != float("-inf"):
+                    recency[mid] = reported
+            doc: dict = {
+                "ok": True,
+                "shard_id": self.shard_id,
+                "now": self.sim.now,
+                "machines": list(self.sim.machine_ids),
+                "recency": recency,
+            }
+            if full:
+                doc["degraded"] = (
+                    self.sim.health.degraded_sources()
+                    if self.sim.health is not None
+                    else []
+                )
+                if self.durability is not None:
+                    doc["acked"] = self.durability.acked()
+                    doc["durability"] = self.durability.stats()
+                if self.fault_plan is not None:
+                    doc["faults_injected"] = dict(self.fault_plan.injected)
+        return doc
+
+    def _fragment(self, request: dict) -> dict:
+        mode = request.get("mode", "focused")
+        subqueries = request.get("subqueries", [])
+        tel = self.telemetry if self.telemetry is not None else obs.get_default()
+        with self._lock:
+            with obs.PhaseTimer(tel, "federation.fragment", shard=self.shard_id):
+                results: List[List[List[object]]] = []
+                guards: Dict[str, bool] = {}
+                with self.sim.backend.snapshot() as snap:
+                    if mode == "all":
+                        rows = snap.execute(
+                            subquery_sql(build_all_sources_query())
+                        ).rows
+                        results.append(
+                            [[str(sid), float(rec)] for sid, rec in rows]
+                        )
+                    elif mode != "empty":
+                        for sub in subqueries:
+                            for guard in sub.get("guards", ()):
+                                if guard not in guards:
+                                    guards[guard] = bool(snap.execute(guard).rows)
+                            rows = snap.execute(sub["sql"]).rows
+                            results.append(
+                                [
+                                    [str(sid), float(rec)]
+                                    for sid, rec in rows
+                                    if sid is not None
+                                ]
+                            )
+                degraded = (
+                    self.sim.health.degraded_sources()
+                    if self.sim.health is not None
+                    else []
+                )
+                now = self.sim.now
+        return {
+            "ok": True,
+            "shard_id": self.shard_id,
+            "now": now,
+            "mode": mode,
+            "results": results,
+            "guards": guards,
+            "degraded": degraded,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardServer({self.shard_id!r}, {self.host}:{self.port}, "
+            f"machines={len(self.sim.machine_ids)})"
+        )

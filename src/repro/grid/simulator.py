@@ -125,9 +125,14 @@ class SimulationConfig:
         sniffer_poll_interval_range: Tuple[float, float] = (3.0, 10.0),
         sniffer_lag_range: Tuple[float, float] = (1.0, 8.0),
         num_schedulers: int = 1,
+        machine_id_start: int = 1,
     ) -> None:
         if num_machines < 1:
             raise SimulationError("need at least one machine")
+        if machine_id_start < 1:
+            raise SimulationError(
+                f"machine_id_start must be >= 1, got {machine_id_start!r}"
+            )
         if num_schedulers < 1 or num_schedulers > num_machines:
             raise SimulationError("num_schedulers must be in [1, num_machines]")
         _require_finite("tick", tick)
@@ -168,6 +173,7 @@ class SimulationConfig:
         self.sniffer_poll_interval_range = sniffer_poll_interval_range
         self.sniffer_lag_range = sniffer_lag_range
         self.num_schedulers = num_schedulers
+        self.machine_id_start = machine_id_start
 
     def to_dict(self) -> dict:
         """JSON-serializable form, checkpointed so ``--resume`` can rebuild
@@ -187,6 +193,7 @@ class SimulationConfig:
             "sniffer_poll_interval_range": list(self.sniffer_poll_interval_range),
             "sniffer_lag_range": list(self.sniffer_lag_range),
             "num_schedulers": self.num_schedulers,
+            "machine_id_start": self.machine_id_start,
         }
 
     @classmethod
@@ -269,7 +276,10 @@ class GridSimulator:
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
         self.now = 0.0
-        self.machine_ids = [f"m{i + 1}" for i in range(self.config.num_machines)]
+        # Shard federation gives each shard a disjoint id range by shifting
+        # machine_id_start, so unioned reports never alias two machines.
+        start = self.config.machine_id_start
+        self.machine_ids = [f"m{start + i}" for i in range(self.config.num_machines)]
         self.catalog = monitoring_catalog(self.machine_ids)
         factory = backend_factory or MemoryBackend
         self.backend = factory(self.catalog)

@@ -39,6 +39,7 @@ import hashlib
 import random
 from typing import Dict, Optional
 
+from repro.core.breaker import CircuitBreaker
 from repro.core.health import BACKING_OFF, DEGRADED, HEALTHY, RESTARTING, SourceHealth
 from repro.errors import SimulationError
 from repro.faults.backend import FaultyBackend
@@ -122,43 +123,9 @@ class SupervisorPolicy:
         )
 
 
-class CircuitBreaker:
-    """The classic three-state breaker, driven by an external clock."""
-
-    CLOSED = "closed"
-    OPEN = "open"
-    HALF_OPEN = "half_open"
-
-    __slots__ = ("threshold", "reset_timeout", "state", "consecutive_failures", "opened_at")
-
-    def __init__(self, threshold: int, reset_timeout: float) -> None:
-        self.threshold = threshold
-        self.reset_timeout = reset_timeout
-        self.state = self.CLOSED
-        self.consecutive_failures = 0
-        self.opened_at = float("-inf")
-
-    def allow(self, now: float) -> bool:
-        """Whether a call may proceed at ``now`` (may move open→half-open)."""
-        if self.state == self.OPEN:
-            if now - self.opened_at >= self.reset_timeout:
-                self.state = self.HALF_OPEN
-                return True
-            return False
-        return True
-
-    def record_success(self) -> None:
-        self.consecutive_failures = 0
-        self.state = self.CLOSED
-
-    def record_failure(self, now: float) -> None:
-        self.consecutive_failures += 1
-        if self.state == self.HALF_OPEN or self.consecutive_failures >= self.threshold:
-            self.state = self.OPEN
-            self.opened_at = now
-
-    def __repr__(self) -> str:
-        return f"CircuitBreaker({self.state}, failures={self.consecutive_failures})"
+# CircuitBreaker lives in repro.core.breaker now (the federation
+# coordinator shares it); re-exported here for existing importers.
+__all__ = ["CircuitBreaker", "SupervisorPolicy", "SnifferSupervisor"]
 
 
 class SnifferSupervisor:

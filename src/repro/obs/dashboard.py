@@ -232,6 +232,28 @@ def render_top(status: dict, width: int = 16) -> str:
             f"  queue={serving.get('queue_depth', 0)}/{serving.get('queue_capacity', 0)}"
         )
 
+    federation = status.get("federation")
+    if federation:
+        # The sharded simulate path injects this block; missing shards and
+        # open breakers are the partial-report early warning.
+        missing = federation.get("missing") or []
+        open_breakers = sorted(
+            sid
+            for sid, state in (federation.get("breakers") or {}).items()
+            if state != "closed"
+        )
+        line = (
+            f"shards: {federation.get('shards_ok', 0)}"
+            f"/{federation.get('shards_total', 0)} ok"
+            f"  reports={federation.get('reports_total', 0)}"
+            f"  partial={federation.get('partial_reports', 0)}"
+        )
+        if missing:
+            line += f"  MISSING: {', '.join(missing)}"
+        if open_breakers:
+            line += f"  breakers: {', '.join(open_breakers)}"
+        lines.append(line)
+
     sources = status.get("sources") or []
     if not sources:
         lines.append("  (no sources reporting yet)")

@@ -58,6 +58,11 @@ EVT_CHECKPOINT = "durability.checkpoint"
 EVT_CHECKPOINT_FAILED = "durability.checkpoint_failed"
 EVT_RECOVERED = "durability.recovered"
 EVT_WAL_TORN = "durability.torn_tail"
+EVT_SHARD_DEAD = "federation.shard_dead"
+EVT_SHARD_REJOINED = "federation.shard_rejoined"
+EVT_SHARD_RPC_RETRY = "federation.rpc_retry"
+EVT_SHARD_HEDGE = "federation.hedge"
+EVT_FEDERATION_PARTIAL = "federation.partial_report"
 
 SEVERITIES = ("debug", "info", "warning", "error")
 

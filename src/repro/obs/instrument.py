@@ -94,6 +94,11 @@ INCREMENTAL_INVALIDATIONS = "trac_incremental_invalidations_total"
 INCREMENTAL_MAINTENANCE_SECONDS = "trac_incremental_maintenance_seconds"
 ROW_QUALITY = "trac_row_quality"
 ROWS_FROM_EXCEPTIONAL = "trac_rows_from_exceptional_total"
+SHARD_RPC_SECONDS = "trac_shard_rpc_seconds"
+SHARD_BREAKER_STATE = "trac_shard_breaker_state"
+SHARD_HEDGES = "trac_shard_hedged_requests_total"
+FEDERATION_REPORTS = "trac_federation_reports_total"
+FEDERATION_PARTIAL_REPORTS = "trac_federation_partial_reports_total"
 
 #: Buckets for DNF conjunct counts / expansion factors (dimensionless).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 512.0, 4096.0)
@@ -710,6 +715,48 @@ def record_slo_burn(tel, source: str, burn: float) -> None:
         {"source": source},
         help="Staleness-SLO error-budget burn rate (>= 1 means breached)",
     ).set(burn)
+
+
+#: Circuit-breaker states as gauge values (closed < half-open < open).
+_BREAKER_STATE_VALUES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+def record_shard_rpc(tel, shard: str, outcome: str, seconds: float) -> None:
+    """One coordinator->shard RPC attempt; ``outcome`` is ``"ok"``,
+    ``"error"`` or ``"timeout"``."""
+    tel.metrics.histogram(
+        SHARD_RPC_SECONDS,
+        {"shard": shard, "outcome": outcome},
+        buckets=SERVE_BUCKETS,
+        help="Coordinator-to-shard RPC latency by outcome",
+    ).observe(seconds)
+
+
+def record_shard_breaker_state(tel, shard: str, state: str) -> None:
+    tel.metrics.gauge(
+        SHARD_BREAKER_STATE,
+        {"shard": shard},
+        help="Per-shard federation breaker state (0=closed, 1=half-open, 2=open)",
+    ).set(_BREAKER_STATE_VALUES.get(state, 2.0))
+
+
+def record_shard_hedge(tel, shard: str) -> None:
+    tel.metrics.counter(
+        SHARD_HEDGES,
+        {"shard": shard},
+        help="Hedged (duplicate) shard requests fired at stragglers",
+    ).inc()
+
+
+def record_federation_report(tel, partial: bool) -> None:
+    tel.metrics.counter(
+        FEDERATION_REPORTS, help="Federated recency reports produced"
+    ).inc()
+    if partial:
+        tel.metrics.counter(
+            FEDERATION_PARTIAL_REPORTS,
+            help="Federated reports answered with one or more shards missing",
+        ).inc()
 
 
 def record_rule_evaluation(tel, rule: str, seconds: float, trips: int) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import math
+import socket
 import threading
 import time
 import urllib.error
@@ -32,6 +33,15 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import TracError
+
+# Sentinel "statuses" for requests that produced no HTTP response. The
+# distinction matters under fault injection: a refused/reset connection
+# means the server (or its OS) actively turned the request away — load was
+# *shed* — while a deadline timeout means nobody answered at all — the
+# server looks *dead*. Conflating them hides which failure mode a chaos
+# run actually produced.
+STATUS_REFUSED = -1
+STATUS_TIMEOUT = -2
 
 
 class LoadgenConfig:
@@ -132,7 +142,17 @@ class LoadResult:
     @property
     def transport_errors(self) -> int:
         """Requests that produced no HTTP status (timeout, refused...)."""
-        return self.count(0)
+        return self.count(0, STATUS_REFUSED, STATUS_TIMEOUT)
+
+    @property
+    def refused(self) -> int:
+        """Connections refused or reset — the server *shed* the request."""
+        return self.count(STATUS_REFUSED)
+
+    @property
+    def timeouts(self) -> int:
+        """Deadline timeouts — nobody answered; the server looks *dead*."""
+        return self.count(STATUS_TIMEOUT)
 
     @property
     def achieved_rate(self) -> float:
@@ -148,8 +168,9 @@ class LoadResult:
     def to_dict(self) -> Dict[str, Any]:
         """The JSON document ``tools/loadgen.py`` writes and CI archives."""
         status_counts: Dict[str, int] = {}
+        labels = {0: "transport_error", STATUS_REFUSED: "refused", STATUS_TIMEOUT: "timeout"}
         for status in self.statuses:
-            key = str(status) if status else "transport_error"
+            key = labels.get(status, str(status))
             status_counts[key] = status_counts.get(key, 0) + 1
         return {
             "config": {
@@ -164,6 +185,8 @@ class LoadResult:
             "rejected_429": self.rejected,
             "server_errors": self.server_errors,
             "transport_errors": self.transport_errors,
+            "refused": self.refused,
+            "timeouts": self.timeouts,
             "wall_seconds": round(self.wall_seconds, 3),
             "achieved_ok_per_s": round(self.achieved_rate, 1),
             "status_counts": status_counts,
@@ -183,8 +206,24 @@ class LoadResult:
         )
 
 
+def _classify_transport(exc: BaseException) -> int:
+    """Map a transport exception to its sentinel status.
+
+    urllib wraps socket-level errors in :class:`urllib.error.URLError`
+    (the original lives in ``.reason``), but can also let them escape
+    bare; classify the innermost cause either way.
+    """
+    reason = getattr(exc, "reason", exc)
+    if isinstance(reason, (ConnectionRefusedError, ConnectionResetError, BrokenPipeError)):
+        return STATUS_REFUSED
+    if isinstance(reason, (socket.timeout, TimeoutError)):
+        return STATUS_TIMEOUT
+    return 0
+
+
 def _post_once(config: LoadgenConfig, tenant: str) -> int:
-    """POST one query; returns the HTTP status (0 = transport failure)."""
+    """POST one query; returns the HTTP status, or a non-positive sentinel
+    for transport failures (refused/reset, timeout, other)."""
     body: Dict[str, Any] = {"sql": config.sql, "tenant": tenant}
     if config.method:
         body["method"] = config.method
@@ -201,8 +240,8 @@ def _post_once(config: LoadgenConfig, tenant: str) -> int:
     except urllib.error.HTTPError as exc:
         exc.read()
         return exc.code
-    except (urllib.error.URLError, OSError, TimeoutError):
-        return 0
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        return _classify_transport(exc)
 
 
 def run_load(config: LoadgenConfig) -> LoadResult:
@@ -241,4 +280,11 @@ def run_load(config: LoadgenConfig) -> LoadResult:
     return LoadResult(config, statuses, ok_latencies, wall)
 
 
-__all__ = ["LoadgenConfig", "LoadResult", "run_load", "percentile"]
+__all__ = [
+    "LoadgenConfig",
+    "LoadResult",
+    "STATUS_REFUSED",
+    "STATUS_TIMEOUT",
+    "run_load",
+    "percentile",
+]

@@ -210,3 +210,75 @@ class TestJson:
     def test_malformed_documents_rejected(self, text):
         with pytest.raises(SimulationError):
             plan_from_json(text)
+
+
+class TestRpcFaults:
+    """The rpc_* kinds: advisory (returned, not raised), aimed at shards.
+
+    ``source`` here is a shard id and ``now`` is the shard's simulation
+    clock — the same (source, now) addressing as every other rule, so
+    one plan file can script both data-layer and transport-layer chaos.
+    """
+
+    def test_kind_registry_includes_rpc(self):
+        from repro.faults import KINDS, RPC_KINDS
+
+        assert set(RPC_KINDS) == {
+            "rpc_drop", "rpc_delay", "rpc_duplicate", "rpc_garbage",
+        }
+        assert set(RPC_KINDS) <= set(KINDS)
+
+    def test_builder_validates_kind(self):
+        with pytest.raises(SimulationError):
+            FaultPlan().rpc_fault("s0", "rpc_nonsense", probability=0.5)
+
+    def test_scripted_rpc_fault_is_one_shot(self):
+        plan = FaultPlan(seed=0).rpc_fault("s0", "rpc_drop", at=[10.0])
+        assert plan.check_rpc("s0", 5.0) is None
+        assert plan.check_rpc("s0", 12.0) == "rpc_drop"
+        assert plan.check_rpc("s0", 13.0) is None  # consumed
+        assert plan.injected == {"rpc_drop": 1}
+
+    def test_check_rpc_returns_instead_of_raising(self):
+        plan = FaultPlan(seed=0).rpc_fault("s1", "rpc_garbage", at=[0.0])
+        kind = plan.check_rpc("s1", 1.0)
+        assert kind == "rpc_garbage"
+        assert plan.check_rpc("s2", 1.0) is None  # other shards untouched
+
+    def test_precedence_drop_beats_delay(self):
+        plan = (
+            FaultPlan(seed=0)
+            .rpc_fault("s0", "rpc_delay", at=[10.0])
+            .rpc_fault("s0", "rpc_drop", at=[10.0])
+        )
+        assert plan.check_rpc("s0", 11.0) == "rpc_drop"
+        # The delay rule was not consumed by the drop's win.
+        assert plan.check_rpc("s0", 12.0) == "rpc_delay"
+
+    def test_probabilistic_rpc_fault_is_deterministic_per_seed(self):
+        def decisions(plan):
+            return [plan.check_rpc("s0", float(i)) for i in range(100)]
+
+        a = decisions(FaultPlan(seed=4).rpc_fault("s0", "rpc_drop", probability=0.3))
+        b = decisions(FaultPlan(seed=4).rpc_fault("s0", "rpc_drop", probability=0.3))
+        c = decisions(FaultPlan(seed=5).rpc_fault("s0", "rpc_drop", probability=0.3))
+        assert a == b
+        assert a != c
+        assert any(kind == "rpc_drop" for kind in a)
+
+    def test_json_round_trip(self):
+        plan = (
+            FaultPlan(seed=2)
+            .rpc_fault("s0", "rpc_drop", at=[5.0])
+            .rpc_fault("*", "rpc_delay", probability=0.1)
+            .rpc_fault("s1", "rpc_duplicate", at=[7.0])
+            .rpc_fault("s2", "rpc_garbage", probability=0.05)
+        )
+        clone = plan_from_json(plan.to_json())
+        assert clone.to_json() == plan.to_json()
+        assert clone.check_rpc("s0", 6.0) == "rpc_drop"
+
+    def test_malformed_rpc_kind_rejected(self):
+        text = '{"seed": 0, "faults": [{"kind": "rpc_smash", "source": "s0", "at": [1.0]}]}'
+        with pytest.raises(SimulationError):
+            plan_from_json(text)

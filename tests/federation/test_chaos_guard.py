@@ -1,0 +1,51 @@
+"""Tier-1 acceptance: the federation chaos proof must pass.
+
+Runs ``tools/check_federation_degrades.py`` as a subprocess (tools/ is not
+a package) with a reduced topology and short phases to keep the suite
+fast: 2 shards, 1 killed, ~2s of chaos per phase. The tool asserts the
+coordinator never hangs, answers inside its deadline with exactly the dead
+shards in ``missing_shards``, and returns to full completeness after
+restart and rejoin. Deselect with ``-m "not federation"`` when iterating.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_federation_degrades.py")
+
+
+@pytest.mark.federation
+def test_federation_degrades_not_fails(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    out = tmp_path / "federation_chaos.json"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            TOOL,
+            "--shards", "2",
+            "--kill", "1",
+            "--machines", "2",
+            "--warmup", "1.0",
+            "--chaos", "1.5",
+            "--json", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "OK" in completed.stdout
+    doc = json.loads(out.read_text())
+    assert doc["failures"] == []
+    assert {"healthy", "sigkill", "rejoin", "sigstop", "thaw"} <= set(doc["phases"])
+    assert doc["leaked_threads"] <= 0
+    assert all(code == 0 for code in doc["shutdown_exit_codes"].values())

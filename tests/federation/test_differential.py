@@ -1,0 +1,120 @@
+"""Split-identity: federated report == single-process report over the union.
+
+The acceptance criterion for the federation layer: over N healthy shards,
+the coordinator's :class:`FederatedRecencyReport` must agree with a
+single-process :class:`RecencyReporter` run against one backend holding the
+union of the same rows — the same relevant-source set, the same
+normal/exceptional split, the same bound of inconsistency. The guard-aware
+fragment protocol makes this true by construction (plan once over the union
+catalog, OR guard verdicts across shards, one global z-score split); this
+test is the check that the construction holds.
+"""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.core.report import RecencyReporter
+from repro.federation import FederationCoordinator, ShardRegistry, ShardServer
+from repro.grid.simulator import SimulationConfig, monitoring_catalog
+
+QUERIES = [
+    "SELECT * FROM activity WHERE value = 'busy'",
+    "SELECT * FROM activity",
+    "SELECT r.mach_id FROM routing r WHERE r.neighbor = 'm2'",
+    (
+        "SELECT s.job_id FROM sched_jobs s, run_jobs r "
+        "WHERE s.job_id = r.job_id AND s.remote_machine_id = 'm3'"
+    ),
+    # Unsatisfiable: value is constrained to {'idle', 'busy'}.
+    "SELECT * FROM activity WHERE value = 'on-fire'",
+]
+
+
+@pytest.fixture(scope="module")
+def federation():
+    """Three settled shards plus a union oracle backend mirroring their rows."""
+    shards = []
+    for k in range(3):
+        config = SimulationConfig(
+            num_machines=2, seed=11 + k, machine_id_start=k * 2 + 1
+        )
+        shard = ShardServer(f"s{k}", config)
+        shard.server.start()
+        with shard._lock:
+            for _ in range(120):
+                shard.sim.step()
+        shards.append(shard)
+
+    registry = ShardRegistry()
+    for shard in shards:
+        registry.register(shard.host, shard.port)
+
+    union = MemoryBackend(monitoring_catalog(registry.machines()))
+    for shard in shards:
+        backend = shard.sim.backend
+        with shard._lock:
+            for schema in backend.catalog.monitored_tables():
+                rows = backend.execute(f"SELECT * FROM {schema.name}").rows
+                union.insert_rows(schema.name, rows)
+            for source_id, recency in backend.heartbeat_rows():
+                union.upsert_heartbeat(source_id, recency)
+
+    try:
+        yield registry, union
+    finally:
+        for shard in shards:
+            shard.close()
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+@pytest.mark.parametrize("method", ["focused", "naive"])
+def test_federated_report_is_split_identical(federation, sql, method):
+    registry, union = federation
+    coordinator = FederationCoordinator(registry, deadline=5.0, attempt_timeout=2.0)
+    oracle = RecencyReporter(union, create_temp_tables=False)
+
+    fed = coordinator.report(sql, method=method)
+    single = oracle.report(sql, method=method)
+
+    assert fed.complete, f"healthy federation must be complete: {fed.missing_shards}"
+    assert fed.relevant_source_ids == single.relevant_source_ids
+    assert [s.source_id for s in fed.normal_sources] == [
+        s.source_id for s in single.normal_sources
+    ]
+    assert [s.source_id for s in fed.exceptional_sources] == [
+        s.source_id for s in single.exceptional_sources
+    ]
+    fed_recency = {
+        s.source_id: s.recency for s in fed.normal_sources + fed.exceptional_sources
+    }
+    single_recency = {
+        s.source_id: s.recency
+        for s in single.normal_sources + single.exceptional_sources
+    }
+    assert set(fed_recency) == set(single_recency)
+    for source_id, recency in single_recency.items():
+        assert fed_recency[source_id] == pytest.approx(recency)
+    if single.relevant_source_ids:
+        assert fed.statistics.inconsistency_bound == pytest.approx(
+            single.statistics.inconsistency_bound
+        )
+    else:
+        assert fed.statistics.inconsistency_bound is None
+
+
+def test_focused_plan_is_shipped_verbatim(federation):
+    """The coordinator ships the union-catalog plan's SQL unmodified, so a
+    shard executes exactly what the single-process engine would."""
+    registry, union = federation
+    coordinator = FederationCoordinator(registry, deadline=5.0, attempt_timeout=2.0)
+    oracle = RecencyReporter(union, create_temp_tables=False)
+    sql = QUERIES[0]
+    fed_plan = coordinator.plan_for(sql)
+    single_plan = oracle.plan_for(sql)
+    assert fed_plan.mode == single_plan.mode
+    assert [s.sql for s in fed_plan.subqueries] == [
+        s.sql for s in single_plan.subqueries
+    ]
+    assert [list(s.guards) for s in fed_plan.subqueries] == [
+        list(s.guards) for s in single_plan.subqueries
+    ]

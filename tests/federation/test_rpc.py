@@ -1,0 +1,167 @@
+"""The length-prefixed JSON RPC layer: framing, lifecycle, injected faults."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.federation.rpc import (
+    MAX_FRAME_BYTES,
+    RPCError,
+    RPCServer,
+    call,
+    recv_frame,
+    send_frame,
+)
+
+
+def echo_handler(request):
+    return {"ok": True, "echo": request}
+
+
+class TestFraming:
+    def test_round_trip_over_a_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"op": "ping", "n": 3})
+            assert recv_frame(b) == {"op": "ping", "n": 3}
+        finally:
+            a.close()
+            b.close()
+
+    def test_zero_length_frame_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(RPCError, match="bad frame length"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_length_prefix_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(RPCError, match="bad frame length"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"\xff\xfenot json\x00\x01"
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(RPCError, match="garbage frame"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(RPCError, match="not a JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_connection_closed_mid_frame(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"short")
+            a.close()
+            with pytest.raises(RPCError, match="closed mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestServer:
+    def test_call_round_trip(self):
+        with RPCServer(echo_handler).start() as server:
+            reply = call(server.host, server.port, {"op": "x"}, timeout=2.0)
+        assert reply == {"ok": True, "echo": {"op": "x"}}
+
+    def test_stop_actually_stops_accepting(self):
+        server = RPCServer(echo_handler).start()
+        call(server.host, server.port, {"op": "x"}, timeout=2.0)
+        server.stop()
+        with pytest.raises(RPCError):
+            call(server.host, server.port, {"op": "x"}, timeout=1.0)
+
+    def test_handler_exception_becomes_error_reply(self):
+        def broken(request):
+            raise ValueError("boom")
+
+        with RPCServer(broken).start() as server:
+            reply = call(server.host, server.port, {"op": "x"}, timeout=2.0)
+        assert reply["ok"] is False
+        assert "ValueError: boom" in reply["error"]
+
+    def test_connection_refused_raises_rpc_error(self):
+        # Bind-then-close guarantees an unused port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(RPCError, match="connect"):
+            call("127.0.0.1", port, {"op": "x"}, timeout=1.0)
+
+    def test_concurrent_calls(self):
+        with RPCServer(echo_handler).start() as server:
+            replies = []
+            lock = threading.Lock()
+
+            def one(i):
+                reply = call(server.host, server.port, {"i": i}, timeout=5.0)
+                with lock:
+                    replies.append(reply["echo"]["i"])
+
+            threads = [threading.Thread(target=one, args=(i,)) for i in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sorted(replies) == list(range(16))
+
+
+class TestInjectedFaults:
+    """The four rpc_* fault kinds, injected via the server's fault hook."""
+
+    def run_with_fault(self, kind, timeout=1.0, fault_delay=0.3):
+        server = RPCServer(
+            echo_handler, fault_hook=lambda req: kind, fault_delay=fault_delay
+        ).start()
+        try:
+            return call(server.host, server.port, {"op": "x"}, timeout=timeout)
+        finally:
+            server.stop()
+
+    def test_rpc_drop_times_out(self):
+        with pytest.raises(RPCError, match="timed out|closed"):
+            self.run_with_fault("rpc_drop", timeout=0.5)
+
+    def test_rpc_delay_still_answers_within_budget(self):
+        reply = self.run_with_fault("rpc_delay", timeout=2.0, fault_delay=0.2)
+        assert reply["ok"] is True
+
+    def test_rpc_delay_past_the_deadline_times_out(self):
+        with pytest.raises(RPCError, match="timed out"):
+            self.run_with_fault("rpc_delay", timeout=0.3, fault_delay=2.0)
+
+    def test_rpc_duplicate_reply_is_harmless(self):
+        # One-shot connections read exactly one frame; the duplicate dies
+        # with the socket.
+        reply = self.run_with_fault("rpc_duplicate")
+        assert reply == {"ok": True, "echo": {"op": "x"}}
+
+    def test_rpc_garbage_raises_a_clean_error(self):
+        with pytest.raises(RPCError, match="garbage frame"):
+            self.run_with_fault("rpc_garbage")

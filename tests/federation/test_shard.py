@@ -1,0 +1,207 @@
+"""The shard server: RPC ops, fragments, durable restart, injected faults."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.federation import ShardServer, rpc
+from repro.federation.rpc import RPCError
+from repro.grid.simulator import SimulationConfig
+
+
+def make_shard(shard_id="s0", machines=3, start=1, seed=7, **kwargs):
+    config = SimulationConfig(num_machines=machines, seed=seed, machine_id_start=start)
+    return ShardServer(shard_id, config, **kwargs)
+
+
+def settle(shard, ticks=30):
+    """Advance the shard's simulator deterministically (no wall-clock wait)."""
+    with shard._lock:
+        for _ in range(ticks):
+            shard.sim.step()
+
+
+class TestInfoOps:
+    def test_hello_reports_identity_and_machines(self):
+        with make_shard(start=4) as shard:
+            settle(shard)
+            reply = rpc.call(shard.host, shard.port, {"op": "hello"}, timeout=2.0)
+        assert reply["ok"] is True
+        assert reply["shard_id"] == "s0"
+        assert reply["machines"] == ["m4", "m5", "m6"]
+
+    def test_heartbeat_carries_reported_recency(self):
+        with make_shard() as shard:
+            settle(shard, ticks=60)
+            reply = rpc.call(shard.host, shard.port, {"op": "heartbeat"}, timeout=2.0)
+        assert set(reply["recency"]) <= {"m1", "m2", "m3"}
+        assert reply["recency"]  # something has reported by t=60
+        assert all(math.isfinite(v) for v in reply["recency"].values())
+
+    def test_unknown_op_is_an_error_reply(self):
+        with make_shard() as shard:
+            reply = rpc.call(shard.host, shard.port, {"op": "nope"}, timeout=2.0)
+        assert reply["ok"] is False
+        assert "unknown op" in reply["error"]
+
+    def test_stop_op_sets_stopping(self):
+        shard = make_shard().start()
+        try:
+            reply = rpc.call(shard.host, shard.port, {"op": "stop"}, timeout=2.0)
+            assert reply["stopping"] is True
+            assert shard.stopping
+        finally:
+            shard.close()
+
+
+class TestFragment:
+    def test_all_mode_returns_every_reporting_source(self):
+        with make_shard() as shard:
+            settle(shard, ticks=60)
+            reply = rpc.call(
+                shard.host,
+                shard.port,
+                {"op": "fragment", "mode": "all", "subqueries": []},
+                timeout=2.0,
+            )
+        assert reply["ok"] is True
+        assert len(reply["results"]) == 1
+        sources = {sid for sid, _ in reply["results"][0]}
+        assert sources <= {"m1", "m2", "m3"}
+        assert sources
+
+    def test_focused_mode_runs_subqueries_and_guards_verbatim(self):
+        sub_sql = (
+            "SELECT trac_h.source_id, trac_h.recency FROM heartbeat trac_h "
+            "WHERE trac_h.source_id = 'm1'"
+        )
+        guard = "SELECT mach_id FROM activity WHERE value = 'busy'"
+        with make_shard() as shard:
+            settle(shard, ticks=60)
+            reply = rpc.call(
+                shard.host,
+                shard.port,
+                {
+                    "op": "fragment",
+                    "mode": "focused",
+                    "subqueries": [{"sql": sub_sql, "guards": [guard]}],
+                },
+                timeout=2.0,
+            )
+        assert reply["ok"] is True
+        assert guard in reply["guards"]
+        assert isinstance(reply["guards"][guard], bool)
+        for sid, recency in reply["results"][0]:
+            assert sid == "m1"
+            assert isinstance(recency, float)
+
+    def test_empty_mode_returns_no_results(self):
+        with make_shard() as shard:
+            reply = rpc.call(
+                shard.host,
+                shard.port,
+                {"op": "fragment", "mode": "empty", "subqueries": []},
+                timeout=2.0,
+            )
+        assert reply["results"] == []
+        assert reply["guards"] == {}
+
+    def test_malformed_subquery_becomes_error_reply_not_crash(self):
+        with make_shard() as shard:
+            reply = rpc.call(
+                shard.host,
+                shard.port,
+                {
+                    "op": "fragment",
+                    "mode": "focused",
+                    "subqueries": [{"sql": "THIS IS NOT SQL", "guards": []}],
+                },
+                timeout=2.0,
+            )
+            # The server survives and keeps answering.
+            assert reply["ok"] is False
+            again = rpc.call(shard.host, shard.port, {"op": "hello"}, timeout=2.0)
+        assert again["ok"] is True
+
+
+class TestDurableRestart:
+    def test_kill_and_resume_preserves_acked_recency(self, tmp_path):
+        from repro.durable import DurabilityManager, DurabilityPolicy
+
+        data_dir = tmp_path / "shard-0"
+        policy = DurabilityPolicy(fsync="always", checkpoint_interval=10.0)
+        durability = DurabilityManager(str(data_dir), policy=policy)
+        config = SimulationConfig(num_machines=2, seed=3, machine_id_start=1)
+        shard = ShardServer("s0", config, durability=durability)
+        shard.server.start()  # step manually: no background stepping thread
+        settle(shard, ticks=90)
+        before = dict(durability.acked()["recency"])
+        assert before
+        # Simulated crash: drop everything on the floor, no close().
+        shard.server.stop()
+        shard.sim.backend.close()
+
+        resumed = DurabilityManager(str(data_dir), policy=policy, resume=True)
+        saved = resumed.saved_config()
+        assert saved is not None
+        shard2 = ShardServer(
+            "s0", SimulationConfig.from_dict(saved), durability=resumed
+        )
+        try:
+            shard2.server.start()
+            after = resumed.acked()["recency"]
+            for machine, recency in before.items():
+                assert after.get(machine) is not None
+                assert after[machine] >= recency
+            assert shard2.sim.machine_ids == ["m1", "m2"]
+        finally:
+            shard2.close()
+
+    def test_machine_id_start_round_trips_through_checkpoint(self, tmp_path):
+        from repro.durable import DurabilityManager, DurabilityPolicy
+
+        policy = DurabilityPolicy(fsync="always", checkpoint_interval=5.0)
+        durability = DurabilityManager(str(tmp_path / "d"), policy=policy)
+        config = SimulationConfig(num_machines=2, seed=3, machine_id_start=7)
+        shard = ShardServer("s1", config, durability=durability)
+        settle(shard, ticks=30)
+        shard.close()
+
+        resumed = DurabilityManager(str(tmp_path / "d"), policy=policy, resume=True)
+        saved = SimulationConfig.from_dict(resumed.saved_config())
+        assert saved.machine_id_start == 7
+        resumed.close(0.0)
+
+
+class TestRPCFaultInjection:
+    def test_rpc_drop_fault_starves_the_client(self):
+        plan = FaultPlan(seed=1).rpc_fault("s0", "rpc_drop", at=[0.0])
+        with make_shard(fault_plan=plan) as shard:
+            settle(shard, ticks=5)
+            with pytest.raises(RPCError):
+                rpc.call(shard.host, shard.port, {"op": "hello"}, timeout=0.5)
+            # One-shot scripted fault: the next call gets through.
+            reply = rpc.call(shard.host, shard.port, {"op": "hello"}, timeout=2.0)
+        assert reply["ok"] is True
+        assert plan.injected.get("rpc_drop") == 1
+
+    def test_status_reports_injected_rpc_faults(self):
+        plan = FaultPlan(seed=1).rpc_fault("s0", "rpc_duplicate", at=[0.0])
+        with make_shard(fault_plan=plan) as shard:
+            settle(shard, ticks=5)
+            rpc.call(shard.host, shard.port, {"op": "hello"}, timeout=2.0)
+            reply = rpc.call(shard.host, shard.port, {"op": "status"}, timeout=2.0)
+        assert reply["faults_injected"].get("rpc_duplicate") == 1
+
+
+class TestDisjointIdSpaces:
+    def test_shards_never_alias_machine_ids(self):
+        a = SimulationConfig(num_machines=3, seed=1, machine_id_start=1)
+        b = SimulationConfig(num_machines=3, seed=1, machine_id_start=4)
+        with ShardServer("s0", a) as s0, ShardServer("s1", b) as s1:
+            ids0 = set(s0.sim.machine_ids)
+            ids1 = set(s1.sim.machine_ids)
+        assert ids0 == {"m1", "m2", "m3"}
+        assert ids1 == {"m4", "m5", "m6"}
+        assert not (ids0 & ids1)

@@ -6,7 +6,12 @@ from repro.errors import TracError
 from repro.obs import Telemetry
 from repro.obs.server import ObservatoryServer
 from repro.serve import LoadgenConfig, LoadResult, QueryService, ServeConfig, run_load
-from repro.serve.loadgen import percentile
+from repro.serve.loadgen import (
+    STATUS_REFUSED,
+    STATUS_TIMEOUT,
+    _classify_transport,
+    percentile,
+)
 
 SQL = "SELECT mach_id FROM activity"
 
@@ -72,6 +77,71 @@ class TestLoadResult:
         result = self.make([429, 429], [])
         assert result.latency_ms(0.99) is None
         assert result.to_dict()["latency_ms"]["p50"] is None
+
+    def test_shed_vs_dead_are_separate_counts(self):
+        # Refused connections (shedding under overload) and timeouts (a
+        # dead or wedged server) are different diagnoses; both still roll
+        # up into transport_errors for older consumers.
+        result = self.make(
+            [200, STATUS_REFUSED, STATUS_REFUSED, STATUS_TIMEOUT, 0], [0.01]
+        )
+        assert result.refused == 2
+        assert result.timeouts == 1
+        assert result.transport_errors == 4
+
+    def test_to_dict_labels_the_sentinels(self):
+        doc = self.make([STATUS_REFUSED, STATUS_TIMEOUT, 0], []).to_dict()
+        assert doc["refused"] == 1
+        assert doc["timeouts"] == 1
+        assert doc["status_counts"] == {
+            "refused": 1,
+            "timeout": 1,
+            "transport_error": 1,
+        }
+
+
+class TestClassifyTransport:
+    def test_refused_and_reset_map_to_refused(self):
+        import urllib.error
+
+        assert _classify_transport(ConnectionRefusedError()) == STATUS_REFUSED
+        assert _classify_transport(ConnectionResetError()) == STATUS_REFUSED
+        assert _classify_transport(BrokenPipeError()) == STATUS_REFUSED
+        # urllib wraps the real cause in URLError.reason.
+        wrapped = urllib.error.URLError(ConnectionRefusedError())
+        assert _classify_transport(wrapped) == STATUS_REFUSED
+
+    def test_timeouts_map_to_timeout(self):
+        import socket
+        import urllib.error
+
+        assert _classify_transport(socket.timeout()) == STATUS_TIMEOUT
+        assert _classify_transport(TimeoutError()) == STATUS_TIMEOUT
+        wrapped = urllib.error.URLError(socket.timeout())
+        assert _classify_transport(wrapped) == STATUS_TIMEOUT
+
+    def test_everything_else_is_generic_transport(self):
+        assert _classify_transport(OSError("no route to host")) == 0
+
+    def test_real_refused_connection_is_classified(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        result = run_load(
+            LoadgenConfig(
+                url=f"http://127.0.0.1:{port}/v1/query",
+                sql=SQL,
+                rate=10.0,
+                duration=0.3,
+                timeout=0.5,
+            )
+        )
+        assert result.refused == result.requests
+        assert result.timeouts == 0
+        assert result.ok == 0
 
 
 class TestRunLoad:

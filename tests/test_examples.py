@@ -116,6 +116,17 @@ class TestExamples:
         assert "admission control is exact" in out
         assert "serve:" in out and "p99=" in out
 
+    def test_federation_tour(self):
+        out = run_example("federation_tour.py")
+        assert "union of machines: ['m1', 'm2', 'm3', 'm4', 'm5', 'm6']" in out
+        assert "shards: 3/3 ok  complete=True" in out
+        assert "shards: 2/3 ok  complete=False  missing=['s2']" in out
+        assert "NOTICE: Degraded federated report: 2 of 3 shard(s) reporting" in out
+        assert "NOTICE: Stale cached fragment(s) served for: s2 (age" in out
+        assert "s2 breaker after the failures: open" in out
+        assert "s2 breaker after the rejoin: closed" in out
+        assert "partial failure is a degraded report, not a failed one" in out
+
     def test_durability_tour(self):
         out = run_example("durability_tour.py")
         assert "crash and resume" in out

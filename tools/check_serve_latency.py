@@ -109,7 +109,8 @@ def main() -> int:
         failures.append(
             f"SLO phase: only {slo['ok']}/{slo['requests']} requests served "
             f"(429={slo['rejected_429']}, 5xx={slo['server_errors']}, "
-            f"transport={slo['transport_errors']})"
+            f"refused={slo['refused']}, timeout={slo['timeouts']}, "
+            f"other-transport={slo['transport_errors'] - slo['refused'] - slo['timeouts']})"
         )
     if slo["server_errors"]:
         failures.append(f"SLO phase: {slo['server_errors']} 5xx responses")
@@ -149,8 +150,13 @@ def main() -> int:
     if over["server_errors"]:
         failures.append(f"overload phase: {over['server_errors']} 5xx responses")
     if over["transport_errors"]:
+        # "shed" (refused/reset: the server turned the connection away)
+        # vs "dead" (timeout: nobody answered) are different failures;
+        # name them so a chaos run's verdict is actionable.
         failures.append(
-            f"overload phase: {over['transport_errors']} requests never resolved"
+            f"overload phase: {over['transport_errors']} requests never resolved "
+            f"(shed/refused={over['refused']}, dead/timeout={over['timeouts']}, "
+            f"other={over['transport_errors'] - over['refused'] - over['timeouts']})"
         )
     hang_bound = args.overload_duration + timeout + 5.0
     if over["wall_seconds"] > hang_bound:
@@ -161,13 +167,15 @@ def main() -> int:
 
     # -- report -------------------------------------------------------------
     rows = [
-        ("phase", "offered", "ok", "429", "5xx", "p50 ms", "p99 ms"),
+        ("phase", "offered", "ok", "429", "5xx", "refused", "timeout", "p50 ms", "p99 ms"),
         (
             "slo",
             f"{args.rate:g}/s x {args.duration:g}s",
             str(slo["ok"]),
             str(slo["rejected_429"]),
             str(slo["server_errors"]),
+            str(slo["refused"]),
+            str(slo["timeouts"]),
             f"{slo['latency_ms']['p50']:.2f}" if slo["latency_ms"]["p50"] else "-",
             f"{p99:.2f}" if p99 is not None else "-",
         ),
@@ -177,6 +185,8 @@ def main() -> int:
             str(over["ok"]),
             str(over["rejected_429"]),
             str(over["server_errors"]),
+            str(over["refused"]),
+            str(over["timeouts"]),
             "-",
             "-",
         ),

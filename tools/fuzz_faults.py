@@ -24,6 +24,12 @@ is recovered into a fresh backend which must reproduce the live database
 exactly — durability faults may slow ingest down but can never corrupt
 the recoverable state.
 
+And a **federation campaign**: random ``rpc_*`` fault plans (dropped,
+delayed, duplicated and garbage frames) run under live shard servers
+while a :class:`~repro.federation.FederationCoordinator` reports across
+them — the coordinator must never raise, never blow its deadline, and
+its completeness metadata must always add up.
+
 Intended for occasional deep verification (e.g. a nightly job)::
 
     python tools/fuzz_faults.py [num-runs]
@@ -187,12 +193,109 @@ def run_durability_once(rng: random.Random, run_index: int) -> None:
         shutil.rmtree(data_dir, ignore_errors=True)
 
 
+def run_federation_once(rng: random.Random, run_index: int) -> None:
+    """Chaos the shard RPC transport, then prove the coordinator degrades.
+
+    Random ``rpc_*`` fault plans (all four kinds, probabilistic and
+    scripted) are injected under the shard servers' protocol layer. The
+    invariants: the coordinator never raises and never blows its deadline
+    no matter what the transport does; completeness arithmetic always
+    holds (``shards_ok + missing == total``); reported sources never stray
+    outside the registered union; and the plan document round-trips
+    losslessly so any failure is replayable from the printed JSON.
+    """
+    import time
+
+    from repro.faults import RPC_KINDS, plan_from_json
+    from repro.federation import FederationCoordinator, ShardRegistry, ShardServer
+
+    plan = FaultPlan(seed=rng.randrange(2**16))
+    for kind in RPC_KINDS:
+        if rng.random() < 0.75:
+            plan.rpc_fault("*", kind, probability=rng.uniform(0.05, 0.35))
+    # A couple of scripted hits so even an unlucky probability draw
+    # exercises the one-shot path.
+    plan.rpc_fault("s0", rng.choice(RPC_KINDS), at=[rng.uniform(0.0, 5.0)])
+    if plan_from_json(plan.to_json()).to_json() != plan.to_json():
+        raise AssertionError(f"run {run_index}: rpc plan does not round-trip")
+
+    num_shards = rng.randint(2, 3)
+    per_shard = rng.randint(2, 3)
+    shards = []
+    registry = ShardRegistry()
+    deadline = 2.0
+    try:
+        for k in range(num_shards):
+            config = SimulationConfig(
+                num_machines=per_shard,
+                seed=rng.randrange(2**16),
+                machine_id_start=k * per_shard + 1,
+            )
+            shard = ShardServer(f"s{k}", config, fault_plan=plan).start()
+            shards.append(shard)
+            # The hello itself travels through the faulty transport; keep
+            # retrying like an operator would until the shard answers.
+            from repro.federation.rpc import RPCError
+
+            for attempt in range(20):
+                try:
+                    registry.register(shard.host, shard.port, timeout=5.0)
+                    break
+                except RPCError:
+                    if attempt == 19:
+                        raise
+                    time.sleep(0.05)
+        union = set(registry.machines())
+        coordinator = FederationCoordinator(
+            registry,
+            deadline=deadline,
+            attempt_timeout=0.4,
+            retries=2,
+            hedge_delay=0.2,
+            breaker_threshold=5,
+            breaker_reset=0.5,
+            seed=rng.randrange(2**16),
+        )
+        partial = 0
+        for _ in range(8):
+            started = time.monotonic()
+            report = coordinator.report(IDLE_SQL)
+            elapsed = time.monotonic() - started
+            if elapsed > deadline + 0.5:
+                raise AssertionError(
+                    f"run {run_index}: report took {elapsed:.2f}s under rpc chaos "
+                    f"(plan={plan.to_json()})"
+                )
+            if report.shards_ok + len(report.missing_shards) != report.shards_total:
+                raise AssertionError(
+                    f"run {run_index}: completeness arithmetic broken: "
+                    f"{report.shards_ok}+{len(report.missing_shards)} != "
+                    f"{report.shards_total} (plan={plan.to_json()})"
+                )
+            if not report.relevant_source_ids <= union:
+                raise AssertionError(
+                    f"run {run_index}: sources outside the union: "
+                    f"{sorted(report.relevant_source_ids - union)} "
+                    f"(plan={plan.to_json()})"
+                )
+            partial += 0 if report.complete else 1
+        injected = ",".join(f"{k}={v}" for k, v in sorted(plan.injected.items())) or "none"
+        print(
+            f"run {run_index}: federation ok shards={num_shards} "
+            f"partial={partial}/8 injected={injected}"
+        )
+    finally:
+        for shard in shards:
+            shard.close()
+
+
 def main() -> int:
     runs = int(sys.argv[1]) if len(sys.argv) > 1 else 25
     rng = random.Random(20060912)  # VLDB 2006 started on Sept 12
     for i in range(runs):
         run_once(rng, i)
         run_durability_once(rng, i)
+        run_federation_once(rng, i)
     print(f"all {runs} chaos runs passed")
     return 0
 

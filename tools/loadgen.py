@@ -71,7 +71,9 @@ def main() -> int:
           f"({doc['requests']} requests, {config.senders} senders)")
     print(f"ok        {doc['ok']}  (achieved {doc['achieved_ok_per_s']:g} ok/s)")
     print(f"shed 429  {doc['rejected_429']}")
-    print(f"5xx       {doc['server_errors']}   transport {doc['transport_errors']}")
+    print(f"5xx       {doc['server_errors']}   "
+          f"refused {doc['refused']}   timeout {doc['timeouts']}   "
+          f"other-transport {doc['transport_errors'] - doc['refused'] - doc['timeouts']}")
     for name in ("p50", "p90", "p99", "max"):
         value = latency[name]
         print(f"{name:<9} {value:.2f} ms" if value is not None else f"{name:<9} -")
